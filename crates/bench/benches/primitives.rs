@@ -1,0 +1,95 @@
+//! Criterion micro-benchmarks for the proving-stack primitives — the same
+//! operations `BenchmarkOperations` calibrates for the cost model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use zkml_curves::{msm, pairing, G1Affine, G2Affine};
+use zkml_ff::{Field, Fr};
+use zkml_poly::{Coeffs, EvaluationDomain};
+use zkml_transcript::Blake2b;
+
+fn bench_field(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let a = Fr::random(&mut rng);
+    let b = Fr::random(&mut rng);
+    c.bench_function("fr_mul", |bch| bch.iter(|| std::hint::black_box(a) * b));
+    c.bench_function("fr_invert", |bch| {
+        bch.iter(|| std::hint::black_box(a).invert().unwrap())
+    });
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut group = c.benchmark_group("fft");
+    group.sample_size(10);
+    for k in [10u32, 12, 14] {
+        let domain = EvaluationDomain::<Fr>::new(k);
+        let vals: Vec<Fr> = (0..domain.n).map(|_| Fr::random(&mut rng)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |bch, _| {
+            bch.iter(|| {
+                let mut v = vals.clone();
+                domain.fft(&mut v);
+                std::hint::black_box(v.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_msm(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut group = c.benchmark_group("msm");
+    group.sample_size(10);
+    let max = 1usize << 12;
+    let scalars: Vec<Fr> = (0..max).map(|_| Fr::random(&mut rng)).collect();
+    let points = zkml::cost::fixed_base_points(&zkml_curves::G1Projective::generator(), &scalars);
+    for k in [10u32, 12] {
+        let n = 1usize << k;
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |bch, _| {
+            bch.iter(|| std::hint::black_box(msm(&points[..n], &scalars[..n])))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pairing(c: &mut Criterion) {
+    let g1 = G1Affine::generator();
+    let g2 = G2Affine::generator();
+    let mut group = c.benchmark_group("pairing");
+    group.sample_size(10);
+    group.bench_function("ate_pairing", |bch| {
+        bch.iter(|| std::hint::black_box(pairing(&g1, &g2)))
+    });
+    group.finish();
+}
+
+fn bench_commit(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let params = zkml_pcs::KzgSrs::setup(12, &mut rng);
+    let poly = Coeffs::new((0..(1usize << 12)).map(|_| Fr::random(&mut rng)).collect());
+    let mut group = c.benchmark_group("kzg");
+    group.sample_size(10);
+    group.bench_function("commit_2e12", |bch| {
+        bch.iter(|| std::hint::black_box(params.commit(&poly)))
+    });
+    group.finish();
+}
+
+fn bench_blake2b(c: &mut Criterion) {
+    let data = vec![0xABu8; 4096];
+    c.bench_function("blake2b_4k", |bch| {
+        bch.iter(|| std::hint::black_box(Blake2b::digest(&data)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_field,
+    bench_fft,
+    bench_msm,
+    bench_pairing,
+    bench_commit,
+    bench_blake2b
+);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Regenerates every table of the evaluation and writes EXPERIMENTS-ready
+//! markdown to stdout (and to the path given as the first argument).
+use std::fmt::Write as _;
+use zkml_bench::tables;
+use zkml_pcs::Backend;
+
+fn main() {
+    let mut out = String::new();
+    let started = std::time::Instant::now();
+    let sections: Vec<(&str, Box<dyn Fn() -> String>)> = vec![
+        ("table05", Box::new(tables::table05)),
+        ("table06", Box::new(|| tables::table06_07(Backend::Kzg))),
+        ("table07", Box::new(|| tables::table06_07(Backend::Ipa))),
+        ("table08", Box::new(tables::table08)),
+        ("table09", Box::new(tables::table09)),
+        ("table10", Box::new(tables::table10)),
+        ("table11", Box::new(tables::table11)),
+        ("table12", Box::new(tables::table12)),
+        ("table13", Box::new(tables::table13)),
+        ("table14", Box::new(tables::table14)),
+        ("opt_savings", Box::new(tables::opt_savings)),
+        ("cost_accuracy", Box::new(tables::cost_accuracy)),
+        ("case_study", Box::new(tables::case_study)),
+    ];
+    let filter: Option<Vec<String>> = std::env::var("ZKML_TABLES")
+        .ok()
+        .map(|v| v.split(',').map(|s| s.trim().to_string()).collect());
+    for (name, f) in sections {
+        if let Some(fl) = &filter {
+            if !fl.iter().any(|x| name.contains(x.as_str())) {
+                continue;
+            }
+        }
+        eprintln!("[all_tables] running {name}...");
+        let t = std::time::Instant::now();
+        let section = f();
+        eprintln!("[all_tables] {name} done in {:?}", t.elapsed());
+        println!("{section}");
+        let _ = writeln!(out, "{section}");
+    }
+    eprintln!("[all_tables] total {:?}", started.elapsed());
+    if let Some(path) = std::env::args().nth(1) {
+        std::fs::write(&path, &out).expect("write output file");
+        eprintln!("[all_tables] wrote {path}");
+    }
+}

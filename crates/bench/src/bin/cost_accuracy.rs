@@ -1,0 +1,4 @@
+//! Regenerates the §9.5 cost-estimation accuracy study.
+fn main() {
+    println!("{}", zkml_bench::tables::cost_accuracy());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the §9.4 optimizer-savings comparison.
+fn main() {
+    println!("{}", zkml_bench::tables::opt_savings());
+}

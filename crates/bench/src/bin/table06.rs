@@ -1,0 +1,4 @@
+//! Regenerates Table 6 (KZG end-to-end).
+fn main() {
+    println!("{}", zkml_bench::tables::table06_07(zkml_pcs::Backend::Kzg));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 7 (IPA end-to-end).
+fn main() {
+    println!("{}", zkml_bench::tables::table06_07(zkml_pcs::Backend::Ipa));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 13 of the paper (see zkml-bench::tables).
+fn main() {
+    println!("{}", zkml_bench::tables::table13());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 14 of the paper (see zkml-bench::tables).
+fn main() {
+    println!("{}", zkml_bench::tables::table14());
+}

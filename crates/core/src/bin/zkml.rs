@@ -1,0 +1,240 @@
+//! The ZKML command-line interface (§8 of the paper): optimize, prove, and
+//! verify model inferences. Verification loads only the serialized
+//! verifying key, public values and proof — the standalone-verifier flow.
+//!
+//! ```text
+//! zkml models
+//! zkml optimize mnist --backend kzg
+//! zkml prove mnist --dir /tmp/mnist-proof [--backend kzg] [--seed 7]
+//! zkml verify --dir /tmp/mnist-proof
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Instant;
+use zkml::{compile, optimizer, OptimizerOptions};
+use zkml_ff::{Fr, PrimeField};
+use zkml_model::Graph;
+use zkml_pcs::{Backend, Params, Reader, Writer};
+use zkml_plonk::VerifyingKey;
+use zkml_tensor::{FixedPoint, Tensor};
+
+fn model_by_name(name: &str) -> Option<Graph> {
+    Some(match name.to_ascii_lowercase().as_str() {
+        "mnist" => zkml_model::zoo::mnist_cnn(),
+        "vgg16" | "vgg" => zkml_model::zoo::vgg16(),
+        "resnet18" | "resnet" => zkml_model::zoo::resnet18(),
+        "mobilenet" => zkml_model::zoo::mobilenet_v2(),
+        "dlrm" => zkml_model::zoo::dlrm(),
+        "twitter" | "masknet" => zkml_model::zoo::twitter_masknet(),
+        "gpt2" | "gpt" => zkml_model::zoo::gpt2(),
+        "diffusion" => zkml_model::zoo::diffusion(),
+        _ => return None,
+    })
+}
+
+fn parse_backend(args: &[String]) -> Backend {
+    match flag_value(args, "--backend").as_deref() {
+        Some("ipa") => Backend::Ipa,
+        _ => Backend::Kzg,
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  zkml models\n  zkml export <model> --file <path.zkml>\n  \
+         zkml optimize <model|path.zkml> [--backend kzg|ipa] [--max-k K]\n  \
+         zkml prove <model|path.zkml> --dir <out-dir> [--backend kzg|ipa] [--seed N]\n  \
+         zkml verify --dir <dir>"
+    );
+    ExitCode::FAILURE
+}
+
+/// Resolves a model argument: a zoo name or a `.zkml` model file.
+fn resolve_model(arg: &str) -> Option<Graph> {
+    if arg.ends_with(".zkml") || Path::new(arg).exists() {
+        let bytes = std::fs::read(arg).ok()?;
+        return Graph::from_bytes(&bytes).ok();
+    }
+    model_by_name(arg)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("models") => {
+            println!("{:<12} {:>10} {:>12}", "model", "params", "flops");
+            for g in zkml_model::zoo::all_models() {
+                let s = zkml_model::stats(&g);
+                println!(
+                    "{:<12} {:>10} {:>12}",
+                    g.name,
+                    zkml_model::stats::human(s.params),
+                    zkml_model::stats::human(s.flops)
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Some("export") => {
+            let Some(name) = args.get(1) else { return usage() };
+            let Some(g) = model_by_name(name) else {
+                eprintln!("unknown model '{name}' (try `zkml models`)");
+                return ExitCode::FAILURE;
+            };
+            let Some(file) = flag_value(&args, "--file") else { return usage() };
+            std::fs::write(&file, g.to_bytes()).expect("write model file");
+            println!("wrote {} ({} nodes) to {file}", g.name, g.nodes.len());
+            ExitCode::SUCCESS
+        }
+        Some("optimize") => {
+            let Some(name) = args.get(1) else { return usage() };
+            let Some(g) = resolve_model(name) else {
+                eprintln!("unknown model '{name}' (try `zkml models`)");
+                return ExitCode::FAILURE;
+            };
+            let backend = parse_backend(&args);
+            let max_k: u32 = flag_value(&args, "--max-k")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(15);
+            let hw = zkml::cost::HardwareStats::cached();
+            let opts = OptimizerOptions::new(backend, max_k);
+            let report = optimizer::optimize(&g, &opts, hw);
+            println!(
+                "{} ({backend}): {} layouts evaluated ({} pruned) in {:?}",
+                g.name, report.evaluated, report.pruned, report.elapsed
+            );
+            println!(
+                "best: 2^{} rows x {} columns, {:?}",
+                report.best_k, report.best.num_cols, report.best.choices
+            );
+            println!(
+                "estimated proving {:.2}s (fft {:.2}s, msm {:.2}s, lookup {:.2}s), proof ~{} B",
+                report.best_cost.proving_s,
+                report.best_cost.fft_s,
+                report.best_cost.msm_s,
+                report.best_cost.lookup_s,
+                report.best_cost.proof_bytes
+            );
+            ExitCode::SUCCESS
+        }
+        Some("prove") => {
+            let Some(name) = args.get(1) else { return usage() };
+            let Some(g) = resolve_model(name) else {
+                eprintln!("unknown model '{name}'");
+                return ExitCode::FAILURE;
+            };
+            let Some(dir) = flag_value(&args, "--dir") else { return usage() };
+            let backend = parse_backend(&args);
+            let seed: u64 = flag_value(&args, "--seed")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(1);
+            prove_flow(&g, backend, seed, Path::new(&dir))
+        }
+        Some("verify") => {
+            let Some(dir) = flag_value(&args, "--dir") else { return usage() };
+            verify_flow(Path::new(&dir))
+        }
+        _ => usage(),
+    }
+}
+
+fn prove_flow(g: &Graph, backend: Backend, seed: u64, dir: &Path) -> ExitCode {
+    std::fs::create_dir_all(dir).expect("create output dir");
+    let hw = zkml::cost::HardwareStats::cached();
+    let opts = OptimizerOptions::new(backend, 15);
+    let report = optimizer::optimize(g, &opts, hw);
+    println!(
+        "optimizer chose 2^{} x {} cols in {:?}",
+        report.best_k, report.best.num_cols, report.elapsed
+    );
+    let fp = FixedPoint::new(report.best.numeric.scale_bits);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let inputs: Vec<Tensor<i64>> = g
+        .inputs
+        .iter()
+        .map(|id| {
+            let shape = g.shape(*id).to_vec();
+            let n: usize = shape.iter().product();
+            Tensor::new(
+                shape,
+                (0..n).map(|_| fp.quantize(rng.gen_range(-1.0..1.0))).collect(),
+            )
+        })
+        .collect();
+
+    let t = Instant::now();
+    let compiled = compile(g, &inputs, report.best, false).expect("compile");
+    println!("compiled in {:?} (rows {})", t.elapsed(), compiled.stats.rows);
+    let mut srs_rng = StdRng::seed_from_u64(0x5151);
+    let params = Params::setup(backend, compiled.k, &mut srs_rng);
+    let pk = compiled.keygen(&params).expect("keygen");
+    let t = Instant::now();
+    let proof = compiled.prove(&params, &pk, &mut rng).expect("prove");
+    println!("proved in {:?} ({} bytes)", t.elapsed(), proof.len());
+
+    std::fs::write(dir.join("proof.bin"), &proof).expect("write proof");
+    std::fs::write(dir.join("vk.bin"), pk.vk.to_bytes()).expect("write vk");
+    let mut w = Writer::new();
+    w.u32(match backend {
+        Backend::Kzg => 0,
+        Backend::Ipa => 1,
+    });
+    w.u64(compiled.instance()[0].len() as u64);
+    for v in &compiled.instance()[0] {
+        w.scalar(v);
+    }
+    std::fs::write(dir.join("public.bin"), w.finish()).expect("write public values");
+    println!("wrote proof.bin, vk.bin, public.bin to {}", dir.display());
+    ExitCode::SUCCESS
+}
+
+fn verify_flow(dir: &Path) -> ExitCode {
+    let load = |name: &str| -> Vec<u8> {
+        std::fs::read(PathBuf::from(dir).join(name))
+            .unwrap_or_else(|e| panic!("read {name}: {e}"))
+    };
+    let vk = VerifyingKey::from_bytes(&load("vk.bin")).expect("parse vk");
+    let public = load("public.bin");
+    let mut r = Reader::new(&public);
+    let backend = if r.u32().expect("backend tag") == 0 {
+        Backend::Kzg
+    } else {
+        Backend::Ipa
+    };
+    let n = r.u64().expect("instance length") as usize;
+    let instance: Vec<Fr> = (0..n)
+        .map(|_| r.scalar().expect("instance value"))
+        .collect();
+    let proof = load("proof.bin");
+    // The SRS is a public artifact; this reproduction regenerates it from
+    // the fixed test seed (see DESIGN.md on the trusted-setup substitution).
+    let mut srs_rng = StdRng::seed_from_u64(0x5151);
+    let params = Params::setup(backend, vk.k, &mut srs_rng);
+    let t = Instant::now();
+    match zkml_plonk::verify_proof(&params, &vk, &[instance.clone()], &proof) {
+        Ok(()) => {
+            println!(
+                "proof VERIFIED in {:?} ({} public values, {} byte proof)",
+                t.elapsed(),
+                instance.len(),
+                proof.len()
+            );
+            // Show the first few outputs as fixed-point values.
+            let preview: Vec<i128> = instance.iter().take(8).map(|v| v.to_signed_i128()).collect();
+            println!("public outputs (quantized): {preview:?}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("proof REJECTED: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

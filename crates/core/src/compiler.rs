@@ -1,0 +1,185 @@
+//! The end-to-end compiler: graph -> circuit -> keys -> proof.
+
+use crate::builder::{AValue, BuildError, CircuitBuilder, LayoutStats};
+use crate::config::CircuitConfig;
+use crate::freivalds::{fill_jobs, FreivaldsJob};
+use crate::layers::lower_graph;
+use rand::RngCore;
+use zkml_ff::Fr;
+use zkml_model::Graph;
+use zkml_pcs::Params;
+use zkml_plonk::{
+    create_proof_with_rng, keygen, verify_proof, ConstraintSystem, PlonkError, Preprocessed,
+    ProvingKey, VerifyingKey, WitnessSource, BLINDING_FACTORS,
+};
+use zkml_tensor::Tensor;
+
+/// Errors from compilation or proving.
+#[derive(Debug)]
+pub enum ZkmlError {
+    /// Circuit construction failed.
+    Build(BuildError),
+    /// Proving-system failure.
+    Plonk(PlonkError),
+}
+
+impl std::fmt::Display for ZkmlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ZkmlError::Build(e) => write!(f, "{e}"),
+            ZkmlError::Plonk(e) => write!(f, "{e}"),
+        }
+    }
+}
+impl std::error::Error for ZkmlError {}
+impl From<BuildError> for ZkmlError {
+    fn from(e: BuildError) -> Self {
+        ZkmlError::Build(e)
+    }
+}
+impl From<PlonkError> for ZkmlError {
+    fn from(e: PlonkError) -> Self {
+        ZkmlError::Plonk(e)
+    }
+}
+
+/// A compiled circuit with its witness, ready for keygen/prove/verify.
+pub struct CompiledCircuit {
+    /// The configuration it was compiled under.
+    pub cfg: CircuitConfig,
+    /// Rows: log2 of the grid height.
+    pub k: u32,
+    /// Structure statistics (for the cost model and reports).
+    pub stats: LayoutStats,
+    /// The constraint system.
+    pub cs: ConstraintSystem,
+    /// Fixed columns and copy constraints.
+    pub pre: Preprocessed,
+    /// Quantized model outputs (the public values).
+    pub outputs: Vec<Tensor<i64>>,
+    instance: Vec<Vec<Fr>>,
+    advice0: Vec<(usize, Vec<Fr>)>,
+    p1_cols: Vec<usize>,
+    p1_rows: usize,
+    jobs: Vec<FreivaldsJob>,
+}
+
+struct ZkmlWitness<'a> {
+    c: &'a CompiledCircuit,
+}
+
+impl WitnessSource for ZkmlWitness<'_> {
+    fn instance(&self) -> Vec<Vec<Fr>> {
+        self.c.instance.clone()
+    }
+    fn advice(&self, phase: u8, challenges: &[Fr]) -> Vec<(usize, Vec<Fr>)> {
+        if phase == 0 {
+            self.c.advice0.clone()
+        } else {
+            fill_jobs(&self.c.jobs, &self.c.p1_cols, challenges, self.c.p1_rows)
+        }
+    }
+}
+
+/// Compiles a graph (with quantized inputs) into a circuit + witness.
+///
+/// In `count_only` mode the returned circuit has no witness values — it is
+/// the optimizer's row-exact simulator output (GeneratePhysicalLayout, §7.3)
+/// and must not be proven.
+pub fn compile(
+    graph: &Graph,
+    inputs: &[Tensor<i64>],
+    cfg: CircuitConfig,
+    count_only: bool,
+) -> Result<CompiledCircuit, ZkmlError> {
+    let mut bld = CircuitBuilder::new(cfg, count_only);
+    let outs = lower_graph(&mut bld, graph, inputs)?;
+    let flat: Vec<AValue> = outs.iter().flat_map(|t| t.data().iter().copied()).collect();
+    bld.expose(&flat);
+
+    let k = bld.min_k();
+    let usable = (1usize << k) - BLINDING_FACTORS - 1;
+    let stats = bld.stats();
+    let outputs: Vec<Tensor<i64>> = outs
+        .iter()
+        .map(|t| t.map(|a| a.v))
+        .collect();
+
+    // Pad lookup-table columns to the usable height with valid entries so
+    // the padding rows do not weaken the table (see builder docs).
+    bld.write_range_table();
+    let pads = bld.table_pad_info();
+    if !count_only {
+        for (cols, len, defaults) in &pads {
+            for (col, default) in cols.iter().zip(defaults) {
+                for row in *len..usable {
+                    bld.set_fixed_pub(*col, row, zkml_ff::PrimeField::from_i64(*default));
+                }
+            }
+        }
+    }
+
+    let p1_rows = bld.p1_rows_used();
+    let jobs = bld.take_freivalds_jobs();
+    let grid: Vec<usize> = bld.grid_cols().to_vec();
+    let p1_cols: Vec<usize> = bld.p1_cols().to_vec();
+    let num_fixed = bld.num_fixed_cols();
+    let (cs, mut fixed_vals, advice_vals, copies, instance_vals) = bld.take_parts();
+
+    fixed_vals.resize(num_fixed, Vec::new());
+    let pre = Preprocessed {
+        fixed: fixed_vals,
+        copies,
+    };
+    let advice0: Vec<(usize, Vec<Fr>)> = grid
+        .iter()
+        .map(|c| (*c, advice_vals.get(*c).cloned().unwrap_or_default()))
+        .collect();
+
+    Ok(CompiledCircuit {
+        cfg,
+        k,
+        stats,
+        cs,
+        pre,
+        outputs,
+        instance: vec![instance_vals],
+        advice0,
+        p1_cols,
+        p1_rows,
+        jobs,
+    })
+}
+
+impl CompiledCircuit {
+    /// Generates proving and verifying keys.
+    pub fn keygen(&self, params: &Params) -> Result<ProvingKey, ZkmlError> {
+        Ok(keygen(params, &self.cs, &self.pre, self.k)?)
+    }
+
+    /// Produces a proof for this circuit's witness.
+    pub fn prove(
+        &self,
+        params: &Params,
+        pk: &ProvingKey,
+        rng: &mut impl RngCore,
+    ) -> Result<Vec<u8>, ZkmlError> {
+        let witness = ZkmlWitness { c: self };
+        Ok(create_proof_with_rng(params, pk, &witness, rng)?)
+    }
+
+    /// Verifies a proof against this circuit's public outputs.
+    pub fn verify(
+        &self,
+        params: &Params,
+        vk: &VerifyingKey,
+        proof: &[u8],
+    ) -> Result<(), ZkmlError> {
+        Ok(verify_proof(params, vk, &self.instance, proof)?)
+    }
+
+    /// The public-input columns (model outputs as field elements).
+    pub fn instance(&self) -> &[Vec<Fr>] {
+        &self.instance
+    }
+}

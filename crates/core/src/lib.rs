@@ -1,0 +1,37 @@
+//! ZKML: an optimizing compiler from ML model graphs to halo2-style
+//! ZK-SNARK circuits — a from-scratch reproduction of the EuroSys '24 paper.
+//!
+//! The crate mirrors the paper's two components (§4):
+//!
+//! * **Gadgets** ([`builder`]): efficient single-row constraint patterns for
+//!   ML operations — packed arithmetic, dot products with two accumulation
+//!   strategies, lookup non-linearities, max, rounded variable division,
+//!   bit-decomposition ReLU, and Freivalds-checked matrix multiplication
+//!   using multi-phase challenges ([`freivalds`]).
+//! * **Optimizer** ([`optimizer`]): generates logical layouts (gadget
+//!   choices), simulates physical layouts row-exactly at each column count
+//!   (the builder doubles as the simulator), and picks the cheapest layout
+//!   under a hardware-calibrated cost model ([`cost`]) following Eq. (1)–(2)
+//!   of the paper.
+//!
+//! [`compiler`] ties everything together: it lowers a [`zkml_model::Graph`]
+//! to a circuit, produces keys, proofs (KZG or IPA backend) and verifies
+//! them.
+
+pub mod builder;
+pub mod compiler;
+pub mod config;
+pub mod cost;
+pub mod freivalds;
+pub mod layers;
+pub mod optimizer;
+pub mod tables;
+
+pub use builder::{AValue, BuildError, CircuitBuilder, Gadget, LayoutStats};
+pub use compiler::{compile, CompiledCircuit, ZkmlError};
+pub use config::{
+    ArithImpl, CircuitConfig, DotImpl, LayoutChoices, MatmulImpl, NumericConfig, Objective,
+    ReluImpl, Target,
+};
+pub use cost::{CostEstimate, HardwareStats};
+pub use optimizer::{optimize, OptimizerOptions, OptimizerReport};

@@ -1,0 +1,179 @@
+//! The circuit-layout optimizer (Algorithm 1 of the paper).
+//!
+//! Enumerates logical layouts (gadget choices), simulates each physical
+//! layout row-exactly by running the builder in count-only mode across a
+//! range of column counts, picks the minimal `k` per layout, estimates cost
+//! with the hardware-calibrated model, and returns the cheapest plan.
+
+use crate::compiler::compile;
+use crate::config::{CircuitConfig, LayoutChoices, NumericConfig, Objective};
+use crate::cost::{estimate, CostEstimate, HardwareStats};
+use std::time::{Duration, Instant};
+use zkml_model::Graph;
+use zkml_pcs::Backend;
+use zkml_tensor::Tensor;
+
+/// Options controlling the search.
+#[derive(Clone)]
+pub struct OptimizerOptions {
+    /// What to minimize.
+    pub objective: Objective,
+    /// Commitment backend being targeted.
+    pub backend: Backend,
+    /// Largest `k` the params/SRS support.
+    pub max_k: u32,
+    /// Inclusive column-count sweep range (`N_min..=N_max`).
+    pub n_cols_range: (usize, usize),
+    /// Enable the pruning heuristics (Table 12 ablation toggles this).
+    pub prune: bool,
+    /// Logical layouts to consider; `None` = the full candidate set.
+    pub candidates: Option<Vec<LayoutChoices>>,
+    /// Fixed-point configuration.
+    pub numeric: NumericConfig,
+}
+
+impl OptimizerOptions {
+    /// Sensible defaults for a backend.
+    pub fn new(backend: Backend, max_k: u32) -> Self {
+        Self {
+            objective: Objective::ProvingTime,
+            backend,
+            max_k,
+            n_cols_range: (8, 40),
+            prune: true,
+            candidates: None,
+            numeric: NumericConfig::default_nano(),
+        }
+    }
+}
+
+/// One evaluated physical layout.
+#[derive(Clone, Debug)]
+pub struct EvaluatedLayout {
+    /// The configuration.
+    pub cfg: CircuitConfig,
+    /// Chosen grid height.
+    pub k: u32,
+    /// Estimated cost.
+    pub cost: CostEstimate,
+}
+
+/// The optimizer's result.
+pub struct OptimizerReport {
+    /// The winning configuration.
+    pub best: CircuitConfig,
+    /// Its grid height.
+    pub best_k: u32,
+    /// Its estimated cost.
+    pub best_cost: CostEstimate,
+    /// Number of physical layouts simulated.
+    pub evaluated: usize,
+    /// Number of (layout, column) points skipped by pruning.
+    pub pruned: usize,
+    /// Wall-clock optimizer runtime.
+    pub elapsed: Duration,
+    /// Every evaluated layout (for cost-model accuracy studies, §9.5).
+    pub all: Vec<EvaluatedLayout>,
+}
+
+/// Zero-valued inputs with the graph's declared shapes (the simulator's
+/// layouts are input-independent).
+pub fn zero_inputs(g: &Graph) -> Vec<Tensor<i64>> {
+    g.inputs
+        .iter()
+        .map(|id| Tensor::full(g.shape(*id).to_vec(), 0i64))
+        .collect()
+}
+
+fn score(objective: Objective, c: &CostEstimate) -> f64 {
+    match objective {
+        Objective::ProvingTime => c.proving_s,
+        Objective::ProofSize => c.proof_bytes as f64,
+    }
+}
+
+/// Runs Algorithm 1.
+pub fn optimize(g: &Graph, opts: &OptimizerOptions, hw: &HardwareStats) -> OptimizerReport {
+    let start = Instant::now();
+    let inputs = zero_inputs(g);
+    let candidates = opts
+        .candidates
+        .clone()
+        .unwrap_or_else(LayoutChoices::candidates);
+
+    let mut best: Option<EvaluatedLayout> = None;
+    let mut all = Vec::new();
+    let mut evaluated = 0usize;
+    let mut pruned = 0usize;
+
+    for choices in candidates {
+        let mut prev_k: Option<u32> = None;
+        let mut worse_streak = 0usize;
+        let mut ncols = opts.n_cols_range.0;
+        while ncols <= opts.n_cols_range.1 {
+            let cfg = CircuitConfig {
+                choices,
+                num_cols: ncols,
+                numeric: opts.numeric,
+            };
+            let compiled = match compile(g, &inputs, cfg, true) {
+                Ok(c) => c,
+                Err(_) => {
+                    // Configuration cannot express the model (e.g. too few
+                    // columns for bit decomposition).
+                    ncols += 1;
+                    continue;
+                }
+            };
+            evaluated += 1;
+            if compiled.k > opts.max_k {
+                // Needs more rows than the params support; more columns can
+                // only help, so keep sweeping.
+                prev_k = Some(compiled.k);
+                ncols += 1;
+                continue;
+            }
+            let cost = estimate(&compiled.stats, compiled.k, opts.backend, hw);
+            let entry = EvaluatedLayout {
+                cfg,
+                k: compiled.k,
+                cost,
+            };
+            all.push(entry.clone());
+            let better = best
+                .as_ref()
+                .map(|b| score(opts.objective, &cost) < score(opts.objective, &b.cost))
+                .unwrap_or(true);
+            if better {
+                best = Some(entry);
+                worse_streak = 0;
+            } else {
+                worse_streak += 1;
+            }
+            // Pruning heuristic: once k has stopped dropping, adding columns
+            // at the same k strictly increases FFT/MSM counts — stop after a
+            // couple of confirmations.
+            if opts.prune {
+                if let Some(pk) = prev_k {
+                    if compiled.k >= pk && worse_streak >= 2 {
+                        pruned += opts.n_cols_range.1 - ncols;
+                        break;
+                    }
+                }
+            }
+            prev_k = Some(compiled.k);
+            ncols += 1;
+        }
+    }
+
+    let best = best.expect("no feasible layout found — raise max_k");
+    OptimizerReport {
+        best: best.cfg,
+        best_k: best.k,
+        best_cost: best.cost,
+        evaluated,
+        pruned,
+        elapsed: start.elapsed(),
+        all,
+    }
+}

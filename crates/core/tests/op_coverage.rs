@@ -1,0 +1,266 @@
+//! Per-operator coverage: for every graph op, a minimal model is compiled
+//! and the circuit's witness outputs are checked against the fixed-point
+//! reference executor. This covers ops the zoo models don't reach.
+
+use zkml::{compile, CircuitConfig, LayoutChoices};
+use zkml_model::{execute_fixed, Activation, Graph, GraphBuilder, Op, Padding, TensorId};
+use zkml_tensor::{FixedPoint, Tensor};
+
+fn check(g: &Graph, inputs: &[Tensor<i64>]) {
+    let cfg = CircuitConfig::default_with(LayoutChoices::optimized());
+    let fp = FixedPoint::new(cfg.numeric.scale_bits);
+    let compiled = compile(g, inputs, cfg, false)
+        .unwrap_or_else(|e| panic!("{}: compile failed: {e}", g.name));
+    let reference = execute_fixed(g, inputs, fp).outputs(g);
+    assert_eq!(compiled.outputs, reference, "{}: witness mismatch", g.name);
+}
+
+fn input_2x3(b: &mut GraphBuilder) -> TensorId {
+    b.input(vec![2, 3], "x")
+}
+
+fn t_2x3(vals: [i64; 6]) -> Tensor<i64> {
+    Tensor::new(vec![2, 3], vals.to_vec())
+}
+
+fn unary(name: &str, op: Op, input: Tensor<i64>) {
+    let mut b = GraphBuilder::new(name, 1);
+    let x = b.input(input.shape().to_vec(), "x");
+    let y = b.op(op, &[x], name);
+    let g = b.finish(vec![y]);
+    check(&g, &[input]);
+}
+
+#[test]
+fn shape_ops() {
+    let x = t_2x3([1, -2, 3, -4, 5, -6]);
+    unary("reshape", Op::Reshape { shape: vec![3, 2] }, x.clone());
+    unary("transpose", Op::Transpose { perm: vec![1, 0] }, x.clone());
+    unary(
+        "slice",
+        Op::Slice {
+            starts: vec![0, 1],
+            ends: vec![2, 3],
+        },
+        x.clone(),
+    );
+    unary(
+        "pad",
+        Op::Pad {
+            pads: vec![(1, 0), (0, 2)],
+        },
+        x.clone(),
+    );
+    unary("expand", Op::ExpandDims { axis: 0 }, x.clone());
+    unary("flatten", Op::Flatten, x.clone());
+    unary(
+        "broadcast",
+        Op::BroadcastTo {
+            shape: vec![2, 2, 3],
+        },
+        x.clone(),
+    );
+    unary(
+        "squeeze",
+        Op::Squeeze { axis: 0 },
+        Tensor::new(vec![1, 4], vec![5, 6, 7, 8]),
+    );
+    unary(
+        "upsample",
+        Op::Upsample2x,
+        Tensor::new(vec![1, 2, 2, 1], vec![1, 2, 3, 4]),
+    );
+}
+
+#[test]
+fn concat_op() {
+    let mut b = GraphBuilder::new("concat", 1);
+    let x = input_2x3(&mut b);
+    let y = b.input(vec![2, 2], "y");
+    let z = b.op(Op::Concat { axis: 1 }, &[x, y], "cat");
+    let g = b.finish(vec![z]);
+    check(
+        &g,
+        &[t_2x3([1, 2, 3, 4, 5, 6]), Tensor::new(vec![2, 2], vec![7, 8, 9, 10])],
+    );
+}
+
+#[test]
+fn arithmetic_ops() {
+    for (name, op) in [
+        ("add", Op::Add),
+        ("sub", Op::Sub),
+        ("mul", Op::Mul),
+        ("sqdiff", Op::SquaredDifference),
+    ] {
+        let mut b = GraphBuilder::new(name, 1);
+        let x = input_2x3(&mut b);
+        let y = b.input(vec![2, 3], "y");
+        let z = b.op(op, &[x, y], name);
+        let g = b.finish(vec![z]);
+        check(
+            &g,
+            &[t_2x3([60, -120, 3, 4, 900, -6]), t_2x3([9, 8, -70, 600, 5, 4])],
+        );
+    }
+    let x = t_2x3([64, -128, 300, 0, 77, -1]);
+    unary("square", Op::Square, x.clone());
+    unary("divconst", Op::DivConst { divisor: 2.5 }, x.clone());
+    unary(
+        "sum",
+        Op::Sum {
+            axis: 1,
+            keep_dims: false,
+        },
+        x.clone(),
+    );
+    unary(
+        "mean",
+        Op::Mean {
+            axis: 0,
+            keep_dims: true,
+        },
+        x,
+    );
+}
+
+#[test]
+fn pointwise_ops() {
+    // Keep inputs small so lookup/exponential domains are respected.
+    let x = t_2x3([64, -32, 0, 127, -128, 5]);
+    for act in [
+        Activation::Relu,
+        Activation::Relu6,
+        Activation::LeakyRelu(0.1),
+        Activation::Elu,
+        Activation::Sigmoid,
+        Activation::Tanh,
+        Activation::Gelu,
+        Activation::Silu,
+    ] {
+        unary(act.name(), Op::Act(act), x.clone());
+    }
+    // Non-negative domains.
+    let pos = t_2x3([1, 4, 64, 256, 100, 9]);
+    unary("sqrt", Op::Sqrt, pos.clone());
+    unary("rsqrt", Op::Rsqrt, pos);
+    // Exp needs inputs bounded above to keep outputs in the table.
+    unary("exp", Op::Exp, t_2x3([0, -64, -128, 32, 64, -300]));
+}
+
+#[test]
+fn pooling_ops() {
+    let img = Tensor::new(vec![1, 4, 4, 1], (0..16).map(|i| (i * 7 % 23) - 11).collect());
+    unary(
+        "maxpool",
+        Op::MaxPool2D {
+            ksize: (2, 2),
+            stride: (2, 2),
+        },
+        img.clone(),
+    );
+    unary(
+        "avgpool",
+        Op::AvgPool2D {
+            ksize: (2, 2),
+            stride: (2, 2),
+        },
+        img.clone(),
+    );
+    unary("gap", Op::GlobalAvgPool, img);
+}
+
+#[test]
+fn linear_ops() {
+    // FC without bias.
+    let mut b = GraphBuilder::new("fc-nobias", 2);
+    let x = b.input(vec![1, 4], "x");
+    let w = b.weight(vec![4, 3], "w");
+    let y = b.op(Op::FullyConnected { activation: None }, &[x, w], "fc");
+    let g = b.finish(vec![y]);
+    check(&g, &[Tensor::new(vec![1, 4], vec![64, -32, 16, 8])]);
+
+    // Conv2D with VALID padding.
+    let mut b = GraphBuilder::new("conv-valid", 3);
+    let x = b.input(vec![1, 4, 4, 2], "x");
+    let w = b.weight(vec![2, 2, 2, 3], "w");
+    let bias = b.weight(vec![3], "b");
+    let y = b.op(
+        Op::Conv2D {
+            stride: (1, 1),
+            padding: Padding::Valid,
+            activation: Some(Activation::Relu),
+        },
+        &[x, w, bias],
+        "conv",
+    );
+    let g = b.finish(vec![y]);
+    check(
+        &g,
+        &[Tensor::new(
+            vec![1, 4, 4, 2],
+            (0..32).map(|i| (i * 13 % 64) - 32).collect(),
+        )],
+    );
+
+    // Depthwise conv.
+    let mut b = GraphBuilder::new("dwconv", 4);
+    let x = b.input(vec![1, 4, 4, 3], "x");
+    let w = b.weight(vec![3, 3, 3, 1], "w");
+    let bias = b.weight(vec![3], "b");
+    let y = b.op(
+        Op::DepthwiseConv2D {
+            stride: (2, 2),
+            padding: Padding::Same,
+            activation: None,
+        },
+        &[x, w, bias],
+        "dw",
+    );
+    let g = b.finish(vec![y]);
+    check(
+        &g,
+        &[Tensor::new(
+            vec![1, 4, 4, 3],
+            (0..48).map(|i| (i * 11 % 50) - 25).collect(),
+        )],
+    );
+
+    // Batched matmul.
+    let mut b = GraphBuilder::new("bmm", 5);
+    let x = b.input(vec![2, 2, 3], "x");
+    let y = b.input(vec![2, 3, 2], "y");
+    let z = b.op(Op::BatchMatMul, &[x, y], "bmm");
+    let g = b.finish(vec![z]);
+    check(
+        &g,
+        &[
+            Tensor::new(vec![2, 2, 3], (0..12).map(|i| i * 10 - 60).collect()),
+            Tensor::new(vec![2, 3, 2], (0..12).map(|i| 30 - i * 5).collect()),
+        ],
+    );
+}
+
+#[test]
+fn normalization_ops() {
+    // Softmax.
+    unary("softmax", Op::Softmax, t_2x3([64, -64, 0, 128, 127, -128]));
+
+    // LayerNorm.
+    let mut b = GraphBuilder::new("layernorm", 6);
+    let x = input_2x3(&mut b);
+    let gamma = b.weight_with(Tensor::from_vec(vec![1.0f32, 0.5, 2.0]), "g");
+    let beta = b.weight_with(Tensor::from_vec(vec![0.0f32, 0.1, -0.1]), "b");
+    let y = b.op(Op::LayerNorm { eps: 1e-5 }, &[x, gamma, beta], "ln");
+    let g = b.finish(vec![y]);
+    check(&g, &[t_2x3([64, -32, 96, 10, 20, 30])]);
+
+    // BatchNorm (folded affine).
+    let mut b = GraphBuilder::new("batchnorm", 7);
+    let x = input_2x3(&mut b);
+    let scale = b.weight_with(Tensor::from_vec(vec![0.5f32, 1.0, 2.0]), "s");
+    let offset = b.weight_with(Tensor::from_vec(vec![0.1f32, -0.1, 0.0]), "o");
+    let y = b.op(Op::BatchNorm, &[x, scale, offset], "bn");
+    let g = b.finish(vec![y]);
+    check(&g, &[t_2x3([64, -32, 96, 10, 20, 30])]);
+}

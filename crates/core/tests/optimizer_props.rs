@@ -1,0 +1,95 @@
+//! Properties of the layout optimizer: the chosen plan is never worse than
+//! any plan it evaluated, pruning preserves the winner, and the simulator's
+//! structural predictions match real compilation for arbitrary models.
+
+use proptest::prelude::*;
+use zkml::{compile, optimizer, CircuitConfig, LayoutChoices, OptimizerOptions};
+use zkml_model::{Activation, Graph, GraphBuilder, Op};
+use zkml_pcs::Backend;
+
+/// A random small MLP: depth and widths drawn by proptest.
+fn random_mlp(widths: &[usize], with_softmax: bool) -> Graph {
+    let mut b = GraphBuilder::new("prop-mlp", widths.iter().sum::<usize>() as u64);
+    let mut cur = b.input(vec![1, widths[0]], "x");
+    let mut d = widths[0];
+    for (i, &w) in widths[1..].iter().enumerate() {
+        let wt = b.weight(vec![d, w], &format!("w{i}"));
+        let bias = b.weight(vec![w], &format!("b{i}"));
+        cur = b.op(
+            Op::FullyConnected {
+                activation: Some(Activation::Relu),
+            },
+            &[cur, wt, bias],
+            &format!("fc{i}"),
+        );
+        d = w;
+    }
+    if with_softmax {
+        cur = b.op(Op::Softmax, &[cur], "sm");
+    }
+    b.finish(vec![cur])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn best_is_minimal_over_evaluated(
+        widths in prop::collection::vec(2usize..12, 2..4),
+        softmax in any::<bool>(),
+    ) {
+        let g = random_mlp(&widths, softmax);
+        let hw = zkml::cost::HardwareStats::cached();
+        let mut opts = OptimizerOptions::new(Backend::Kzg, 14);
+        opts.prune = false;
+        opts.n_cols_range = (8, 20);
+        let report = optimizer::optimize(&g, &opts, hw);
+        for e in &report.all {
+            prop_assert!(
+                report.best_cost.proving_s <= e.cost.proving_s + 1e-12,
+                "beaten by {:?}", e.cfg
+            );
+        }
+    }
+
+    #[test]
+    fn simulator_matches_real_compilation(
+        widths in prop::collection::vec(2usize..10, 2..4),
+        ncols in 8usize..24,
+    ) {
+        let g = random_mlp(&widths, false);
+        let mut cfg = CircuitConfig::default_with(LayoutChoices::optimized());
+        cfg.num_cols = ncols;
+        let inputs = optimizer::zero_inputs(&g);
+        let sim = compile(&g, &inputs, cfg, true).unwrap();
+        let real = compile(&g, &inputs, cfg, false).unwrap();
+        prop_assert_eq!(sim.k, real.k);
+        prop_assert_eq!(sim.stats.rows, real.stats.rows);
+        prop_assert_eq!(sim.stats.num_advice, real.stats.num_advice);
+        prop_assert_eq!(sim.stats.num_fixed, real.stats.num_fixed);
+        prop_assert_eq!(sim.stats.num_lookups, real.stats.num_lookups);
+        prop_assert_eq!(sim.stats.num_constraints, real.stats.num_constraints);
+        prop_assert_eq!(sim.stats.degree, real.stats.degree);
+    }
+
+    #[test]
+    fn more_columns_never_increase_rows(
+        widths in prop::collection::vec(3usize..10, 2..4),
+    ) {
+        // Monotonicity the column sweep relies on: row count is
+        // non-increasing in the number of columns (same logical layout).
+        let g = random_mlp(&widths, false);
+        let inputs = optimizer::zero_inputs(&g);
+        let mut prev = usize::MAX;
+        for ncols in [8usize, 12, 16, 24, 32] {
+            let mut cfg = CircuitConfig::default_with(LayoutChoices::optimized());
+            cfg.num_cols = ncols;
+            let sim = compile(&g, &inputs, cfg, true).unwrap();
+            prop_assert!(
+                sim.stats.rows <= prev,
+                "rows grew from {prev} to {} at {ncols} columns", sim.stats.rows
+            );
+            prev = sim.stats.rows;
+        }
+    }
+}

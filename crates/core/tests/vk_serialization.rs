@@ -1,0 +1,70 @@
+//! Integration: a proof verifies against a verifying key that went through
+//! bytes (the standalone-verifier flow of §8), and keys from different
+//! models do not cross-verify.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use zkml::{compile, CircuitConfig, LayoutChoices};
+use zkml_model::{Activation, GraphBuilder, Op};
+use zkml_pcs::{Backend, Params};
+use zkml_plonk::VerifyingKey;
+use zkml_tensor::{FixedPoint, Tensor};
+
+fn model(hidden: usize) -> zkml_model::Graph {
+    let mut b = GraphBuilder::new(format!("ser-{hidden}"), hidden as u64);
+    let x = b.input(vec![1, 4], "x");
+    let w = b.weight(vec![4, hidden], "w");
+    let bias = b.weight(vec![hidden], "b");
+    let y = b.op(
+        Op::FullyConnected {
+            activation: Some(Activation::Relu),
+        },
+        &[x, w, bias],
+        "fc",
+    );
+    b.finish(vec![y])
+}
+
+#[test]
+fn proof_verifies_against_deserialized_vk() {
+    let g = model(6);
+    let cfg = CircuitConfig::default_with(LayoutChoices::optimized());
+    let fp = FixedPoint::new(cfg.numeric.scale_bits);
+    let input = fp.quantize_tensor(&Tensor::new(vec![1, 4], vec![0.2f32, -0.4, 0.9, 0.0]));
+    let compiled = compile(&g, &[input], cfg, false).unwrap();
+    let mut rng = StdRng::seed_from_u64(3);
+    let params = Params::setup(Backend::Kzg, compiled.k, &mut rng);
+    let pk = compiled.keygen(&params).unwrap();
+    let proof = compiled.prove(&params, &pk, &mut rng).unwrap();
+
+    let bytes = pk.vk.to_bytes();
+    let vk2 = VerifyingKey::from_bytes(&bytes).expect("vk roundtrip");
+    assert_eq!(vk2.digest, pk.vk.digest);
+    zkml_plonk::verify_proof(&params, &vk2, compiled.instance(), &proof)
+        .expect("verify with deserialized vk");
+
+    // Serialization is deterministic.
+    assert_eq!(bytes, VerifyingKey::from_bytes(&bytes).unwrap().to_bytes());
+}
+
+#[test]
+fn wrong_models_key_rejects_proof() {
+    let cfg = CircuitConfig::default_with(LayoutChoices::optimized());
+    let fp = FixedPoint::new(cfg.numeric.scale_bits);
+    let input = fp.quantize_tensor(&Tensor::new(vec![1, 4], vec![0.1f32, 0.2, 0.3, 0.4]));
+
+    let g1 = model(6);
+    let g2 = model(7); // different architecture -> different circuit
+    let c1 = compile(&g1, &[input.clone()], cfg, false).unwrap();
+    let c2 = compile(&g2, &[input], cfg, false).unwrap();
+    let mut rng = StdRng::seed_from_u64(4);
+    let k = c1.k.max(c2.k);
+    let params = Params::setup(Backend::Kzg, k, &mut rng);
+    let pk1 = c1.keygen(&params).unwrap();
+    let pk2 = c2.keygen(&params).unwrap();
+    assert_ne!(pk1.vk.digest, pk2.vk.digest);
+    let proof = c1.prove(&params, &pk1, &mut rng).unwrap();
+    // Verifying a g1 proof under g2's key must fail (different circuit and
+    // instance length).
+    assert!(zkml_plonk::verify_proof(&params, &pk2.vk, c2.instance(), &proof).is_err());
+}

@@ -1,0 +1,193 @@
+//! Quadratic extension `Fq12 = Fq6[w] / (w^2 - v)`.
+
+use crate::fq2::Fq2;
+use crate::fq6::Fq6;
+use std::ops::{Add, Mul, Neg, Sub};
+use std::sync::OnceLock;
+use zkml_ff::bigint::BigUint;
+use zkml_ff::{Fq, PrimeField};
+
+/// An element `c0 + c1·w` of `Fq12`, where `w^2 = v`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Fq12 {
+    /// Constant coefficient.
+    pub c0: Fq6,
+    /// Coefficient of `w`.
+    pub c1: Fq6,
+}
+
+/// Frobenius coefficient `gamma = xi^((q-1)/6)`.
+fn frobenius_coeff() -> &'static Fq2 {
+    static COEFF: OnceLock<Fq2> = OnceLock::new();
+    COEFF.get_or_init(|| {
+        let xi = Fq2::new(Fq::from_u64(9), Fq::ONE);
+        let q_minus_1 = BigUint::from_limbs(&Fq::MODULUS).sub(&BigUint::one());
+        let (sixth, rem) = q_minus_1.div_rem(&BigUint::from_u64(6));
+        assert!(rem.is_zero(), "q - 1 must be divisible by 6");
+        xi.pow(sixth.limbs())
+    })
+}
+
+impl Fq12 {
+    /// Creates an element from its two `Fq6` coefficients.
+    pub const fn new(c0: Fq6, c1: Fq6) -> Self {
+        Self { c0, c1 }
+    }
+
+    /// The multiplicative identity.
+    pub fn one() -> Self {
+        Self::new(Fq6::one(), Fq6::zero())
+    }
+
+    /// The additive identity.
+    pub fn zero() -> Self {
+        Self::new(Fq6::zero(), Fq6::zero())
+    }
+
+    /// Returns true if this is zero.
+    pub fn is_zero(&self) -> bool {
+        self.c0.is_zero() && self.c1.is_zero()
+    }
+
+    /// Squares this element.
+    pub fn square(&self) -> Self {
+        // Complex squaring over Fq6 with w^2 = v.
+        let v0 = self.c0 * self.c1;
+        let t = self.c1.mul_by_v();
+        let c0 = (self.c0 + self.c1) * (self.c0 + t) - v0 - v0.mul_by_v();
+        let c1 = v0.double();
+        Self::new(c0, c1)
+    }
+
+    /// Computes the multiplicative inverse if nonzero.
+    pub fn invert(&self) -> Option<Self> {
+        // 1/(c0 + c1 w) = (c0 - c1 w)/(c0^2 - v c1^2)
+        let norm = self.c0.square() - self.c1.square().mul_by_v();
+        norm.invert()
+            .map(|n| Self::new(self.c0 * n, -(self.c1 * n)))
+    }
+
+    /// Conjugation `c0 - c1·w`, which equals the `q^6`-power Frobenius.
+    pub fn conjugate(&self) -> Self {
+        Self::new(self.c0, -self.c1)
+    }
+
+    /// Applies the `q`-power Frobenius endomorphism.
+    pub fn frobenius(&self) -> Self {
+        let gamma = *frobenius_coeff();
+        Self::new(self.c0.frobenius(), self.c1.frobenius().scale(gamma))
+    }
+
+    /// Raises to a power given as little-endian limbs.
+    pub fn pow(&self, exp: &[u64]) -> Self {
+        let mut res = Self::one();
+        let mut started = false;
+        for e in exp.iter().rev() {
+            for i in (0..64).rev() {
+                if started {
+                    res = res.square();
+                }
+                if (*e >> i) & 1 == 1 {
+                    res = res * *self;
+                    started = true;
+                }
+            }
+        }
+        res
+    }
+}
+
+impl Add for Fq12 {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self::new(self.c0 + rhs.c0, self.c1 + rhs.c1)
+    }
+}
+impl Sub for Fq12 {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Self::new(self.c0 - rhs.c0, self.c1 - rhs.c1)
+    }
+}
+impl Neg for Fq12 {
+    type Output = Self;
+    fn neg(self) -> Self {
+        Self::new(-self.c0, -self.c1)
+    }
+}
+impl Mul for Fq12 {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        // Karatsuba with w^2 = v.
+        let v0 = self.c0 * rhs.c0;
+        let v1 = self.c1 * rhs.c1;
+        let c0 = v0 + v1.mul_by_v();
+        let c1 = (self.c0 + self.c1) * (rhs.c0 + rhs.c1) - v0 - v1;
+        Self::new(c0, c1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use zkml_ff::Field;
+
+    fn rand_fq12(rng: &mut StdRng) -> Fq12 {
+        let mut f2 = || Fq2::new(Fq::random(rng), Fq::random(rng));
+        let c0 = Fq6::new(f2(), f2(), f2());
+        let mut f2b = || Fq2::new(Fq::random(rng), Fq::random(rng));
+        let c1 = Fq6::new(f2b(), f2b(), f2b());
+        Fq12::new(c0, c1)
+    }
+
+    #[test]
+    fn w_squared_is_v() {
+        let w = Fq12::new(Fq6::zero(), Fq6::one());
+        let v = Fq12::new(
+            Fq6::new(Fq2::zero(), Fq2::one(), Fq2::zero()),
+            Fq6::zero(),
+        );
+        assert_eq!(w * w, v);
+    }
+
+    #[test]
+    fn field_axioms() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..10 {
+            let a = rand_fq12(&mut rng);
+            let b = rand_fq12(&mut rng);
+            assert_eq!(a * b, b * a);
+            assert_eq!(a.square(), a * a);
+            if !a.is_zero() {
+                assert_eq!(a * a.invert().unwrap(), Fq12::one());
+            }
+        }
+    }
+
+    #[test]
+    fn frobenius_is_qth_power() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = rand_fq12(&mut rng);
+        assert_eq!(a.pow(&Fq::MODULUS), a.frobenius());
+    }
+
+    #[test]
+    fn conjugate_is_q6_power() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let a = rand_fq12(&mut rng);
+        let mut f = a;
+        for _ in 0..6 {
+            f = f.frobenius();
+        }
+        assert_eq!(f, a.conjugate());
+    }
+
+    #[test]
+    fn pow_add_law() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = rand_fq12(&mut rng);
+        assert_eq!(a.pow(&[13]) * a.pow(&[29]), a.pow(&[42]));
+    }
+}

@@ -1,0 +1,25 @@
+//! BN254 elliptic-curve groups, extension-field tower, optimal ate pairing
+//! and Pippenger multi-scalar multiplication — the curve substrate under the
+//! KZG and IPA commitment schemes of the ZKML reproduction.
+//!
+//! Everything is implemented from the curve parameters alone: tower
+//! constants (Frobenius coefficients, the twist coefficient, the final-
+//! exponentiation hard part) are derived at first use from the two modulus
+//! literals in `zkml-ff` and validated by structural tests (bilinearity,
+//! subgroup orders, `psi = [q]`).
+
+pub mod fq12;
+pub mod fq2;
+pub mod fq6;
+pub mod g1;
+pub mod g2;
+pub mod msm;
+pub mod pairing;
+
+pub use fq12::Fq12;
+pub use fq2::Fq2;
+pub use fq6::Fq6;
+pub use g1::{G1Affine, G1Projective};
+pub use g2::G2Affine;
+pub use msm::{msm, msm_naive};
+pub use pairing::{miller_loop, multi_pairing, pairing, pairing_check};

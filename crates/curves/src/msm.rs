@@ -1,0 +1,159 @@
+//! Multi-scalar multiplication via Pippenger's bucket method.
+
+use crate::g1::{G1Affine, G1Projective};
+use zkml_ff::{par, Fr, PrimeField};
+
+/// Selects the bucket window width for an MSM of `n` points.
+fn window_bits(n: usize) -> usize {
+    match n {
+        0..=15 => 2,
+        16..=127 => 4,
+        128..=1023 => 7,
+        1024..=8191 => 10,
+        8192..=65535 => 12,
+        65536..=524287 => 14,
+        _ => 16,
+    }
+}
+
+/// Extracts the `c`-bit digit of `scalar` starting at `bit`.
+fn digit(scalar: &[u64; 4], bit: usize, c: usize) -> usize {
+    let limb = bit / 64;
+    let shift = bit % 64;
+    let mut v = scalar[limb] >> shift;
+    if shift + c > 64 && limb + 1 < 4 {
+        v |= scalar[limb + 1] << (64 - shift);
+    }
+    (v as usize) & ((1 << c) - 1)
+}
+
+/// Computes `sum_i scalars[i] * bases[i]`.
+///
+/// Windows are processed in parallel; each window accumulates buckets and a
+/// running-sum reduction.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn msm(bases: &[G1Affine], scalars: &[Fr]) -> G1Projective {
+    assert_eq!(bases.len(), scalars.len(), "msm length mismatch");
+    if bases.is_empty() {
+        return G1Projective::identity();
+    }
+    let c = window_bits(bases.len());
+    let num_windows = 254usize.div_ceil(c);
+    let repr: Vec<[u64; 4]> = scalars.iter().map(|s| s.to_canonical()).collect();
+
+    let window_sums: Vec<G1Projective> = par::par_map(num_windows, |w| {
+        let bit = w * c;
+        let mut buckets = vec![G1Projective::identity(); (1 << c) - 1];
+        for (base, s) in bases.iter().zip(repr.iter()) {
+            if base.is_identity() {
+                continue;
+            }
+            let d = digit(s, bit, c);
+            if d != 0 {
+                buckets[d - 1] = buckets[d - 1].add_affine(base);
+            }
+        }
+        // Running-sum trick: sum_j j * bucket_j.
+        let mut running = G1Projective::identity();
+        let mut acc = G1Projective::identity();
+        for b in buckets.iter().rev() {
+            running += *b;
+            acc += running;
+        }
+        acc
+    });
+
+    // Combine: acc = sum_w 2^(w*c) * window_sums[w].
+    let mut acc = G1Projective::identity();
+    for ws in window_sums.iter().rev() {
+        for _ in 0..c {
+            acc = acc.double();
+        }
+        acc += *ws;
+    }
+    acc
+}
+
+/// Naive MSM (reference for tests and tiny inputs).
+pub fn msm_naive(bases: &[G1Affine], scalars: &[Fr]) -> G1Projective {
+    assert_eq!(bases.len(), scalars.len());
+    let mut acc = G1Projective::identity();
+    for (b, s) in bases.iter().zip(scalars.iter()) {
+        acc += b.to_projective().mul_scalar(s);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use zkml_ff::Field;
+
+    fn random_points(n: usize, rng: &mut StdRng) -> (Vec<G1Affine>, Vec<Fr>) {
+        let g = G1Projective::generator();
+        let pts: Vec<G1Affine> = (0..n)
+            .map(|_| g.mul_scalar(&Fr::random(rng)).to_affine())
+            .collect();
+        let scalars: Vec<Fr> = (0..n).map(|_| Fr::random(rng)).collect();
+        (pts, scalars)
+    }
+
+    #[test]
+    fn matches_naive_small() {
+        let mut rng = StdRng::seed_from_u64(40);
+        for n in [1usize, 2, 3, 17, 64, 130] {
+            let (pts, scalars) = random_points(n, &mut rng);
+            assert_eq!(msm(&pts, &scalars), msm_naive(&pts, &scalars), "n={n}");
+        }
+    }
+
+    #[test]
+    fn handles_zero_scalars_and_identity_points() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let (mut pts, mut scalars) = random_points(10, &mut rng);
+        scalars[3] = Fr::zero();
+        pts[7] = G1Affine::identity();
+        assert_eq!(msm(&pts, &scalars), msm_naive(&pts, &scalars));
+    }
+
+    #[test]
+    fn empty_is_identity() {
+        assert_eq!(msm(&[], &[]), G1Projective::identity());
+    }
+
+    #[test]
+    fn digit_extraction_spans_limbs() {
+        let s = [u64::MAX, 0b1011, 0, 0];
+        // 12-bit digit starting at bit 60: low 4 bits are the top of limb 0
+        // (all ones), next 8 bits from limb 1 (0b1011).
+        assert_eq!(digit(&s, 60, 12), 0b1011_1111);
+    }
+}
+
+#[cfg(test)]
+mod perf {
+    use super::*;
+    use std::time::Instant;
+    use zkml_ff::Field;
+
+    #[test]
+    #[ignore = "performance probe, run explicitly"]
+    fn probe_msm() {
+        let mut rng = rand::rngs::mock::StepRng::new(12345, 999331);
+        let n = 1usize << 14;
+        let g = G1Projective::generator();
+        let uniq: Vec<G1Affine> = (0..64)
+            .map(|_| g.mul_scalar(&Fr::random(&mut rng)).to_affine())
+            .collect();
+        let bases: Vec<G1Affine> = (0..n).map(|i| uniq[i % 64]).collect();
+        let scalars: Vec<Fr> = (0..n).map(|_| Fr::random(&mut rng)).collect();
+        let t = Instant::now();
+        let r = msm(&bases, &scalars);
+        eprintln!("msm 2^14: {:?} ({})", t.elapsed(), r.is_identity());
+    }
+}

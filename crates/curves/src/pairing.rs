@@ -1,0 +1,250 @@
+//! The optimal ate pairing on BN254.
+//!
+//! The Miller loop uses affine line functions; the final exponentiation
+//! splits into the cheap "easy part" and a hard part computed by plain
+//! exponentiation with the big-integer exponent `(q^4 - q^2 + 1)/r`. This is
+//! slower than a hand-tuned addition chain but transcription-proof: the
+//! exponent is *derived* from the modulus literals and its divisibility by
+//! `r` is asserted at startup.
+
+use crate::fq12::Fq12;
+use crate::fq2::Fq2;
+use crate::fq6::Fq6;
+use crate::g1::G1Affine;
+use crate::g2::G2Affine;
+use std::sync::OnceLock;
+use zkml_ff::bigint::BigUint;
+use zkml_ff::{Fq, Fr, PrimeField};
+
+/// BN parameter `x` for BN254.
+pub const BN_X: u64 = 4965661367192848881;
+
+/// Optimal ate loop count `6x + 2` (65 bits).
+pub const ATE_LOOP_COUNT: u128 = 6 * (BN_X as u128) + 2;
+
+/// Evaluates the line through `t` (tangent if `other == t`) at the G1 point
+/// `p`, returning the line value in `Fq12` and the next point `t'`.
+///
+/// For the D-type twist the line is
+/// `l(P) = y_P - (lambda x_P) w + (lambda x_T - y_T) w^3`.
+fn line_eval(t: &G2Affine, lambda: Fq2, p: &G1Affine) -> Fq12 {
+    let c0 = Fq6::new(Fq2::from_base(p.y), Fq2::zero(), Fq2::zero());
+    let c1 = Fq6::new(-(lambda.scale(p.x)), lambda * t.x - t.y, Fq2::zero());
+    Fq12::new(c0, c1)
+}
+
+fn double_step(t: &G2Affine, p: &G1Affine) -> (G2Affine, Fq12) {
+    let three = Fq2::from_base(Fq::from_u64(3));
+    let lambda = three * t.x.square() * t.y.double().invert().expect("tangent at 2-torsion");
+    let line = line_eval(t, lambda, p);
+    let x3 = lambda.square() - t.x.double();
+    let y3 = lambda * (t.x - x3) - t.y;
+    (
+        G2Affine {
+            x: x3,
+            y: y3,
+            infinity: false,
+        },
+        line,
+    )
+}
+
+fn add_step(t: &G2Affine, q: &G2Affine, p: &G1Affine) -> (G2Affine, Fq12) {
+    let lambda = (t.y - q.y) * (t.x - q.x).invert().expect("add step with equal x");
+    let line = line_eval(t, lambda, p);
+    let x3 = lambda.square() - t.x - q.x;
+    let y3 = lambda * (t.x - x3) - t.y;
+    (
+        G2Affine {
+            x: x3,
+            y: y3,
+            infinity: false,
+        },
+        line,
+    )
+}
+
+/// Computes the Miller loop `f_{6x+2, Q}(P)` with the two extra Frobenius
+/// line evaluations of the optimal ate pairing.
+pub fn miller_loop(p: &G1Affine, q: &G2Affine) -> Fq12 {
+    if p.is_identity() || q.is_identity() {
+        return Fq12::one();
+    }
+    let mut f = Fq12::one();
+    let mut t = *q;
+    let bits = 128 - ATE_LOOP_COUNT.leading_zeros();
+    for i in (0..bits - 1).rev() {
+        f = f.square();
+        let (t2, line) = double_step(&t, p);
+        f = f * line;
+        t = t2;
+        if (ATE_LOOP_COUNT >> i) & 1 == 1 {
+            let (t2, line) = add_step(&t, q, p);
+            f = f * line;
+            t = t2;
+        }
+    }
+    // Final two additions with the Frobenius images of Q.
+    let q1 = q.psi();
+    let q2 = q.psi().psi().negate();
+    let (t2, line) = add_step(&t, &q1, p);
+    f = f * line;
+    t = t2;
+    let (_, line) = add_step(&t, &q2, p);
+    f * line
+}
+
+/// The hard-part exponent `(q^4 - q^2 + 1)/r`, derived at first use.
+fn hard_exponent() -> &'static Vec<u64> {
+    static EXP: OnceLock<Vec<u64>> = OnceLock::new();
+    EXP.get_or_init(|| {
+        let q = BigUint::from_limbs(&Fq::MODULUS);
+        let r = BigUint::from_limbs(&Fr::MODULUS);
+        let q2 = q.mul(&q);
+        let q4 = q2.mul(&q2);
+        let numer = q4.sub(&q2).add(&BigUint::one());
+        let (h, rem) = numer.div_rem(&r);
+        assert!(
+            rem.is_zero(),
+            "(q^4 - q^2 + 1) must be divisible by r for a BN curve"
+        );
+        h.limbs().to_vec()
+    })
+}
+
+/// The final exponentiation `f^((q^12 - 1)/r)`.
+pub fn final_exponentiation(f: &Fq12) -> Fq12 {
+    // Easy part: f^((q^6 - 1)(q^2 + 1)).
+    let f_inv = f.invert().expect("Miller value nonzero");
+    let mut g = f.conjugate() * f_inv; // f^(q^6 - 1)
+    g = g.frobenius().frobenius() * g; // ^(q^2 + 1)
+    // Hard part: g^((q^4 - q^2 + 1)/r).
+    g.pow(hard_exponent())
+}
+
+/// The optimal ate pairing `e(P, Q)`.
+pub fn pairing(p: &G1Affine, q: &G2Affine) -> Fq12 {
+    final_exponentiation(&miller_loop(p, q))
+}
+
+/// Computes `prod_i e(P_i, Q_i)` with a single shared final exponentiation.
+pub fn multi_pairing(pairs: &[(G1Affine, G2Affine)]) -> Fq12 {
+    let mut f = Fq12::one();
+    for (p, q) in pairs {
+        f = f * miller_loop(p, q);
+    }
+    final_exponentiation(&f)
+}
+
+/// Returns true if `prod_i e(P_i, Q_i) == 1` — the standard pairing check.
+pub fn pairing_check(pairs: &[(G1Affine, G2Affine)]) -> bool {
+    multi_pairing(pairs) == Fq12::one()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::g1::G1Projective;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use zkml_ff::Field;
+
+    #[test]
+    fn pairing_nondegenerate() {
+        let e = pairing(&G1Affine::generator(), &G2Affine::generator());
+        assert_ne!(e, Fq12::one());
+        assert!(!e.is_zero());
+        // e has order dividing r: e^r == 1.
+        assert_eq!(e.pow(&Fr::MODULUS), Fq12::one());
+    }
+
+    #[test]
+    fn pairing_bilinear_in_g1() {
+        let mut rng = StdRng::seed_from_u64(30);
+        let a = Fr::random(&mut rng);
+        let g1 = G1Projective::generator();
+        let g2 = G2Affine::generator();
+        let lhs = pairing(&g1.mul_scalar(&a).to_affine(), &g2);
+        let rhs = pairing(&g1.to_affine(), &g2).pow(&a.to_canonical());
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn pairing_bilinear_in_g2() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let b = Fr::random(&mut rng);
+        let g1 = G1Affine::generator();
+        let g2 = G2Affine::generator();
+        let lhs = pairing(&g1, &g2.mul_scalar(&b));
+        let rhs = pairing(&g1, &g2).pow(&b.to_canonical());
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn pairing_bilinear_both_sides() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let a = Fr::random(&mut rng);
+        let b = Fr::random(&mut rng);
+        let pa = G1Projective::generator().mul_scalar(&a).to_affine();
+        let qb = G2Affine::generator().mul_scalar(&b);
+        let lhs = pairing(&pa, &qb);
+        let rhs = pairing(&G1Affine::generator(), &G2Affine::generator())
+            .pow(&(a * b).to_canonical());
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn pairing_check_detects_equality() {
+        // e(aG, G2) * e(-G, a G2) == 1.
+        let mut rng = StdRng::seed_from_u64(33);
+        let a = Fr::random(&mut rng);
+        let p1 = G1Projective::generator().mul_scalar(&a).to_affine();
+        let neg_g = G1Projective::generator().negate().to_affine();
+        let q2 = G2Affine::generator().mul_scalar(&a);
+        assert!(pairing_check(&[
+            (p1, G2Affine::generator()),
+            (neg_g, q2)
+        ]));
+        // And a wrong statement fails.
+        let wrong = G2Affine::generator().mul_scalar(&(a + Fr::ONE));
+        assert!(!pairing_check(&[
+            (p1, G2Affine::generator()),
+            (neg_g, wrong)
+        ]));
+    }
+
+    #[test]
+    fn identity_pairs_to_one() {
+        assert_eq!(
+            pairing(&G1Affine::identity(), &G2Affine::generator()),
+            Fq12::one()
+        );
+        assert_eq!(
+            pairing(&G1Affine::generator(), &G2Affine::identity()),
+            Fq12::one()
+        );
+    }
+}
+
+#[cfg(test)]
+mod perf {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    #[ignore = "performance probe, run explicitly"]
+    fn probe_timings() {
+        let _ = pairing(&G1Affine::generator(), &G2Affine::generator());
+        let t = Instant::now();
+        for _ in 0..5 {
+            let _ = pairing(&G1Affine::generator(), &G2Affine::generator());
+        }
+        eprintln!("pairing: {:?}", t.elapsed() / 5);
+        let t = Instant::now();
+        let mut x = zkml_ff::Fr::from_u64(3);
+        for _ in 0..1_000_000 {
+            x = zkml_ff::Field::square(&x);
+        }
+        eprintln!("1M Fr squarings: {:?} ({:?})", t.elapsed(), x);
+    }
+}

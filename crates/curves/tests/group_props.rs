@@ -1,0 +1,54 @@
+//! Property tests for the curve groups: the group laws hold for arbitrary
+//! scalar combinations, and serialization is injective.
+
+use proptest::prelude::*;
+use zkml_curves::{G1Affine, G1Projective, G2Affine};
+use zkml_ff::{Fr, PrimeField};
+
+fn scalar() -> impl Strategy<Value = Fr> {
+    (any::<u64>(), any::<u64>()).prop_map(|(a, b)| {
+        Fr::from_u64(a) * Fr::from_u64(1 << 32) * Fr::from_u64(1 << 32) + Fr::from_u64(b)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn g1_scalar_mul_is_linear(a in scalar(), b in scalar()) {
+        let g = G1Projective::generator();
+        let lhs = g.mul_scalar(&(a + b));
+        let rhs = g.mul_scalar(&a) + g.mul_scalar(&b);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn g1_mixed_add_matches_general(a in scalar(), b in scalar()) {
+        let g = G1Projective::generator();
+        let p = g.mul_scalar(&a);
+        let q = g.mul_scalar(&b);
+        let qa = q.to_affine();
+        prop_assert_eq!(p.add_affine(&qa), p + q);
+    }
+
+    #[test]
+    fn g1_compression_roundtrip(a in scalar()) {
+        let p = G1Projective::generator().mul_scalar(&a).to_affine();
+        prop_assert_eq!(G1Affine::from_bytes(&p.to_bytes()), Some(p));
+    }
+
+    #[test]
+    fn g1_doubling_consistent(a in scalar()) {
+        let p = G1Projective::generator().mul_scalar(&a);
+        prop_assert_eq!(p.double(), p + p);
+        prop_assert_eq!(p.double() + p, p.mul_scalar(&Fr::from_u64(3)));
+    }
+
+    #[test]
+    fn g2_scalar_mul_is_linear(a in 1u64..1_000_000, b in 1u64..1_000_000) {
+        let g = G2Affine::generator();
+        let lhs = g.mul_scalar(&Fr::from_u64(a + b));
+        let rhs = g.mul_scalar(&Fr::from_u64(a)).add(&g.mul_scalar(&Fr::from_u64(b)));
+        prop_assert_eq!(lhs, rhs);
+    }
+}

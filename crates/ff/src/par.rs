@@ -1,0 +1,97 @@
+//! Minimal data-parallel helpers built on `std::thread::scope`.
+//!
+//! The proving stack parallelizes at coarse granularity (per-polynomial FFTs,
+//! MSM bucket windows, per-column commitments), so a simple scoped fork-join
+//! over chunks is all we need — no work-stealing runtime.
+
+/// Number of worker threads to use (`available_parallelism`, capped at 32).
+pub fn num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get().min(32))
+        .unwrap_or(1)
+}
+
+/// Applies `f` to each element of `items` in parallel, in place.
+///
+/// Falls back to a serial loop for small inputs.
+pub fn par_for_each_mut<T: Send, F: Fn(usize, &mut T) + Sync>(items: &mut [T], f: F) {
+    let threads = num_threads();
+    if threads <= 1 || items.len() < 2 {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let chunk = items.len().div_ceil(threads);
+    std::thread::scope(|s| {
+        for (c, slice) in items.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            s.spawn(move || {
+                for (i, item) in slice.iter_mut().enumerate() {
+                    f(c * chunk + i, item);
+                }
+            });
+        }
+    });
+}
+
+/// Maps `f` over `0..n` in parallel and collects the results in order.
+pub fn par_map<T: Send, F: Fn(usize) -> T + Sync>(n: usize, f: F) -> Vec<T> {
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    par_for_each_mut(&mut out, |i, slot| *slot = Some(f(i)));
+    out.into_iter().map(|x| x.expect("par_map slot filled")).collect()
+}
+
+/// Splits `data` into `pieces` contiguous chunks and processes each in
+/// parallel with `f(chunk_index, chunk_start, chunk)`.
+pub fn par_chunks_mut<T: Send, F: Fn(usize, usize, &mut [T]) + Sync>(
+    data: &mut [T],
+    min_chunk: usize,
+    f: F,
+) {
+    let threads = num_threads();
+    let chunk = (data.len().div_ceil(threads)).max(min_chunk).max(1);
+    if threads <= 1 || data.len() <= chunk {
+        f(0, 0, data);
+        return;
+    }
+    std::thread::scope(|s| {
+        for (c, slice) in data.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            s.spawn(move || f(c, c * chunk, slice));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let out = par_map(1000, |i| i * 2);
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_for_each_mut_touches_all() {
+        let mut v = vec![0usize; 777];
+        par_for_each_mut(&mut v, |i, x| *x = i + 1);
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i + 1);
+        }
+    }
+
+    #[test]
+    fn par_chunks_offsets_are_correct() {
+        let mut v = vec![0usize; 513];
+        par_chunks_mut(&mut v, 1, |_, start, chunk| {
+            for (i, x) in chunk.iter_mut().enumerate() {
+                *x = start + i;
+            }
+        });
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i);
+        }
+    }
+}

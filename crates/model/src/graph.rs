@@ -1,0 +1,329 @@
+//! The model graph IR and builder.
+
+use crate::op::{conv_output_dim, Op};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use zkml_tensor::Tensor;
+
+/// Identifies a tensor within a graph.
+pub type TensorId = usize;
+
+/// What kind of tensor a node produces or holds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TensorKind {
+    /// Model input (prover-supplied, private by default).
+    Input,
+    /// Trained weight (part of the committed model).
+    Weight,
+    /// Intermediate or output activation.
+    Activation,
+}
+
+/// Metadata for one tensor.
+#[derive(Clone, Debug)]
+pub struct TensorMeta {
+    /// Shape.
+    pub shape: Vec<usize>,
+    /// Role.
+    pub kind: TensorKind,
+    /// Debug name.
+    pub name: String,
+}
+
+/// A graph node: one operator, n inputs, one output tensor.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// The operator.
+    pub op: Op,
+    /// Input tensor ids.
+    pub inputs: Vec<TensorId>,
+    /// Output tensor id.
+    pub output: TensorId,
+}
+
+/// A complete model: tensors, weights, and a topologically ordered node list.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    /// Human-readable model name.
+    pub name: String,
+    /// Tensor metadata, indexed by `TensorId`.
+    pub tensors: Vec<TensorMeta>,
+    /// Nodes in topological order.
+    pub nodes: Vec<Node>,
+    /// Model input tensor ids.
+    pub inputs: Vec<TensorId>,
+    /// Model output tensor ids.
+    pub outputs: Vec<TensorId>,
+    /// Weight values, indexed by `TensorId` (None for non-weights).
+    pub weights: Vec<Option<Tensor<f32>>>,
+}
+
+impl Graph {
+    /// Shape of a tensor.
+    pub fn shape(&self, id: TensorId) -> &[usize] {
+        &self.tensors[id].shape
+    }
+}
+
+/// Incrementally builds a [`Graph`] with shape inference.
+pub struct GraphBuilder {
+    name: String,
+    tensors: Vec<TensorMeta>,
+    nodes: Vec<Node>,
+    inputs: Vec<TensorId>,
+    weights: Vec<Option<Tensor<f32>>>,
+    rng: StdRng,
+}
+
+impl GraphBuilder {
+    /// Creates a builder; `seed` drives synthetic weight initialization.
+    pub fn new(name: impl Into<String>, seed: u64) -> Self {
+        Self {
+            name: name.into(),
+            tensors: Vec::new(),
+            nodes: Vec::new(),
+            inputs: Vec::new(),
+            weights: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    fn push_tensor(&mut self, shape: Vec<usize>, kind: TensorKind, name: String) -> TensorId {
+        self.tensors.push(TensorMeta { shape, kind, name });
+        self.weights.push(None);
+        self.tensors.len() - 1
+    }
+
+    /// Declares a model input.
+    pub fn input(&mut self, shape: Vec<usize>, name: &str) -> TensorId {
+        let id = self.push_tensor(shape, TensorKind::Input, name.into());
+        self.inputs.push(id);
+        id
+    }
+
+    /// Declares a weight with synthetic (seeded, fan-in-scaled) values.
+    ///
+    /// Fan-in is the product of all dimensions except the last (the output
+    /// channels), matching He/Glorot-style initialization; rank-1 weights
+    /// (biases, norm parameters) use a small fixed bound.
+    pub fn weight(&mut self, shape: Vec<usize>, name: &str) -> TensorId {
+        let n: usize = shape.iter().product();
+        let fan_in = if shape.len() >= 2 {
+            shape[..shape.len() - 1].iter().product::<usize>() as f32
+        } else {
+            100.0
+        };
+        let bound = (1.0 / fan_in.max(1.0)).sqrt();
+        let data: Vec<f32> = (0..n)
+            .map(|_| self.rng.gen_range(-bound..=bound))
+            .collect();
+        let id = self.push_tensor(shape.clone(), TensorKind::Weight, name.into());
+        self.weights[id] = Some(Tensor::new(shape, data));
+        id
+    }
+
+    /// Declares a weight with explicit values.
+    pub fn weight_with(&mut self, t: Tensor<f32>, name: &str) -> TensorId {
+        let id = self.push_tensor(t.shape().to_vec(), TensorKind::Weight, name.into());
+        self.weights[id] = Some(t);
+        id
+    }
+
+    /// Appends an op node, inferring the output shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank/shape errors — model construction bugs should fail
+    /// loudly at build time.
+    pub fn op(&mut self, op: Op, inputs: &[TensorId], name: &str) -> TensorId {
+        let shape = self.infer_shape(&op, inputs);
+        let out = self.push_tensor(shape, TensorKind::Activation, name.into());
+        self.nodes.push(Node {
+            op,
+            inputs: inputs.to_vec(),
+            output: out,
+        });
+        out
+    }
+
+    fn infer_shape(&self, op: &Op, inputs: &[TensorId]) -> Vec<usize> {
+        let s = |i: usize| -> &[usize] { &self.tensors[inputs[i]].shape };
+        let numel = |sh: &[usize]| -> usize { sh.iter().product() };
+        match op {
+            Op::Reshape { shape } => {
+                assert_eq!(numel(shape), numel(s(0)), "reshape volume mismatch");
+                shape.clone()
+            }
+            Op::Transpose { perm } => perm.iter().map(|&p| s(0)[p]).collect(),
+            Op::Slice { starts, ends } => starts
+                .iter()
+                .zip(ends)
+                .map(|(a, b)| b - a)
+                .collect(),
+            Op::Concat { axis } => {
+                let mut shape = s(0).to_vec();
+                for i in 1..inputs.len() {
+                    shape[*axis] += s(i)[*axis];
+                }
+                shape
+            }
+            Op::Pad { pads } => s(0)
+                .iter()
+                .zip(pads)
+                .map(|(d, (b, a))| d + b + a)
+                .collect(),
+            Op::Squeeze { axis } => {
+                let mut shape = s(0).to_vec();
+                assert_eq!(shape[*axis], 1);
+                shape.remove(*axis);
+                shape
+            }
+            Op::ExpandDims { axis } => {
+                let mut shape = s(0).to_vec();
+                shape.insert(*axis, 1);
+                shape
+            }
+            Op::Flatten => {
+                let sh = s(0);
+                vec![sh[0], sh[1..].iter().product()]
+            }
+            Op::BroadcastTo { shape } => shape.clone(),
+            Op::Upsample2x => {
+                let sh = s(0);
+                assert_eq!(sh.len(), 4, "Upsample2x expects NHWC");
+                vec![sh[0], sh[1] * 2, sh[2] * 2, sh[3]]
+            }
+            Op::Add | Op::Sub | Op::Mul | Op::SquaredDifference => {
+                zkml_tensor::shape::broadcast_shape(s(0), s(1))
+                    .unwrap_or_else(|| panic!("cannot broadcast {:?} and {:?}", s(0), s(1)))
+            }
+            Op::DivConst { .. } | Op::Square | Op::Act(_) | Op::Rsqrt | Op::Sqrt | Op::Exp
+            | Op::Softmax => s(0).to_vec(),
+            Op::Sum { axis, keep_dims } | Op::Mean { axis, keep_dims } => {
+                let mut shape = s(0).to_vec();
+                if *keep_dims {
+                    shape[*axis] = 1;
+                } else {
+                    shape.remove(*axis);
+                }
+                shape
+            }
+            Op::FullyConnected { .. } => {
+                let x = s(0);
+                let w = s(1);
+                assert_eq!(x[x.len() - 1], w[0], "FC inner-dim mismatch");
+                let mut shape = x.to_vec();
+                *shape.last_mut().unwrap() = w[1];
+                shape
+            }
+            Op::Conv2D {
+                stride, padding, ..
+            } => {
+                let x = s(0);
+                let w = s(1); // [KH, KW, Cin, Cout]
+                assert_eq!(x.len(), 4, "Conv2D expects NHWC");
+                assert_eq!(x[3], w[2], "Conv2D channel mismatch");
+                let (oh, _, _) = conv_output_dim(x[1], w[0], stride.0, *padding);
+                let (ow, _, _) = conv_output_dim(x[2], w[1], stride.1, *padding);
+                vec![x[0], oh, ow, w[3]]
+            }
+            Op::DepthwiseConv2D {
+                stride, padding, ..
+            } => {
+                let x = s(0);
+                let w = s(1); // [KH, KW, C, 1]
+                assert_eq!(x[3], w[2], "DWConv channel mismatch");
+                let (oh, _, _) = conv_output_dim(x[1], w[0], stride.0, *padding);
+                let (ow, _, _) = conv_output_dim(x[2], w[1], stride.1, *padding);
+                vec![x[0], oh, ow, x[3]]
+            }
+            Op::BatchMatMul => {
+                let a = s(0);
+                let b = s(1);
+                assert_eq!(a[a.len() - 1], b[b.len() - 2], "BMM inner-dim mismatch");
+                assert_eq!(a[..a.len() - 2], b[..b.len() - 2], "BMM batch mismatch");
+                let mut shape = a.to_vec();
+                let n = b[b.len() - 1];
+                *shape.last_mut().unwrap() = n;
+                shape
+            }
+            Op::AvgPool2D { ksize, stride } | Op::MaxPool2D { ksize, stride } => {
+                let x = s(0);
+                let oh = (x[1] - ksize.0) / stride.0 + 1;
+                let ow = (x[2] - ksize.1) / stride.1 + 1;
+                vec![x[0], oh, ow, x[3]]
+            }
+            Op::GlobalAvgPool => {
+                let x = s(0);
+                vec![x[0], x[3]]
+            }
+            Op::LayerNorm { .. } | Op::BatchNorm => s(0).to_vec(),
+        }
+    }
+
+    /// Finishes the graph, marking `outputs`.
+    pub fn finish(self, outputs: Vec<TensorId>) -> Graph {
+        Graph {
+            name: self.name,
+            tensors: self.tensors,
+            nodes: self.nodes,
+            inputs: self.inputs,
+            outputs,
+            weights: self.weights,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{Activation, Padding};
+
+    #[test]
+    fn builds_a_small_cnn_with_shapes() {
+        let mut b = GraphBuilder::new("test", 0);
+        let x = b.input(vec![1, 8, 8, 3], "x");
+        let w = b.weight(vec![3, 3, 3, 4], "w");
+        let bias = b.weight(vec![4], "b");
+        let c = b.op(
+            Op::Conv2D {
+                stride: (2, 2),
+                padding: Padding::Same,
+                activation: Some(Activation::Relu),
+            },
+            &[x, w, bias],
+            "conv",
+        );
+        let f = b.op(Op::Flatten, &[c], "flat");
+        let w2 = b.weight(vec![64, 10], "w2");
+        let out = b.op(Op::FullyConnected { activation: None }, &[f, w2], "fc");
+        let g = b.finish(vec![out]);
+        assert_eq!(g.shape(c), &[1, 4, 4, 4]);
+        assert_eq!(g.shape(f), &[1, 64]);
+        assert_eq!(g.shape(out), &[1, 10]);
+        assert_eq!(g.nodes.len(), 3);
+        assert!(g.weights[w].is_some());
+        assert!(g.weights[x].is_none());
+    }
+
+    #[test]
+    fn weights_are_deterministic_per_seed() {
+        let mut b1 = GraphBuilder::new("a", 7);
+        let mut b2 = GraphBuilder::new("a", 7);
+        let w1 = b1.weight(vec![4, 4], "w");
+        let w2 = b2.weight(vec![4, 4], "w");
+        assert_eq!(
+            b1.weights[w1].as_ref().unwrap().data(),
+            b2.weights[w2].as_ref().unwrap().data()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "FC inner-dim mismatch")]
+    fn shape_errors_panic() {
+        let mut b = GraphBuilder::new("bad", 0);
+        let x = b.input(vec![1, 5], "x");
+        let w = b.weight(vec![4, 2], "w");
+        b.op(Op::FullyConnected { activation: None }, &[x, w], "fc");
+    }
+}

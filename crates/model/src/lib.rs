@@ -1,0 +1,19 @@
+//! ML graph IR, reference executors, and the evaluation model zoo.
+//!
+//! The paper's pipeline starts from TFLite files; this crate plays that
+//! role with a programmatic graph builder (same operator granularity as the
+//! TFLite ops ZKML consumes), an f32 reference executor, and a fixed-point
+//! executor whose semantics the circuit compiler reproduces bit-exactly.
+
+pub mod exec;
+pub mod graph;
+pub mod op;
+pub mod qops;
+pub mod serialize;
+pub mod stats;
+pub mod zoo;
+
+pub use exec::{execute_f32, execute_fixed, Execution};
+pub use graph::{Graph, GraphBuilder, Node, TensorId, TensorKind, TensorMeta};
+pub use op::{Activation, Op, Padding};
+pub use stats::{stats, ModelStats};

@@ -1,0 +1,511 @@
+//! Binary model format.
+//!
+//! The paper consumes `.tflite` files; this crate's equivalent is a compact
+//! binary graph format so models can be saved, shipped to a prover, and
+//! reloaded (`Graph::to_bytes` / `Graph::from_bytes`). The encoding is
+//! self-describing and versioned.
+
+use crate::graph::{Graph, Node, TensorKind, TensorMeta};
+use crate::op::{Activation, Op, Padding};
+use zkml_tensor::Tensor;
+
+const MAGIC: &[u8; 8] = b"ZKMLMDL1";
+
+/// Error from model deserialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelFormatError(pub &'static str);
+
+impl std::fmt::Display for ModelFormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "model format error: {}", self.0)
+    }
+}
+impl std::error::Error for ModelFormatError {}
+
+struct W(Vec<u8>);
+impl W {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f32(&mut self, v: f32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.0.extend_from_slice(s.as_bytes());
+    }
+    fn usizes(&mut self, v: &[usize]) {
+        self.u32(v.len() as u32);
+        for x in v {
+            self.u64(*x as u64);
+        }
+    }
+}
+
+struct R<'a> {
+    b: &'a [u8],
+    p: usize,
+}
+impl<'a> R<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ModelFormatError> {
+        if self.p + n > self.b.len() {
+            return Err(ModelFormatError("unexpected end of model file"));
+        }
+        let s = &self.b[self.p..self.p + n];
+        self.p += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, ModelFormatError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, ModelFormatError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+    fn u64(&mut self) -> Result<u64, ModelFormatError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+    fn f32(&mut self) -> Result<f32, ModelFormatError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+    fn str(&mut self) -> Result<String, ModelFormatError> {
+        let n = self.u32()? as usize;
+        if n > 1 << 16 {
+            return Err(ModelFormatError("string too long"));
+        }
+        String::from_utf8(self.take(n)?.to_vec()).map_err(|_| ModelFormatError("bad utf8"))
+    }
+    fn usizes(&mut self) -> Result<Vec<usize>, ModelFormatError> {
+        let n = self.u32()? as usize;
+        if n > 1 << 8 {
+            return Err(ModelFormatError("rank too large"));
+        }
+        (0..n).map(|_| self.u64().map(|v| v as usize)).collect()
+    }
+}
+
+fn write_act(w: &mut W, a: &Activation) {
+    match a {
+        Activation::Relu => w.u8(0),
+        Activation::Relu6 => w.u8(1),
+        Activation::LeakyRelu(s) => {
+            w.u8(2);
+            w.f32(*s);
+        }
+        Activation::Elu => w.u8(3),
+        Activation::Sigmoid => w.u8(4),
+        Activation::Tanh => w.u8(5),
+        Activation::Gelu => w.u8(6),
+        Activation::Silu => w.u8(7),
+    }
+}
+
+fn read_act(r: &mut R) -> Result<Activation, ModelFormatError> {
+    Ok(match r.u8()? {
+        0 => Activation::Relu,
+        1 => Activation::Relu6,
+        2 => Activation::LeakyRelu(r.f32()?),
+        3 => Activation::Elu,
+        4 => Activation::Sigmoid,
+        5 => Activation::Tanh,
+        6 => Activation::Gelu,
+        7 => Activation::Silu,
+        _ => return Err(ModelFormatError("bad activation tag")),
+    })
+}
+
+fn write_opt_act(w: &mut W, a: &Option<Activation>) {
+    match a {
+        None => w.u8(0),
+        Some(a) => {
+            w.u8(1);
+            write_act(w, a);
+        }
+    }
+}
+
+fn read_opt_act(r: &mut R) -> Result<Option<Activation>, ModelFormatError> {
+    Ok(if r.u8()? == 0 { None } else { Some(read_act(r)?) })
+}
+
+fn write_conv_attrs(w: &mut W, stride: (usize, usize), padding: Padding) {
+    w.u64(stride.0 as u64);
+    w.u64(stride.1 as u64);
+    w.u8(match padding {
+        Padding::Same => 0,
+        Padding::Valid => 1,
+    });
+}
+
+fn read_conv_attrs(r: &mut R) -> Result<((usize, usize), Padding), ModelFormatError> {
+    let s = (r.u64()? as usize, r.u64()? as usize);
+    let p = match r.u8()? {
+        0 => Padding::Same,
+        1 => Padding::Valid,
+        _ => return Err(ModelFormatError("bad padding tag")),
+    };
+    Ok((s, p))
+}
+
+fn write_op(w: &mut W, op: &Op) {
+    match op {
+        Op::Reshape { shape } => {
+            w.u8(0);
+            w.usizes(shape);
+        }
+        Op::Transpose { perm } => {
+            w.u8(1);
+            w.usizes(perm);
+        }
+        Op::Slice { starts, ends } => {
+            w.u8(2);
+            w.usizes(starts);
+            w.usizes(ends);
+        }
+        Op::Concat { axis } => {
+            w.u8(3);
+            w.u64(*axis as u64);
+        }
+        Op::Pad { pads } => {
+            w.u8(4);
+            w.u32(pads.len() as u32);
+            for (a, b) in pads {
+                w.u64(*a as u64);
+                w.u64(*b as u64);
+            }
+        }
+        Op::Squeeze { axis } => {
+            w.u8(5);
+            w.u64(*axis as u64);
+        }
+        Op::ExpandDims { axis } => {
+            w.u8(6);
+            w.u64(*axis as u64);
+        }
+        Op::Flatten => w.u8(7),
+        Op::BroadcastTo { shape } => {
+            w.u8(8);
+            w.usizes(shape);
+        }
+        Op::Upsample2x => w.u8(9),
+        Op::Add => w.u8(10),
+        Op::Sub => w.u8(11),
+        Op::Mul => w.u8(12),
+        Op::DivConst { divisor } => {
+            w.u8(13);
+            w.f32(*divisor);
+        }
+        Op::Square => w.u8(14),
+        Op::SquaredDifference => w.u8(15),
+        Op::Sum { axis, keep_dims } => {
+            w.u8(16);
+            w.u64(*axis as u64);
+            w.u8(*keep_dims as u8);
+        }
+        Op::Mean { axis, keep_dims } => {
+            w.u8(17);
+            w.u64(*axis as u64);
+            w.u8(*keep_dims as u8);
+        }
+        Op::FullyConnected { activation } => {
+            w.u8(18);
+            write_opt_act(w, activation);
+        }
+        Op::Conv2D {
+            stride,
+            padding,
+            activation,
+        } => {
+            w.u8(19);
+            write_conv_attrs(w, *stride, *padding);
+            write_opt_act(w, activation);
+        }
+        Op::DepthwiseConv2D {
+            stride,
+            padding,
+            activation,
+        } => {
+            w.u8(20);
+            write_conv_attrs(w, *stride, *padding);
+            write_opt_act(w, activation);
+        }
+        Op::BatchMatMul => w.u8(21),
+        Op::AvgPool2D { ksize, stride } => {
+            w.u8(22);
+            write_conv_attrs(w, *ksize, Padding::Valid);
+            w.u64(stride.0 as u64);
+            w.u64(stride.1 as u64);
+        }
+        Op::MaxPool2D { ksize, stride } => {
+            w.u8(23);
+            write_conv_attrs(w, *ksize, Padding::Valid);
+            w.u64(stride.0 as u64);
+            w.u64(stride.1 as u64);
+        }
+        Op::GlobalAvgPool => w.u8(24),
+        Op::Softmax => w.u8(25),
+        Op::LayerNorm { eps } => {
+            w.u8(26);
+            w.f32(*eps);
+        }
+        Op::BatchNorm => w.u8(27),
+        Op::Act(a) => {
+            w.u8(28);
+            write_act(w, a);
+        }
+        Op::Rsqrt => w.u8(29),
+        Op::Sqrt => w.u8(30),
+        Op::Exp => w.u8(31),
+    }
+}
+
+fn read_op(r: &mut R) -> Result<Op, ModelFormatError> {
+    Ok(match r.u8()? {
+        0 => Op::Reshape { shape: r.usizes()? },
+        1 => Op::Transpose { perm: r.usizes()? },
+        2 => Op::Slice {
+            starts: r.usizes()?,
+            ends: r.usizes()?,
+        },
+        3 => Op::Concat {
+            axis: r.u64()? as usize,
+        },
+        4 => {
+            let n = r.u32()? as usize;
+            if n > 1 << 8 {
+                return Err(ModelFormatError("pad rank too large"));
+            }
+            let pads = (0..n)
+                .map(|_| Ok((r.u64()? as usize, r.u64()? as usize)))
+                .collect::<Result<Vec<_>, ModelFormatError>>()?;
+            Op::Pad { pads }
+        }
+        5 => Op::Squeeze {
+            axis: r.u64()? as usize,
+        },
+        6 => Op::ExpandDims {
+            axis: r.u64()? as usize,
+        },
+        7 => Op::Flatten,
+        8 => Op::BroadcastTo { shape: r.usizes()? },
+        9 => Op::Upsample2x,
+        10 => Op::Add,
+        11 => Op::Sub,
+        12 => Op::Mul,
+        13 => Op::DivConst { divisor: r.f32()? },
+        14 => Op::Square,
+        15 => Op::SquaredDifference,
+        16 => Op::Sum {
+            axis: r.u64()? as usize,
+            keep_dims: r.u8()? != 0,
+        },
+        17 => Op::Mean {
+            axis: r.u64()? as usize,
+            keep_dims: r.u8()? != 0,
+        },
+        18 => Op::FullyConnected {
+            activation: read_opt_act(r)?,
+        },
+        19 => {
+            let (stride, padding) = read_conv_attrs(r)?;
+            Op::Conv2D {
+                stride,
+                padding,
+                activation: read_opt_act(r)?,
+            }
+        }
+        20 => {
+            let (stride, padding) = read_conv_attrs(r)?;
+            Op::DepthwiseConv2D {
+                stride,
+                padding,
+                activation: read_opt_act(r)?,
+            }
+        }
+        21 => Op::BatchMatMul,
+        22 => {
+            let (ksize, _) = read_conv_attrs(r)?;
+            Op::AvgPool2D {
+                ksize,
+                stride: (r.u64()? as usize, r.u64()? as usize),
+            }
+        }
+        23 => {
+            let (ksize, _) = read_conv_attrs(r)?;
+            Op::MaxPool2D {
+                ksize,
+                stride: (r.u64()? as usize, r.u64()? as usize),
+            }
+        }
+        24 => Op::GlobalAvgPool,
+        25 => Op::Softmax,
+        26 => Op::LayerNorm { eps: r.f32()? },
+        27 => Op::BatchNorm,
+        28 => Op::Act(read_act(r)?),
+        29 => Op::Rsqrt,
+        30 => Op::Sqrt,
+        31 => Op::Exp,
+        _ => return Err(ModelFormatError("bad op tag")),
+    })
+}
+
+impl Graph {
+    /// Serializes the graph (structure + weights).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = W(Vec::new());
+        w.0.extend_from_slice(MAGIC);
+        w.str(&self.name);
+        w.u32(self.tensors.len() as u32);
+        for (i, t) in self.tensors.iter().enumerate() {
+            w.usizes(&t.shape);
+            w.u8(match t.kind {
+                TensorKind::Input => 0,
+                TensorKind::Weight => 1,
+                TensorKind::Activation => 2,
+            });
+            w.str(&t.name);
+            match &self.weights[i] {
+                None => w.u8(0),
+                Some(t) => {
+                    w.u8(1);
+                    for v in t.data() {
+                        w.f32(*v);
+                    }
+                }
+            }
+        }
+        w.u32(self.nodes.len() as u32);
+        for n in &self.nodes {
+            write_op(&mut w, &n.op);
+            w.usizes(&n.inputs);
+            w.u64(n.output as u64);
+        }
+        w.usizes(&self.inputs);
+        w.usizes(&self.outputs);
+        w.0
+    }
+
+    /// Deserializes a graph.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ModelFormatError> {
+        let mut r = R { b: bytes, p: 0 };
+        if r.take(8)? != MAGIC {
+            return Err(ModelFormatError("bad magic"));
+        }
+        let name = r.str()?;
+        let nt = r.u32()? as usize;
+        if nt > 1 << 20 {
+            return Err(ModelFormatError("too many tensors"));
+        }
+        let mut tensors = Vec::with_capacity(nt);
+        let mut weights = Vec::with_capacity(nt);
+        for _ in 0..nt {
+            let shape = r.usizes()?;
+            let kind = match r.u8()? {
+                0 => TensorKind::Input,
+                1 => TensorKind::Weight,
+                2 => TensorKind::Activation,
+                _ => return Err(ModelFormatError("bad tensor kind")),
+            };
+            let tname = r.str()?;
+            let has_weights = r.u8()? != 0;
+            let numel: usize = shape.iter().product();
+            if has_weights {
+                if numel > 1 << 26 {
+                    return Err(ModelFormatError("weight tensor too large"));
+                }
+                let data = (0..numel)
+                    .map(|_| r.f32())
+                    .collect::<Result<Vec<_>, _>>()?;
+                weights.push(Some(Tensor::new(shape.clone(), data)));
+            } else {
+                weights.push(None);
+            }
+            tensors.push(TensorMeta {
+                shape,
+                kind,
+                name: tname,
+            });
+        }
+        let nn = r.u32()? as usize;
+        if nn > 1 << 20 {
+            return Err(ModelFormatError("too many nodes"));
+        }
+        let mut nodes = Vec::with_capacity(nn);
+        for _ in 0..nn {
+            let op = read_op(&mut r)?;
+            let inputs = r.usizes()?;
+            let output = r.u64()? as usize;
+            if output >= tensors.len() || inputs.iter().any(|i| *i >= tensors.len()) {
+                return Err(ModelFormatError("tensor id out of range"));
+            }
+            nodes.push(Node { op, inputs, output });
+        }
+        let inputs = r.usizes()?;
+        let outputs = r.usizes()?;
+        if r.p != bytes.len() {
+            return Err(ModelFormatError("trailing bytes"));
+        }
+        Ok(Graph {
+            name,
+            tensors,
+            nodes,
+            inputs,
+            outputs,
+            weights,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::execute_f32;
+    use zkml_tensor::Tensor;
+
+    #[test]
+    fn zoo_models_roundtrip() {
+        for g in crate::zoo::all_models() {
+            let bytes = g.to_bytes();
+            let back = Graph::from_bytes(&bytes)
+                .unwrap_or_else(|e| panic!("{}: {e}", g.name));
+            assert_eq!(back.name, g.name);
+            assert_eq!(back.nodes.len(), g.nodes.len());
+            assert_eq!(back.inputs, g.inputs);
+            assert_eq!(back.outputs, g.outputs);
+            // Same execution semantics on the same input.
+            let inputs: Vec<Tensor<f32>> = g
+                .inputs
+                .iter()
+                .map(|id| {
+                    let shape = g.shape(*id).to_vec();
+                    let n: usize = shape.iter().product();
+                    Tensor::new(shape, (0..n).map(|i| (i % 7) as f32 / 7.0 - 0.5).collect())
+                })
+                .collect();
+            let out1 = execute_f32(&g, &inputs).outputs(&g);
+            let out2 = execute_f32(&back, &inputs).outputs(&back);
+            assert_eq!(out1.len(), out2.len());
+            for (a, b) in out1.iter().zip(&out2) {
+                assert_eq!(a.data(), b.data(), "{} output drift", g.name);
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_models_rejected() {
+        let g = crate::zoo::mnist_cnn();
+        let bytes = g.to_bytes();
+        assert!(Graph::from_bytes(&bytes[..bytes.len() / 2]).is_err());
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF; // magic
+        assert!(Graph::from_bytes(&bad).is_err());
+        let mut trailing = bytes;
+        trailing.push(0);
+        assert!(Graph::from_bytes(&trailing).is_err());
+    }
+}

@@ -1,0 +1,110 @@
+//! Parameter and FLOP counting (regenerates Table 5).
+
+use crate::graph::{Graph, TensorKind};
+use crate::op::Op;
+
+/// Model size statistics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ModelStats {
+    /// Trainable parameter count.
+    pub params: u64,
+    /// Floating-point operations for one inference (multiply-adds count 2).
+    pub flops: u64,
+}
+
+/// Counts parameters and FLOPs for one inference.
+pub fn stats(g: &Graph) -> ModelStats {
+    let params: u64 = g
+        .tensors
+        .iter()
+        .enumerate()
+        .filter(|(_, m)| m.kind == TensorKind::Weight)
+        .map(|(i, _)| g.weights[i].as_ref().map(|t| t.len() as u64).unwrap_or(0))
+        .sum();
+
+    let mut flops: u64 = 0;
+    for node in &g.nodes {
+        let out_numel: u64 = g.shape(node.output).iter().product::<usize>() as u64;
+        flops += match &node.op {
+            op if op.is_shape_op() => 0,
+            Op::FullyConnected { activation } => {
+                let k = g.shape(node.inputs[1])[0] as u64;
+                out_numel * 2 * k + activation.map(|_| out_numel).unwrap_or(0)
+            }
+            Op::Conv2D { activation, .. } => {
+                let w = g.shape(node.inputs[1]);
+                let k = (w[0] * w[1] * w[2]) as u64;
+                out_numel * 2 * k + activation.map(|_| out_numel).unwrap_or(0)
+            }
+            Op::DepthwiseConv2D { activation, .. } => {
+                let w = g.shape(node.inputs[1]);
+                let k = (w[0] * w[1]) as u64;
+                out_numel * 2 * k + activation.map(|_| out_numel).unwrap_or(0)
+            }
+            Op::BatchMatMul => {
+                let a = g.shape(node.inputs[0]);
+                out_numel * 2 * a[a.len() - 1] as u64
+            }
+            Op::AvgPool2D { ksize, .. } | Op::MaxPool2D { ksize, .. } => {
+                out_numel * (ksize.0 * ksize.1) as u64
+            }
+            Op::GlobalAvgPool => g.shape(node.inputs[0]).iter().product::<usize>() as u64,
+            Op::Softmax => 4 * out_numel,
+            Op::LayerNorm { .. } => 8 * out_numel,
+            Op::BatchNorm => 2 * out_numel,
+            Op::Sum { .. } | Op::Mean { .. } => {
+                g.shape(node.inputs[0]).iter().product::<usize>() as u64
+            }
+            // Elementwise ops.
+            _ => out_numel,
+        };
+    }
+    ModelStats { params, flops }
+}
+
+/// Formats a count with K/M/B suffixes like the paper's Table 5.
+pub fn human(v: u64) -> String {
+    if v >= 1_000_000_000 {
+        format!("{:.1}B", v as f64 / 1e9)
+    } else if v >= 1_000_000 {
+        format!("{:.1}M", v as f64 / 1e6)
+    } else if v >= 1_000 {
+        format!("{:.1}K", v as f64 / 1e3)
+    } else {
+        v.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn mnist_stats_are_plausible() {
+        let s = stats(&zoo::mnist_cnn());
+        // conv1: 3*3*1*8 + 8; conv2: 3*3*8*16 + 16; fc: 256*10 + 10.
+        assert_eq!(s.params, (72 + 8) + (1152 + 16) + (2560 + 10));
+        assert!(s.flops > s.params); // convolutions reuse weights
+    }
+
+    #[test]
+    fn relative_ordering_matches_paper() {
+        // The paper's Table 5: GPT-2 has the most parameters among our
+        // scaled models relative to MNIST; VGG16 has more flops than DLRM.
+        let mnist = stats(&zoo::mnist_cnn());
+        let gpt = stats(&zoo::gpt2());
+        let vgg = stats(&zoo::vgg16());
+        let dlrm = stats(&zoo::dlrm());
+        assert!(gpt.params > mnist.params);
+        assert!(vgg.flops > dlrm.flops);
+    }
+
+    #[test]
+    fn human_formatting() {
+        assert_eq!(human(950), "950");
+        assert_eq!(human(8_100), "8.1K");
+        assert_eq!(human(81_300_000), "81.3M");
+        assert_eq!(human(22_900_000_000), "22.9B");
+    }
+}

@@ -1,0 +1,343 @@
+//! Inner-product-argument polynomial commitments (transparent setup).
+//!
+//! Commitments are Pedersen vector commitments over a hashed-to-curve basis;
+//! openings are the logarithmic Bulletproofs folding argument. Verification
+//! performs an `O(n)` multi-scalar multiplication to reconstruct the folded
+//! basis point — this is the source of the higher verification times the
+//! paper reports for the IPA backend (Table 7) relative to KZG's two
+//! pairings.
+
+use crate::kzg::group_points;
+use crate::serial::{ReadError, Reader, Writer};
+use zkml_curves::{msm, G1Affine, G1Projective};
+use zkml_ff::{Field, Fr};
+use zkml_poly::Coeffs;
+use zkml_transcript::Transcript;
+
+/// Transparent IPA parameters: a hashed-to-curve basis plus the auxiliary
+/// point used to bind claimed inner products.
+#[derive(Clone)]
+pub struct IpaParams {
+    /// log2 of the basis size.
+    pub k: u32,
+    /// Pedersen basis `G_i` (no discrete-log relations known).
+    pub basis: Vec<G1Affine>,
+    /// Auxiliary point `U` for the evaluation claim.
+    pub u: G1Affine,
+}
+
+impl IpaParams {
+    /// Derives parameters of size `2^k` deterministically (no trusted setup).
+    pub fn setup(k: u32) -> Self {
+        let n = 1usize << k;
+        let basis = zkml_ff::par::par_map(n, |i| {
+            let mut seed = b"zkml-ipa-basis-".to_vec();
+            seed.extend_from_slice(&(i as u64).to_le_bytes());
+            G1Affine::hash_to_curve(&seed)
+        });
+        let u = G1Affine::hash_to_curve(b"zkml-ipa-u");
+        Self { k, basis, u }
+    }
+
+    /// Commits to a polynomial in coefficient form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the polynomial is longer than the basis.
+    pub fn commit(&self, poly: &Coeffs<Fr>) -> G1Affine {
+        assert!(poly.len() <= self.basis.len(), "polynomial exceeds basis");
+        msm(&self.basis[..poly.len()], &poly.values).to_affine()
+    }
+
+    /// Opens a batch of `(polynomial, point)` queries.
+    ///
+    /// Queries sharing a point are folded with a transcript challenge into a
+    /// single polynomial, then one logarithmic argument is run per distinct
+    /// point. Claimed evaluations must already be in the transcript.
+    pub fn open(&self, transcript: &mut Transcript, queries: &[(&Coeffs<Fr>, Fr)]) -> Vec<u8> {
+        let gamma: Fr = transcript.challenge(b"ipa-gamma");
+        let groups = group_points(queries.iter().map(|(_, z)| *z));
+        let mut w = Writer::new();
+        for (z, idxs) in &groups {
+            let mut combined = Coeffs::zero(self.basis.len());
+            let mut coeff = Fr::one();
+            for &i in idxs {
+                for (c, p) in combined.values.iter_mut().zip(&queries[i].0.values) {
+                    *c += coeff * *p;
+                }
+                coeff *= gamma;
+            }
+            self.open_single(transcript, &combined, *z, &mut w);
+        }
+        w.finish()
+    }
+
+    fn open_single(&self, transcript: &mut Transcript, poly: &Coeffs<Fr>, z: Fr, w: &mut Writer) {
+        let n = self.basis.len();
+        debug_assert_eq!(poly.len(), n);
+        let v = poly.evaluate(z);
+        transcript.absorb_scalar(b"ipa-v", &v);
+        let xi: Fr = transcript.challenge(b"ipa-xi");
+        let u = self.u.to_projective().mul_scalar(&xi).to_affine();
+
+        let mut a = poly.values.clone();
+        let mut b = Vec::with_capacity(n);
+        let mut cur = Fr::one();
+        for _ in 0..n {
+            b.push(cur);
+            cur *= z;
+        }
+        let mut g: Vec<G1Affine> = self.basis.clone();
+
+        let mut len = n;
+        while len > 1 {
+            let half = len / 2;
+            let (a_lo, a_hi) = a.split_at(half);
+            let (b_lo, b_hi) = b.split_at(half);
+            let (g_lo, g_hi) = g.split_at(half);
+            let ab_lo: Fr = a_hi.iter().zip(b_lo).map(|(x, y)| *x * *y).sum();
+            let ab_hi: Fr = a_lo.iter().zip(b_hi).map(|(x, y)| *x * *y).sum();
+            let l = (msm(g_lo, a_hi) + u.to_projective().mul_scalar(&ab_lo)).to_affine();
+            let r = (msm(g_hi, a_lo) + u.to_projective().mul_scalar(&ab_hi)).to_affine();
+            transcript.absorb(b"ipa-l", &l.to_bytes());
+            transcript.absorb(b"ipa-r", &r.to_bytes());
+            w.g1(&l);
+            w.g1(&r);
+            let x: Fr = transcript.challenge(b"ipa-x");
+            let x_inv = x.invert().expect("challenge nonzero");
+
+            let mut a2 = Vec::with_capacity(half);
+            let mut b2 = Vec::with_capacity(half);
+            for i in 0..half {
+                a2.push(a_lo[i] + x * a_hi[i]);
+                b2.push(b_lo[i] + x_inv * b_hi[i]);
+            }
+            let g2: Vec<G1Projective> = (0..half)
+                .map(|i| g_lo[i].to_projective() + g_hi[i].to_projective().mul_scalar(&x_inv))
+                .collect();
+            a = a2;
+            b = b2;
+            g = G1Projective::batch_to_affine(&g2);
+            len = half;
+        }
+        w.scalar(&a[0]);
+        transcript.absorb_scalar(b"ipa-a", &a[0]);
+    }
+
+    /// Verifies a batched opening produced by [`IpaParams::open`].
+    pub fn verify(
+        &self,
+        transcript: &mut Transcript,
+        queries: &[(G1Affine, Fr, Fr)],
+        proof: &[u8],
+    ) -> Result<(), ReadError> {
+        let gamma: Fr = transcript.challenge(b"ipa-gamma");
+        let groups = group_points(queries.iter().map(|(_, z, _)| *z));
+        let mut r = Reader::new(proof);
+        for (z, idxs) in &groups {
+            let mut commitment = G1Projective::identity();
+            let mut v = Fr::zero();
+            let mut coeff = Fr::one();
+            for &i in idxs {
+                commitment += queries[i].0.to_projective().mul_scalar(&coeff);
+                v += coeff * queries[i].2;
+                coeff *= gamma;
+            }
+            self.verify_single(transcript, commitment, *z, v, &mut r)?;
+        }
+        if !r.is_exhausted() {
+            return Err(ReadError("trailing bytes in IPA proof"));
+        }
+        Ok(())
+    }
+
+    fn verify_single(
+        &self,
+        transcript: &mut Transcript,
+        commitment: G1Projective,
+        z: Fr,
+        v: Fr,
+        r: &mut Reader<'_>,
+    ) -> Result<(), ReadError> {
+        transcript.absorb_scalar(b"ipa-v", &v);
+        let xi: Fr = transcript.challenge(b"ipa-xi");
+        let u = self.u.to_projective().mul_scalar(&xi);
+        let mut p = commitment + u.mul_scalar(&v);
+
+        let rounds = self.k as usize;
+        let mut challenges = Vec::with_capacity(rounds);
+        for _ in 0..rounds {
+            let l = r.g1()?;
+            let rr = r.g1()?;
+            transcript.absorb(b"ipa-l", &l.to_bytes());
+            transcript.absorb(b"ipa-r", &rr.to_bytes());
+            let x: Fr = transcript.challenge(b"ipa-x");
+            let x_inv = x.invert().expect("challenge nonzero");
+            p += l.to_projective().mul_scalar(&x) + rr.to_projective().mul_scalar(&x_inv);
+            challenges.push((x, x_inv));
+        }
+        let a_final = r.scalar()?;
+        transcript.absorb_scalar(b"ipa-a", &a_final);
+
+        // s_i = prod over rounds j of x_j^{-bit(i)}, where round 1 pairs with
+        // the top bit of i (the first fold splits lo/hi halves). Building by
+        // doubling therefore consumes challenges from the LAST round first.
+        let mut s = vec![Fr::one()];
+        for (_, x_inv) in challenges.iter().rev() {
+            let mut next = Vec::with_capacity(s.len() * 2);
+            next.extend_from_slice(&s);
+            next.extend(s.iter().map(|si| *si * *x_inv));
+            s = next;
+        }
+        let g_final = msm(&self.basis, &s);
+        // b_final = prod_j (1 + x_j^{-1} z^{2^(k-j)}) by the same folding.
+        let mut b_final = Fr::one();
+        let mut z_pow = z; // z^(2^0), consumed from the last round backwards
+        for (_, x_inv) in challenges.iter().rev() {
+            b_final *= Fr::one() + *x_inv * z_pow;
+            z_pow = z_pow.square();
+        }
+        let expect = g_final.mul_scalar(&a_final) + u.mul_scalar(&(a_final * b_final));
+        if p == expect {
+            Ok(())
+        } else {
+            Err(ReadError("IPA final check failed"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn params(k: u32) -> IpaParams {
+        IpaParams::setup(k)
+    }
+
+    fn pad(mut p: Coeffs<Fr>, n: usize) -> Coeffs<Fr> {
+        p.values.resize(n, Fr::zero());
+        p
+    }
+
+    #[test]
+    fn single_open_verifies() {
+        let params = params(5);
+        let mut rng = StdRng::seed_from_u64(60);
+        let p = pad(
+            Coeffs::new((0..20).map(|_| Fr::random(&mut rng)).collect()),
+            32,
+        );
+        let z = Fr::random(&mut rng);
+        let v = p.evaluate(z);
+        let c = params.commit(&p);
+
+        let mut tp = Transcript::new(b"test");
+        tp.absorb_scalar(b"eval", &v);
+        let proof = params.open(&mut tp, &[(&p, z)]);
+
+        let mut tv = Transcript::new(b"test");
+        tv.absorb_scalar(b"eval", &v);
+        assert!(params.verify(&mut tv, &[(c, z, v)], &proof).is_ok());
+    }
+
+    #[test]
+    fn wrong_eval_rejected() {
+        let params = params(4);
+        let mut rng = StdRng::seed_from_u64(61);
+        let p = pad(
+            Coeffs::new((0..16).map(|_| Fr::random(&mut rng)).collect()),
+            16,
+        );
+        let z = Fr::random(&mut rng);
+        let v = p.evaluate(z);
+        let c = params.commit(&p);
+
+        let mut tp = Transcript::new(b"test");
+        tp.absorb_scalar(b"eval", &v);
+        let proof = params.open(&mut tp, &[(&p, z)]);
+
+        let mut tv = Transcript::new(b"test");
+        tv.absorb_scalar(b"eval", &v);
+        assert!(params
+            .verify(&mut tv, &[(c, z, v + Fr::one())], &proof)
+            .is_err());
+    }
+
+    #[test]
+    fn multi_poly_multi_point_batch() {
+        let params = params(5);
+        let mut rng = StdRng::seed_from_u64(62);
+        let polys: Vec<Coeffs<Fr>> = (0..3)
+            .map(|_| {
+                pad(
+                    Coeffs::new((0..25).map(|_| Fr::random(&mut rng)).collect()),
+                    32,
+                )
+            })
+            .collect();
+        let z1 = Fr::random(&mut rng);
+        let z2 = Fr::random(&mut rng);
+        let queries: Vec<(usize, Fr)> = vec![(0, z1), (1, z1), (2, z2)];
+        let evals: Vec<Fr> = queries.iter().map(|(i, z)| polys[*i].evaluate(*z)).collect();
+        let commits: Vec<G1Affine> = polys.iter().map(|p| params.commit(p)).collect();
+
+        let mut tp = Transcript::new(b"test");
+        for e in &evals {
+            tp.absorb_scalar(b"eval", e);
+        }
+        let pq: Vec<(&Coeffs<Fr>, Fr)> = queries.iter().map(|(i, z)| (&polys[*i], *z)).collect();
+        let proof = params.open(&mut tp, &pq);
+
+        let mut tv = Transcript::new(b"test");
+        for e in &evals {
+            tv.absorb_scalar(b"eval", e);
+        }
+        let vq: Vec<(G1Affine, Fr, Fr)> = queries
+            .iter()
+            .zip(&evals)
+            .map(|((i, z), e)| (commits[*i], *z, *e))
+            .collect();
+        assert!(params.verify(&mut tv, &vq, &proof).is_ok());
+
+        let mut tv2 = Transcript::new(b"test");
+        for e in &evals {
+            tv2.absorb_scalar(b"eval", e);
+        }
+        let mut vq2 = vq.clone();
+        vq2[0].2 += Fr::one();
+        assert!(params.verify(&mut tv2, &vq2, &proof).is_err());
+    }
+
+    #[test]
+    fn proof_is_logarithmic_per_point() {
+        let params = params(5);
+        let mut rng = StdRng::seed_from_u64(63);
+        let p = pad(
+            Coeffs::new((0..30).map(|_| Fr::random(&mut rng)).collect()),
+            32,
+        );
+        let z = Fr::random(&mut rng);
+        let v = p.evaluate(z);
+        let mut t = Transcript::new(b"test");
+        t.absorb_scalar(b"eval", &v);
+        let proof = params.open(&mut t, &[(&p, z)]);
+        // 2 * k points + 1 scalar.
+        assert_eq!(proof.len(), 2 * 5 * 32 + 32);
+    }
+
+    #[test]
+    fn setup_is_deterministic() {
+        let a = IpaParams::setup(3);
+        let b = IpaParams::setup(3);
+        assert_eq!(a.basis, b.basis);
+        assert_eq!(a.u, b.u);
+        // All points distinct (no accidental collisions).
+        for i in 0..a.basis.len() {
+            for j in i + 1..a.basis.len() {
+                assert_ne!(a.basis[i], a.basis[j]);
+            }
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Polynomial commitment schemes for the ZKML proving stack.
+//!
+//! Two backends, mirroring the paper's halo2 configuration:
+//!
+//! * [`KzgSrs`] — pairing-based, universal trusted setup, constant-size
+//!   verification (one batched pairing check), smaller per-point openings.
+//! * [`IpaParams`] — transparent (no trusted setup), logarithmic proofs per
+//!   point but `O(n)` group operations to verify.
+//!
+//! Both are driven through the [`Params`] enum so the Plonkish layer and the
+//! ZKML optimizer can switch backends with a configuration flag, exactly as
+//! the paper's Tables 6 and 7 do.
+
+pub mod ipa;
+pub mod kzg;
+pub mod serial;
+
+pub use ipa::IpaParams;
+pub use kzg::KzgSrs;
+pub use serial::{ReadError, Reader, Writer};
+
+use rand::RngCore;
+use zkml_curves::G1Affine;
+use zkml_ff::Fr;
+use zkml_poly::Coeffs;
+use zkml_transcript::Transcript;
+
+/// The commitment-scheme backend selector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// KZG (pairing-based; trusted setup; O(1) verification).
+    Kzg,
+    /// Inner-product argument (transparent; O(n) verification).
+    Ipa,
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Backend::Kzg => write!(f, "KZG"),
+            Backend::Ipa => write!(f, "IPA"),
+        }
+    }
+}
+
+/// Instantiated commitment parameters for one of the two backends.
+#[derive(Clone)]
+pub enum Params {
+    /// KZG structured reference string.
+    Kzg(KzgSrs),
+    /// Transparent IPA basis.
+    Ipa(IpaParams),
+}
+
+impl Params {
+    /// Sets up parameters supporting polynomials of length up to `2^k`.
+    pub fn setup(backend: Backend, k: u32, rng: &mut impl RngCore) -> Self {
+        match backend {
+            Backend::Kzg => Params::Kzg(KzgSrs::setup(k, rng)),
+            Backend::Ipa => Params::Ipa(IpaParams::setup(k)),
+        }
+    }
+
+    /// Which backend these parameters instantiate.
+    pub fn backend(&self) -> Backend {
+        match self {
+            Params::Kzg(_) => Backend::Kzg,
+            Params::Ipa(_) => Backend::Ipa,
+        }
+    }
+
+    /// log2 of the maximum polynomial length.
+    pub fn k(&self) -> u32 {
+        match self {
+            Params::Kzg(s) => s.k,
+            Params::Ipa(p) => p.k,
+        }
+    }
+
+    /// Commits to a polynomial in coefficient form.
+    pub fn commit(&self, poly: &Coeffs<Fr>) -> G1Affine {
+        match self {
+            Params::Kzg(s) => s.commit(poly),
+            Params::Ipa(p) => p.commit(poly),
+        }
+    }
+
+    /// Opens a batch of `(polynomial, point)` queries.
+    ///
+    /// IPA folds over the full basis, so polynomials are padded to the
+    /// parameter size internally by the IPA path.
+    pub fn open(&self, transcript: &mut Transcript, queries: &[(&Coeffs<Fr>, Fr)]) -> Vec<u8> {
+        match self {
+            Params::Kzg(s) => s.open(transcript, queries),
+            Params::Ipa(p) => p.open(transcript, queries),
+        }
+    }
+
+    /// Verifies a batched opening against `(commitment, point, eval)` claims.
+    pub fn verify(
+        &self,
+        transcript: &mut Transcript,
+        queries: &[(G1Affine, Fr, Fr)],
+        proof: &[u8],
+    ) -> Result<(), ReadError> {
+        match self {
+            Params::Kzg(s) => s.verify(transcript, queries, proof),
+            Params::Ipa(p) => p.verify(transcript, queries, proof),
+        }
+    }
+}

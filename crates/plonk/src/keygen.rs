@@ -1,0 +1,408 @@
+//! Key generation: preprocessing fixed columns, the permutation, and the
+//! Lagrange selector polynomials.
+
+use crate::circuit::{CellRef, ConstraintSystem, Preprocessed, BLINDING_FACTORS};
+use crate::expression::Column;
+use crate::PlonkError;
+use zkml_curves::G1Affine;
+use zkml_ff::{Field, Fr};
+use zkml_pcs::Params;
+use zkml_poly::{Coeffs, EvaluationDomain};
+use zkml_transcript::Blake2b;
+
+/// The verifier's view of a circuit.
+#[derive(Clone)]
+pub struct VerifyingKey {
+    /// log2 of the number of rows.
+    pub k: u32,
+    /// The constraint system structure.
+    pub cs: ConstraintSystem,
+    /// Commitments to the fixed columns.
+    pub fixed_commitments: Vec<G1Affine>,
+    /// Commitments to the permutation sigma polynomials.
+    pub sigma_commitments: Vec<G1Affine>,
+    /// Digest binding the whole key into transcripts.
+    pub digest: [u8; 64],
+}
+
+/// Extended-domain context for quotient computation.
+#[derive(Clone)]
+pub struct ExtendedDomain {
+    /// The base domain (size `n`).
+    pub domain: EvaluationDomain<Fr>,
+    /// The extended domain (size `n * factor`).
+    pub ext: EvaluationDomain<Fr>,
+    /// Extension factor (`2^ceil(log2(degree - 1))`).
+    pub factor: usize,
+    /// Inverses of the vanishing polynomial on the extended coset, one per
+    /// residue class mod `factor`.
+    pub zh_inv: Vec<Fr>,
+}
+
+impl ExtendedDomain {
+    /// Builds the extended domain for degree bound `degree`.
+    pub fn new(k: u32, degree: usize) -> Self {
+        let domain = EvaluationDomain::new(k);
+        let log_factor = (degree - 1).next_power_of_two().trailing_zeros();
+        let ext = EvaluationDomain::<Fr>::new(k + log_factor);
+        let factor = 1usize << log_factor;
+        // Z_H(g * w_ext^i) = g^n * w_ext^(n i) - 1 depends on i mod factor.
+        let n = domain.n as u64;
+        let gn = ext.coset_gen.pow(&[n]);
+        let w_n = ext.omega.pow(&[n]); // order = factor
+        let mut zh_inv = Vec::with_capacity(factor);
+        let mut cur = gn;
+        for _ in 0..factor {
+            zh_inv.push(cur - Fr::one());
+            cur *= w_n;
+        }
+        zkml_ff::batch_invert(&mut zh_inv);
+        Self {
+            domain,
+            ext,
+            factor,
+            zh_inv,
+        }
+    }
+
+    /// Evaluates a base-domain polynomial (coefficients) over the extended
+    /// coset.
+    pub fn coset_ext(&self, mut coeffs: Vec<Fr>) -> Vec<Fr> {
+        coeffs.resize(self.ext.n, Fr::zero());
+        self.ext.coset_fft(&mut coeffs);
+        coeffs
+    }
+
+    /// Rotation indexing on the extended coset: `rot` base-domain steps.
+    #[inline]
+    pub fn rotated_index(&self, i: usize, rot: i32) -> usize {
+        let n = self.ext.n as i64;
+        let idx = i as i64 + rot as i64 * self.factor as i64;
+        idx.rem_euclid(n) as usize
+    }
+}
+
+/// The prover's preprocessed data.
+pub struct ProvingKey {
+    /// The verifying key.
+    pub vk: VerifyingKey,
+    /// Extended domain context.
+    pub domains: ExtendedDomain,
+    /// Fixed column values (padded to `n`).
+    pub fixed_values: Vec<Vec<Fr>>,
+    /// Fixed column polynomials.
+    pub fixed_polys: Vec<Coeffs<Fr>>,
+    /// Fixed columns on the extended coset.
+    pub fixed_ext: Vec<Vec<Fr>>,
+    /// Permutation sigma values per permutation column.
+    pub sigma_values: Vec<Vec<Fr>>,
+    /// Sigma polynomials.
+    pub sigma_polys: Vec<Coeffs<Fr>>,
+    /// Sigma columns on the extended coset.
+    pub sigma_ext: Vec<Vec<Fr>>,
+    /// `l_0` on the extended coset.
+    pub l0_ext: Vec<Fr>,
+    /// `l_last` on the extended coset.
+    pub l_last_ext: Vec<Fr>,
+    /// `l_active = 1 - l_last - l_blind` on the extended coset.
+    pub l_active_ext: Vec<Fr>,
+}
+
+/// Builds the permutation mapping from copy constraints using the PLONK
+/// cycle-merging construction.
+pub fn build_permutation(
+    cs: &ConstraintSystem,
+    copies: &[(CellRef, CellRef)],
+    n: usize,
+) -> Result<Vec<Vec<(usize, usize)>>, PlonkError> {
+    let columns = &cs.permutation_columns;
+    let col_index = |c: Column| -> Result<usize, PlonkError> {
+        columns
+            .iter()
+            .position(|pc| *pc == c)
+            .ok_or_else(|| PlonkError::Synthesis(format!("column {c:?} not equality-enabled")))
+    };
+    let usable = cs.usable_rows(n);
+
+    // mapping[c][i] = sigma(c, i); starts as the identity.
+    let mut mapping: Vec<Vec<(usize, usize)>> = (0..columns.len())
+        .map(|c| (0..n).map(|i| (c, i)).collect())
+        .collect();
+    // aux: cycle representative; sizes: cycle sizes at representatives.
+    let mut aux: Vec<Vec<(usize, usize)>> = mapping.clone();
+    let mut sizes: Vec<Vec<usize>> = (0..columns.len()).map(|_| vec![1usize; n]).collect();
+
+    for (a, b) in copies {
+        if a.row >= usable || b.row >= usable {
+            return Err(PlonkError::Synthesis(format!(
+                "copy constraint touches non-usable row ({} or {}, usable {})",
+                a.row, b.row, usable
+            )));
+        }
+        let ca = col_index(a.column)?;
+        let cb = col_index(b.column)?;
+        let mut left = (ca, a.row);
+        let mut right = (cb, b.row);
+        if aux[left.0][left.1] == aux[right.0][right.1] {
+            continue; // already in the same cycle
+        }
+        // Merge the smaller cycle into the larger.
+        if sizes[aux[left.0][left.1].0][aux[left.0][left.1].1]
+            < sizes[aux[right.0][right.1].0][aux[right.0][right.1].1]
+        {
+            std::mem::swap(&mut left, &mut right);
+        }
+        let l_rep = aux[left.0][left.1];
+        let r_rep = aux[right.0][right.1];
+        sizes[l_rep.0][l_rep.1] += sizes[r_rep.0][r_rep.1];
+        // Relabel the right cycle.
+        let mut cur = right;
+        loop {
+            aux[cur.0][cur.1] = l_rep;
+            cur = mapping[cur.0][cur.1];
+            if cur == right {
+                break;
+            }
+        }
+        // Splice the cycles.
+        let tmp = mapping[left.0][left.1];
+        mapping[left.0][left.1] = mapping[right.0][right.1];
+        mapping[right.0][right.1] = tmp;
+    }
+    Ok(mapping)
+}
+
+/// Generates proving and verifying keys.
+pub fn keygen(
+    params: &Params,
+    cs: &ConstraintSystem,
+    pre: &Preprocessed,
+    k: u32,
+) -> Result<ProvingKey, PlonkError> {
+    if k > params.k() {
+        return Err(PlonkError::Synthesis(format!(
+            "circuit k={k} exceeds params k={}",
+            params.k()
+        )));
+    }
+    let degree = cs.degree();
+    let domains = ExtendedDomain::new(k, degree);
+    let n = domains.domain.n;
+    if pre.fixed.len() != cs.num_fixed {
+        return Err(PlonkError::Synthesis(format!(
+            "expected {} fixed columns, got {}",
+            cs.num_fixed,
+            pre.fixed.len()
+        )));
+    }
+
+    // Fixed columns.
+    let mut fixed_values = Vec::with_capacity(cs.num_fixed);
+    for col in &pre.fixed {
+        if col.len() > n {
+            return Err(PlonkError::Synthesis(format!(
+                "fixed column has {} rows but n = {n}",
+                col.len()
+            )));
+        }
+        let mut v = col.clone();
+        v.resize(n, Fr::zero());
+        fixed_values.push(v);
+    }
+    let fixed_polys: Vec<Coeffs<Fr>> = fixed_values
+        .iter()
+        .map(|v| {
+            let mut c = v.clone();
+            domains.domain.ifft(&mut c);
+            Coeffs::new(c)
+        })
+        .collect();
+    let fixed_commitments: Vec<G1Affine> =
+        fixed_polys.iter().map(|p| params.commit(p)).collect();
+    let fixed_ext: Vec<Vec<Fr>> = fixed_polys
+        .iter()
+        .map(|p| domains.coset_ext(p.values.clone()))
+        .collect();
+
+    // Permutation sigmas.
+    let mapping = build_permutation(cs, &pre.copies, n)?;
+    let omega_powers: Vec<Fr> = domains.domain.elements();
+    let delta = Fr::delta();
+    let mut delta_powers = Vec::with_capacity(cs.permutation_columns.len());
+    let mut cur = Fr::one();
+    for _ in 0..cs.permutation_columns.len() {
+        delta_powers.push(cur);
+        cur *= delta;
+    }
+    let sigma_values: Vec<Vec<Fr>> = mapping
+        .iter()
+        .map(|col| {
+            col.iter()
+                .map(|(c, i)| delta_powers[*c] * omega_powers[*i])
+                .collect()
+        })
+        .collect();
+    let sigma_polys: Vec<Coeffs<Fr>> = sigma_values
+        .iter()
+        .map(|v| {
+            let mut c = v.clone();
+            domains.domain.ifft(&mut c);
+            Coeffs::new(c)
+        })
+        .collect();
+    let sigma_commitments: Vec<G1Affine> =
+        sigma_polys.iter().map(|p| params.commit(p)).collect();
+    let sigma_ext: Vec<Vec<Fr>> = sigma_polys
+        .iter()
+        .map(|p| domains.coset_ext(p.values.clone()))
+        .collect();
+
+    // Lagrange selectors.
+    let usable = cs.usable_rows(n);
+    let indicator = |rows: &dyn Fn(usize) -> bool| -> Vec<Fr> {
+        let mut evals: Vec<Fr> = (0..n)
+            .map(|i| if rows(i) { Fr::one() } else { Fr::zero() })
+            .collect();
+        domains.domain.ifft(&mut evals);
+        domains.coset_ext(evals)
+    };
+    let l0_ext = indicator(&|i| i == 0);
+    let l_last_ext = indicator(&|i| i == usable);
+    let l_active_ext = indicator(&|i| i < usable);
+
+    // Key digest.
+    let mut hasher = Blake2b::new();
+    hasher.update(b"zkml-plonk-vk");
+    hasher.update(&k.to_le_bytes());
+    hasher.update(&(cs.num_instance as u64).to_le_bytes());
+    hasher.update(&(cs.num_advice as u64).to_le_bytes());
+    hasher.update(&(cs.num_fixed as u64).to_le_bytes());
+    hasher.update(&(cs.gates.len() as u64).to_le_bytes());
+    hasher.update(&(cs.lookups.len() as u64).to_le_bytes());
+    for c in fixed_commitments.iter().chain(sigma_commitments.iter()) {
+        hasher.update(&c.to_bytes());
+    }
+    let digest = hasher.finalize();
+
+    let vk = VerifyingKey {
+        k,
+        cs: cs.clone(),
+        fixed_commitments,
+        sigma_commitments,
+        digest,
+    };
+
+    Ok(ProvingKey {
+        vk,
+        domains,
+        fixed_values,
+        fixed_polys,
+        fixed_ext,
+        sigma_values,
+        sigma_polys,
+        sigma_ext,
+        l0_ext,
+        l_last_ext,
+        l_active_ext,
+    })
+}
+
+/// Returns `BLINDING_FACTORS` (re-exported for sizing logic elsewhere).
+pub fn blinding_factors() -> usize {
+    BLINDING_FACTORS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expression::Column;
+
+    #[test]
+    fn permutation_identity_without_copies() {
+        let mut cs = ConstraintSystem::new();
+        let a = cs.advice_column(0);
+        cs.enable_equality(Column::Advice(a));
+        let mapping = build_permutation(&cs, &[], 16).unwrap();
+        for (i, m) in mapping[0].iter().enumerate() {
+            assert_eq!(*m, (0, i));
+        }
+    }
+
+    #[test]
+    fn permutation_cycles_merge() {
+        let mut cs = ConstraintSystem::new();
+        let a = cs.advice_column(0);
+        let b = cs.advice_column(0);
+        cs.enable_equality(Column::Advice(a));
+        cs.enable_equality(Column::Advice(b));
+        let cell = |c: usize, row: usize| CellRef {
+            column: Column::Advice(c),
+            row,
+        };
+        // (a,0) ~ (b,3) ~ (a,5): one 3-cycle.
+        let copies = vec![(cell(0, 0), cell(1, 3)), (cell(1, 3), cell(0, 5))];
+        let mapping = build_permutation(&cs, &copies, 16).unwrap();
+        // Follow the cycle from (0,0): must visit all three cells and return.
+        let mut seen = vec![(0usize, 0usize)];
+        let mut cur = mapping[0][0];
+        while cur != (0, 0) {
+            seen.push(cur);
+            cur = mapping[cur.0][cur.1];
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, vec![(0, 0), (0, 5), (1, 3)]);
+        // Unrelated cells remain fixed points.
+        assert_eq!(mapping[0][1], (0, 1));
+    }
+
+    #[test]
+    fn duplicate_copy_is_idempotent() {
+        let mut cs = ConstraintSystem::new();
+        let a = cs.advice_column(0);
+        cs.enable_equality(Column::Advice(a));
+        let cell = |row: usize| CellRef {
+            column: Column::Advice(0),
+            row,
+        };
+        let copies = vec![(cell(0), cell(1)), (cell(0), cell(1)), (cell(1), cell(0))];
+        let mapping = build_permutation(&cs, &copies, 16).unwrap();
+        // 2-cycle between rows 0 and 1.
+        assert_eq!(mapping[0][0], (0, 1));
+        assert_eq!(mapping[0][1], (0, 0));
+        let _ = a;
+    }
+
+    #[test]
+    fn copy_on_blinding_row_rejected() {
+        let mut cs = ConstraintSystem::new();
+        let a = cs.advice_column(0);
+        cs.enable_equality(Column::Advice(a));
+        let cell = |row: usize| CellRef {
+            column: Column::Advice(0),
+            row,
+        };
+        let copies = vec![(cell(0), cell(15))]; // row 15 of 16 is blinding
+        assert!(build_permutation(&cs, &copies, 16).is_err());
+    }
+
+    #[test]
+    fn extended_domain_vanishing_inverses() {
+        let ed = ExtendedDomain::new(4, 5);
+        assert_eq!(ed.factor, 4);
+        // zh_inv[i] * Z_H(coset point i) == 1 for a few sample points.
+        for i in [0usize, 1, 5, 17] {
+            let pt = ed.ext.coset_gen * ed.ext.omega.pow(&[i as u64]);
+            let zh = pt.pow(&[ed.domain.n as u64]) - Fr::one();
+            assert_eq!(zh * ed.zh_inv[i % ed.factor], Fr::one());
+        }
+    }
+
+    #[test]
+    fn rotated_index_wraps() {
+        let ed = ExtendedDomain::new(3, 3);
+        // factor 2, ext n = 16.
+        assert_eq!(ed.rotated_index(0, 1), 2);
+        assert_eq!(ed.rotated_index(0, -1), 14);
+        assert_eq!(ed.rotated_index(15, 1), 1);
+    }
+}

@@ -1,0 +1,181 @@
+//! The opening plan shared by prover and verifier.
+//!
+//! Both sides must enumerate committed polynomials, evaluation points and
+//! claimed evaluations in exactly the same order; this module is the single
+//! source of truth for that order.
+
+use crate::circuit::ConstraintSystem;
+use crate::expression::Column;
+
+/// Identifies a committed polynomial within a proof.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PolyId {
+    /// Advice column `i`.
+    Advice(usize),
+    /// Fixed column `i` (committed in the verifying key).
+    Fixed(usize),
+    /// Permutation sigma polynomial `i` (committed in the verifying key).
+    Sigma(usize),
+    /// Permutation grand-product polynomial for chunk `c`.
+    PermZ(usize),
+    /// Permuted lookup input for lookup `i`.
+    LookupA(usize),
+    /// Permuted lookup table for lookup `i`.
+    LookupS(usize),
+    /// Lookup grand-product polynomial for lookup `i`.
+    LookupZ(usize),
+    /// Quotient piece `j`.
+    Quotient(usize),
+}
+
+/// One entry of the opening plan: evaluate `poly` at `x * omega^rotation`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlanEntry {
+    /// Which polynomial.
+    pub poly: PolyId,
+    /// Rotation relative to the evaluation challenge.
+    pub rotation: i32,
+}
+
+/// Builds the canonical opening plan for a constraint system with `2^k` rows.
+///
+/// `usable` is the `l_last` row index (`n - BLINDING_FACTORS - 1`); the
+/// permutation chunk-linking constraint evaluates the previous chunk's
+/// grand product at `omega^usable * x`.
+pub fn opening_plan(cs: &ConstraintSystem, usable: usize, quotient_pieces: usize) -> Vec<PlanEntry> {
+    let mut plan = Vec::new();
+    // 1. Column queries from gates/lookup expressions (instance columns are
+    //    evaluated directly by the verifier and never opened).
+    for (col, rot) in cs.queries() {
+        match col {
+            Column::Advice(i) => plan.push(PlanEntry {
+                poly: PolyId::Advice(i),
+                rotation: rot.0,
+            }),
+            Column::Fixed(i) => plan.push(PlanEntry {
+                poly: PolyId::Fixed(i),
+                rotation: rot.0,
+            }),
+            Column::Instance(_) => {}
+        }
+    }
+    // 2. Permutation openings.
+    let z_count = cs.permutation_z_count();
+    for i in 0..cs.permutation_columns.len() {
+        plan.push(PlanEntry {
+            poly: PolyId::Sigma(i),
+            rotation: 0,
+        });
+    }
+    for c in 0..z_count {
+        plan.push(PlanEntry {
+            poly: PolyId::PermZ(c),
+            rotation: 0,
+        });
+        plan.push(PlanEntry {
+            poly: PolyId::PermZ(c),
+            rotation: 1,
+        });
+        // The next chunk's linking constraint reads this chunk at omega^usable.
+        if c + 1 < z_count {
+            plan.push(PlanEntry {
+                poly: PolyId::PermZ(c),
+                rotation: usable as i32,
+            });
+        }
+    }
+    // 3. Lookup openings.
+    for i in 0..cs.lookups.len() {
+        plan.push(PlanEntry {
+            poly: PolyId::LookupA(i),
+            rotation: 0,
+        });
+        plan.push(PlanEntry {
+            poly: PolyId::LookupA(i),
+            rotation: -1,
+        });
+        plan.push(PlanEntry {
+            poly: PolyId::LookupS(i),
+            rotation: 0,
+        });
+        plan.push(PlanEntry {
+            poly: PolyId::LookupZ(i),
+            rotation: 0,
+        });
+        plan.push(PlanEntry {
+            poly: PolyId::LookupZ(i),
+            rotation: 1,
+        });
+    }
+    // 4. Quotient pieces.
+    for j in 0..quotient_pieces {
+        plan.push(PlanEntry {
+            poly: PolyId::Quotient(j),
+            rotation: 0,
+        });
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expression::{Expression, Rotation};
+
+    #[test]
+    fn plan_covers_all_commitments() {
+        let mut cs = ConstraintSystem::new();
+        let q = cs.fixed_column();
+        let a = cs.advice_column(0);
+        let b = cs.advice_column(0);
+        cs.enable_equality(Column::Advice(a));
+        cs.enable_equality(Column::Advice(b));
+        cs.create_gate(
+            "g",
+            vec![
+                Expression::Fixed(q, Rotation::cur())
+                    * (Expression::Advice(a, Rotation::cur())
+                        - Expression::Advice(b, Rotation::cur())),
+            ],
+        );
+        let t = cs.fixed_column();
+        cs.create_lookup(
+            "lk",
+            vec![Expression::Advice(a, Rotation::cur())],
+            vec![Expression::Fixed(t, Rotation::cur())],
+        );
+        let plan = opening_plan(&cs, 57, 4);
+        // Every advice column, fixed column, sigma, and quotient appears.
+        for i in 0..cs.num_advice {
+            assert!(plan.iter().any(|e| e.poly == PolyId::Advice(i)));
+        }
+        for i in 0..cs.num_fixed {
+            assert!(plan.iter().any(|e| e.poly == PolyId::Fixed(i)));
+        }
+        for i in 0..cs.permutation_columns.len() {
+            assert!(plan.iter().any(|e| e.poly == PolyId::Sigma(i)));
+        }
+        for j in 0..4 {
+            assert!(plan.iter().any(|e| e.poly == PolyId::Quotient(j)));
+        }
+        assert!(plan.iter().any(|e| e.poly == PolyId::LookupA(0) && e.rotation == -1));
+    }
+
+    #[test]
+    fn linking_rotation_only_for_non_last_chunks() {
+        let mut cs = ConstraintSystem::new();
+        for _ in 0..3 {
+            let c = cs.advice_column(0);
+            cs.enable_equality(Column::Advice(c));
+        }
+        // degree 3 -> chunk 1 -> 3 Z polys; chunks 0 and 1 get the usable
+        // rotation, chunk 2 does not.
+        let plan = opening_plan(&cs, 100, 2);
+        let rot_100: Vec<_> = plan
+            .iter()
+            .filter(|e| e.rotation == 100)
+            .map(|e| e.poly)
+            .collect();
+        assert_eq!(rot_100, vec![PolyId::PermZ(0), PolyId::PermZ(1)]);
+    }
+}

@@ -1,0 +1,230 @@
+//! Power-of-two evaluation domains.
+
+use crate::fft::{fft_in_place, ifft_in_place};
+use zkml_ff::{batch_invert, FftField};
+
+/// A multiplicative subgroup of order `2^k`, plus precomputed constants for
+/// (coset) FFTs over it.
+#[derive(Clone, Debug)]
+pub struct EvaluationDomain<F: FftField> {
+    /// log2 of the domain size.
+    pub k: u32,
+    /// Domain size `n = 2^k`.
+    pub n: usize,
+    /// Primitive `n`-th root of unity.
+    pub omega: F,
+    /// `omega^{-1}`.
+    pub omega_inv: F,
+    /// `n^{-1}` as a field element.
+    pub n_inv: F,
+    /// Coset generator `g` (the field's multiplicative generator).
+    pub coset_gen: F,
+    /// `g^{-1}`.
+    pub coset_gen_inv: F,
+}
+
+impl<F: FftField> EvaluationDomain<F> {
+    /// Creates the domain of size `2^k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` exceeds the field's two-adicity.
+    pub fn new(k: u32) -> Self {
+        assert!(
+            k <= F::TWO_ADICITY,
+            "domain size 2^{k} exceeds field 2-adicity {}",
+            F::TWO_ADICITY
+        );
+        let mut omega = F::root_of_unity();
+        for _ in 0..(F::TWO_ADICITY - k) {
+            omega = omega.square();
+        }
+        let n = 1usize << k;
+        let coset_gen = F::multiplicative_generator();
+        Self {
+            k,
+            n,
+            omega,
+            omega_inv: omega.invert().expect("omega nonzero"),
+            n_inv: F::from_u64(n as u64).invert().expect("n nonzero"),
+            coset_gen,
+            coset_gen_inv: coset_gen.invert().expect("generator nonzero"),
+        }
+    }
+
+    /// Returns the domain elements `omega^0, ..., omega^{n-1}`.
+    pub fn elements(&self) -> Vec<F> {
+        let mut out = Vec::with_capacity(self.n);
+        let mut cur = F::one();
+        for _ in 0..self.n {
+            out.push(cur);
+            cur *= self.omega;
+        }
+        out
+    }
+
+    /// Converts coefficients to evaluations over the domain, in place.
+    ///
+    /// The input is zero-padded (or must already be) to length `n`.
+    pub fn fft(&self, a: &mut Vec<F>) {
+        assert!(a.len() <= self.n, "too many coefficients for domain");
+        a.resize(self.n, F::zero());
+        fft_in_place(a, self.omega, self.k);
+    }
+
+    /// Converts evaluations over the domain back to coefficients, in place.
+    pub fn ifft(&self, a: &mut Vec<F>) {
+        assert_eq!(a.len(), self.n, "evaluations must cover the domain");
+        ifft_in_place(a, self.omega_inv, self.n_inv, self.k);
+    }
+
+    /// Evaluates the polynomial over the coset `g * H`, in place.
+    pub fn coset_fft(&self, a: &mut Vec<F>) {
+        assert!(a.len() <= self.n, "too many coefficients for domain");
+        a.resize(self.n, F::zero());
+        let mut cur = F::one();
+        for v in a.iter_mut() {
+            *v *= cur;
+            cur *= self.coset_gen;
+        }
+        fft_in_place(a, self.omega, self.k);
+    }
+
+    /// Interpolates evaluations over the coset `g * H` back to coefficients.
+    pub fn coset_ifft(&self, a: &mut Vec<F>) {
+        assert_eq!(a.len(), self.n, "evaluations must cover the domain");
+        ifft_in_place(a, self.omega_inv, self.n_inv, self.k);
+        let mut cur = F::one();
+        for v in a.iter_mut() {
+            *v *= cur;
+            cur *= self.coset_gen_inv;
+        }
+    }
+
+    /// Evaluates the vanishing polynomial `X^n - 1` at `x`.
+    pub fn evaluate_vanishing(&self, x: F) -> F {
+        x.pow(&[self.n as u64]) - F::one()
+    }
+
+    /// Returns `x * omega^rotation` (negative rotations use `omega^{-1}`).
+    pub fn rotate(&self, x: F, rotation: i32) -> F {
+        let w = if rotation >= 0 {
+            self.omega.pow(&[rotation as u64])
+        } else {
+            self.omega_inv.pow(&[(-(rotation as i64)) as u64])
+        };
+        x * w
+    }
+
+    /// Evaluates every Lagrange basis polynomial `l_i` at the point `x`.
+    ///
+    /// Uses the barycentric formula
+    /// `l_i(x) = (omega^i / n) * (x^n - 1) / (x - omega^i)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` lies inside the domain (callers evaluate at random
+    /// challenges, which hit the domain with negligible probability).
+    pub fn lagrange_evals(&self, x: F) -> Vec<F> {
+        let zh = self.evaluate_vanishing(x);
+        assert!(!zh.is_zero(), "lagrange_evals: point in domain");
+        let mut denoms: Vec<F> = Vec::with_capacity(self.n);
+        let mut w = F::one();
+        for _ in 0..self.n {
+            denoms.push(x - w);
+            w *= self.omega;
+        }
+        batch_invert(&mut denoms);
+        let scale = zh * self.n_inv;
+        let mut out = Vec::with_capacity(self.n);
+        let mut w = F::one();
+        for d in denoms {
+            out.push(scale * w * d);
+            w *= self.omega;
+        }
+        out
+    }
+
+    /// Evaluates a single Lagrange basis polynomial `l_i` at `x`.
+    pub fn lagrange_eval(&self, i: usize, x: F) -> F {
+        let zh = self.evaluate_vanishing(x);
+        let wi = self.omega.pow(&[i as u64]);
+        let denom = (x - wi).invert().expect("point not in domain");
+        zh * self.n_inv * wi * denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use zkml_ff::{Field, Fr, PrimeField};
+
+    #[test]
+    fn coset_fft_roundtrip_and_offset() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let domain = EvaluationDomain::<Fr>::new(5);
+        let coeffs: Vec<Fr> = (0..domain.n).map(|_| Fr::random(&mut rng)).collect();
+
+        let mut evals = coeffs.clone();
+        domain.coset_fft(&mut evals);
+        // Spot-check evaluation at g * omega^3.
+        let x = domain.coset_gen * domain.omega.pow(&[3]);
+        let mut acc = Fr::zero();
+        for c in coeffs.iter().rev() {
+            acc = acc * x + *c;
+        }
+        assert_eq!(evals[3], acc);
+
+        let mut back = evals;
+        domain.coset_ifft(&mut back);
+        assert_eq!(back, coeffs);
+    }
+
+    #[test]
+    fn vanishing_is_zero_on_domain_nonzero_on_coset() {
+        let domain = EvaluationDomain::<Fr>::new(4);
+        for e in domain.elements() {
+            assert!(domain.evaluate_vanishing(e).is_zero());
+        }
+        assert!(!domain
+            .evaluate_vanishing(domain.coset_gen)
+            .is_zero());
+    }
+
+    #[test]
+    fn lagrange_interpolation_identity() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let domain = EvaluationDomain::<Fr>::new(4);
+        let evals: Vec<Fr> = (0..domain.n).map(|_| Fr::random(&mut rng)).collect();
+        let mut coeffs = evals.clone();
+        domain.ifft(&mut coeffs);
+
+        let x = Fr::random(&mut rng);
+        let mut horner = Fr::zero();
+        for c in coeffs.iter().rev() {
+            horner = horner * x + *c;
+        }
+        let ls = domain.lagrange_evals(x);
+        let bary: Fr = ls.iter().zip(evals.iter()).map(|(l, e)| *l * *e).sum();
+        assert_eq!(bary, horner);
+        // Single-basis evaluation agrees with the batch.
+        for i in [0usize, 1, 7, 15] {
+            assert_eq!(domain.lagrange_eval(i, x), ls[i]);
+        }
+    }
+
+    #[test]
+    fn rotate_matches_omega_powers() {
+        let domain = EvaluationDomain::<Fr>::new(3);
+        let x = Fr::from_u64(17);
+        assert_eq!(domain.rotate(x, 1), x * domain.omega);
+        assert_eq!(domain.rotate(x, -1), x * domain.omega_inv);
+        assert_eq!(domain.rotate(x, 0), x);
+        assert_eq!(
+            domain.rotate(x, -2),
+            x * domain.omega_inv * domain.omega_inv
+        );
+    }
+}

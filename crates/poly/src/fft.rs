@@ -1,0 +1,115 @@
+//! In-place radix-2 decimation-in-time NTT.
+
+use zkml_ff::FftField;
+
+/// Reverses the low `bits` bits of `n`.
+#[inline]
+pub fn bitreverse(n: usize, bits: u32) -> usize {
+    n.reverse_bits() >> (usize::BITS - bits)
+}
+
+/// Performs an in-place FFT of `a` (length `2^k`) using `omega` as the
+/// primitive `2^k`-th root of unity.
+///
+/// # Panics
+///
+/// Panics if `a.len() != 2^k`.
+pub fn fft_in_place<F: FftField>(a: &mut [F], omega: F, k: u32) {
+    let n = a.len();
+    assert_eq!(n, 1 << k, "fft length must equal 2^k");
+    if n == 1 {
+        return;
+    }
+
+    for i in 0..n {
+        let ri = bitreverse(i, k);
+        if i < ri {
+            a.swap(i, ri);
+        }
+    }
+
+    // Precompute twiddles for the largest stage once; smaller stages stride
+    // through the same table.
+    let half = n / 2;
+    let mut twiddles = Vec::with_capacity(half);
+    let mut w = F::one();
+    for _ in 0..half {
+        twiddles.push(w);
+        w *= omega;
+    }
+
+    let mut m = 1;
+    while m < n {
+        let stride = half / m;
+        for start in (0..n).step_by(2 * m) {
+            for i in 0..m {
+                let t = a[start + m + i] * twiddles[i * stride];
+                let u = a[start + i];
+                a[start + i] = u + t;
+                a[start + m + i] = u - t;
+            }
+        }
+        m *= 2;
+    }
+}
+
+/// Performs an in-place inverse FFT (includes the `1/n` scaling).
+pub fn ifft_in_place<F: FftField>(a: &mut [F], omega_inv: F, n_inv: F, k: u32) {
+    fft_in_place(a, omega_inv, k);
+    for v in a.iter_mut() {
+        *v *= n_inv;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use zkml_ff::{FftField, Field, Fr, PrimeField};
+
+    fn omega_for(k: u32) -> Fr {
+        let mut w = Fr::root_of_unity();
+        for _ in 0..(Fr::TWO_ADICITY - k) {
+            w = w.square();
+        }
+        w
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for k in 0..7u32 {
+            let n = 1usize << k;
+            let coeffs: Vec<Fr> = (0..n).map(|_| Fr::random(&mut rng)).collect();
+            let omega = omega_for(k);
+            let mut evals = coeffs.clone();
+            fft_in_place(&mut evals, omega, k);
+            for (i, e) in evals.iter().enumerate() {
+                // Naive evaluation at omega^i.
+                let x = omega.pow(&[i as u64]);
+                let mut acc = Fr::zero();
+                for c in coeffs.iter().rev() {
+                    acc = acc * x + *c;
+                }
+                assert_eq!(*e, acc, "k={k} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn fft_ifft_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for k in 0..10u32 {
+            let n = 1usize << k;
+            let coeffs: Vec<Fr> = (0..n).map(|_| Fr::random(&mut rng)).collect();
+            let omega = omega_for(k);
+            let omega_inv = omega.invert().unwrap();
+            let n_inv = Fr::from_u64(n as u64).invert().unwrap();
+            let mut work = coeffs.clone();
+            fft_in_place(&mut work, omega, k);
+            ifft_in_place(&mut work, omega_inv, n_inv, k);
+            assert_eq!(work, coeffs);
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Dense polynomial containers in coefficient and evaluation form.
+
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+use zkml_ff::Field;
+
+/// A dense polynomial in coefficient form (`coeffs[i]` multiplies `X^i`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Coeffs<F: Field> {
+    /// Coefficients, lowest degree first. May contain leading zeros.
+    pub values: Vec<F>,
+}
+
+/// A polynomial in evaluation form over some (implicit) evaluation domain.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Evals<F: Field> {
+    /// Evaluations at `omega^0, ..., omega^{n-1}`.
+    pub values: Vec<F>,
+}
+
+impl<F: Field> Coeffs<F> {
+    /// Creates a polynomial from coefficients.
+    pub fn new(values: Vec<F>) -> Self {
+        Self { values }
+    }
+
+    /// The zero polynomial padded to `n` coefficients.
+    pub fn zero(n: usize) -> Self {
+        Self {
+            values: vec![F::zero(); n],
+        }
+    }
+
+    /// Number of stored coefficients (including leading zeros).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns true if no coefficients are stored.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Evaluates at `x` by Horner's rule.
+    pub fn evaluate(&self, x: F) -> F {
+        let mut acc = F::zero();
+        for c in self.values.iter().rev() {
+            acc = acc * x + *c;
+        }
+        acc
+    }
+
+    /// Scales every coefficient by `s`.
+    pub fn scale(&self, s: F) -> Self {
+        Self {
+            values: self.values.iter().map(|c| *c * s).collect(),
+        }
+    }
+
+    /// Divides by the linear factor `(X - z)`, returning the quotient.
+    ///
+    /// This is the "Kate division" used to open KZG commitments: if
+    /// `p(z) = v`, then `p(X) - v = q(X) (X - z)` exactly. The remainder
+    /// (which equals `p(z)`) is discarded.
+    pub fn kate_divide(&self, z: F) -> Self {
+        if self.values.is_empty() {
+            return Self { values: vec![] };
+        }
+        let mut q = vec![F::zero(); self.values.len() - 1];
+        let mut acc = F::zero();
+        for i in (1..self.values.len()).rev() {
+            acc = self.values[i] + acc * z;
+            q[i - 1] = acc;
+        }
+        Self { values: q }
+    }
+
+    /// Naive multiplication (test/reference use only).
+    pub fn mul_naive(&self, other: &Self) -> Self {
+        if self.values.is_empty() || other.values.is_empty() {
+            return Self { values: vec![] };
+        }
+        let mut out = vec![F::zero(); self.values.len() + other.values.len() - 1];
+        for (i, a) in self.values.iter().enumerate() {
+            for (j, b) in other.values.iter().enumerate() {
+                out[i + j] += *a * *b;
+            }
+        }
+        Self { values: out }
+    }
+
+    /// Degree of the polynomial ignoring leading zeros (zero poly -> 0).
+    pub fn degree(&self) -> usize {
+        self.values
+            .iter()
+            .rposition(|c| !c.is_zero())
+            .unwrap_or(0)
+    }
+}
+
+impl<F: Field> Evals<F> {
+    /// Creates evaluations from raw values.
+    pub fn new(values: Vec<F>) -> Self {
+        Self { values }
+    }
+
+    /// The all-zero evaluation vector of length `n`.
+    pub fn zero(n: usize) -> Self {
+        Self {
+            values: vec![F::zero(); n],
+        }
+    }
+
+    /// Number of evaluation points.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns true if no evaluations are stored.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Scales every evaluation by `s`.
+    pub fn scale(&self, s: F) -> Self {
+        Self {
+            values: self.values.iter().map(|c| *c * s).collect(),
+        }
+    }
+}
+
+macro_rules! impl_pointwise {
+    ($ty:ident) => {
+        impl<F: Field> Add for &$ty<F> {
+            type Output = $ty<F>;
+            fn add(self, rhs: Self) -> $ty<F> {
+                assert_eq!(self.values.len(), rhs.values.len());
+                $ty {
+                    values: self
+                        .values
+                        .iter()
+                        .zip(&rhs.values)
+                        .map(|(a, b)| *a + *b)
+                        .collect(),
+                }
+            }
+        }
+        impl<F: Field> Sub for &$ty<F> {
+            type Output = $ty<F>;
+            fn sub(self, rhs: Self) -> $ty<F> {
+                assert_eq!(self.values.len(), rhs.values.len());
+                $ty {
+                    values: self
+                        .values
+                        .iter()
+                        .zip(&rhs.values)
+                        .map(|(a, b)| *a - *b)
+                        .collect(),
+                }
+            }
+        }
+        impl<F: Field> Index<usize> for $ty<F> {
+            type Output = F;
+            fn index(&self, i: usize) -> &F {
+                &self.values[i]
+            }
+        }
+        impl<F: Field> IndexMut<usize> for $ty<F> {
+            fn index_mut(&mut self, i: usize) -> &mut F {
+                &mut self.values[i]
+            }
+        }
+    };
+}
+
+impl_pointwise!(Coeffs);
+impl_pointwise!(Evals);
+
+impl<F: Field> Mul for &Evals<F> {
+    type Output = Evals<F>;
+    fn mul(self, rhs: Self) -> Evals<F> {
+        assert_eq!(self.values.len(), rhs.values.len());
+        Evals {
+            values: self
+                .values
+                .iter()
+                .zip(&rhs.values)
+                .map(|(a, b)| *a * *b)
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use zkml_ff::{Fr, PrimeField};
+
+    #[test]
+    fn horner_evaluation() {
+        // p(x) = 3 + 2x + x^2; p(5) = 3 + 10 + 25 = 38.
+        let p = Coeffs::new(vec![
+            Fr::from_u64(3),
+            Fr::from_u64(2),
+            Fr::from_u64(1),
+        ]);
+        assert_eq!(p.evaluate(Fr::from_u64(5)), Fr::from_u64(38));
+        assert_eq!(p.degree(), 2);
+    }
+
+    #[test]
+    fn kate_division_identity() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let p = Coeffs::new((0..17).map(|_| Fr::random(&mut rng)).collect());
+        let z = Fr::random(&mut rng);
+        let v = p.evaluate(z);
+        let q = p.kate_divide(z);
+        // Check p(X) - v == q(X) * (X - z) at a random point.
+        let x = Fr::random(&mut rng);
+        assert_eq!(p.evaluate(x) - v, q.evaluate(x) * (x - z));
+    }
+
+    #[test]
+    fn pointwise_ops() {
+        let a = Evals::new(vec![Fr::from_u64(1), Fr::from_u64(2)]);
+        let b = Evals::new(vec![Fr::from_u64(10), Fr::from_u64(20)]);
+        assert_eq!((&a + &b).values, vec![Fr::from_u64(11), Fr::from_u64(22)]);
+        assert_eq!((&b - &a).values, vec![Fr::from_u64(9), Fr::from_u64(18)]);
+        assert_eq!((&a * &b).values, vec![Fr::from_u64(10), Fr::from_u64(40)]);
+        assert_eq!(a.scale(Fr::from_u64(3)).values[1], Fr::from_u64(6));
+    }
+
+    #[test]
+    fn mul_naive_degree() {
+        let a = Coeffs::new(vec![Fr::from_u64(1), Fr::from_u64(1)]); // 1 + x
+        let sq = a.mul_naive(&a); // 1 + 2x + x^2
+        assert_eq!(
+            sq.values,
+            vec![Fr::from_u64(1), Fr::from_u64(2), Fr::from_u64(1)]
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! Property tests for polynomial arithmetic and evaluation domains.
+
+use proptest::prelude::*;
+use zkml_ff::{FftField, Field, Fr, PrimeField};
+use zkml_poly::{Coeffs, EvaluationDomain};
+
+fn fr() -> impl Strategy<Value = Fr> {
+    any::<u64>().prop_map(Fr::from_u64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn fft_is_linear(k in 2u32..7, seed in any::<u64>()) {
+        let domain = EvaluationDomain::<Fr>::new(k);
+        let n = domain.n;
+        let mk = |s: u64| -> Vec<Fr> {
+            (0..n).map(|i| Fr::from_u64(s.wrapping_mul(i as u64 + 1))).collect()
+        };
+        let a = mk(seed);
+        let b = mk(seed.wrapping_add(7));
+        let sum: Vec<Fr> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        let mut fs = sum.clone();
+        domain.fft(&mut fa);
+        domain.fft(&mut fb);
+        domain.fft(&mut fs);
+        for i in 0..n {
+            prop_assert_eq!(fs[i], fa[i] + fb[i]);
+        }
+    }
+
+    #[test]
+    fn kate_division_exact(coeffs in prop::collection::vec(fr(), 1..32), z in fr(), x in fr()) {
+        let p = Coeffs::new(coeffs);
+        let v = p.evaluate(z);
+        let q = p.kate_divide(z);
+        prop_assert_eq!(p.evaluate(x) - v, q.evaluate(x) * (x - z));
+    }
+
+    #[test]
+    fn mul_naive_matches_evaluation(a in prop::collection::vec(fr(), 1..12),
+                                    b in prop::collection::vec(fr(), 1..12),
+                                    x in fr()) {
+        let pa = Coeffs::new(a);
+        let pb = Coeffs::new(b);
+        let prod = pa.mul_naive(&pb);
+        prop_assert_eq!(prod.evaluate(x), pa.evaluate(x) * pb.evaluate(x));
+    }
+
+    #[test]
+    fn lagrange_basis_partition_of_unity(k in 2u32..6, x in fr()) {
+        let domain = EvaluationDomain::<Fr>::new(k);
+        prop_assume!(!domain.evaluate_vanishing(x).is_zero());
+        let ls = domain.lagrange_evals(x);
+        let total: Fr = ls.iter().copied().sum();
+        // sum_i l_i(x) = 1 for any x.
+        prop_assert_eq!(total, Fr::one());
+    }
+
+    #[test]
+    fn coset_fft_matches_horner(k in 2u32..6, seed in any::<u64>(), idx in 0usize..16) {
+        let domain = EvaluationDomain::<Fr>::new(k);
+        let coeffs: Vec<Fr> = (0..domain.n)
+            .map(|i| Fr::from_u64(seed.wrapping_mul(i as u64 * 31 + 17)))
+            .collect();
+        let idx = idx % domain.n;
+        let mut evals = coeffs.clone();
+        domain.coset_fft(&mut evals);
+        let x = domain.coset_gen * domain.omega.pow(&[idx as u64]);
+        prop_assert_eq!(evals[idx], Coeffs::new(coeffs).evaluate(x));
+    }
+}

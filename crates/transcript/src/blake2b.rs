@@ -1,0 +1,197 @@
+//! BLAKE2b-512 (RFC 7693), unkeyed sequential mode.
+
+/// Initialization vector (fractional parts of sqrt of the first 8 primes).
+const IV: [u64; 8] = [
+    0x6a09e667f3bcc908,
+    0xbb67ae8584caa73b,
+    0x3c6ef372fe94f82b,
+    0xa54ff53a5f1d36f1,
+    0x510e527fade682d1,
+    0x9b05688c2b3e6c1f,
+    0x1f83d9abfb41bd6b,
+    0x5be0cd19137e2179,
+];
+
+/// Message schedule permutations for the 12 rounds (rows repeat after 10).
+const SIGMA: [[usize; 16]; 10] = [
+    [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15],
+    [14, 10, 4, 8, 9, 15, 13, 6, 1, 12, 0, 2, 11, 7, 5, 3],
+    [11, 8, 12, 0, 5, 2, 15, 13, 10, 14, 3, 6, 7, 1, 9, 4],
+    [7, 9, 3, 1, 13, 12, 11, 14, 2, 6, 5, 10, 4, 0, 15, 8],
+    [9, 0, 5, 7, 2, 4, 10, 15, 14, 1, 11, 12, 6, 8, 3, 13],
+    [2, 12, 6, 10, 0, 11, 8, 3, 4, 13, 7, 5, 15, 14, 1, 9],
+    [12, 5, 1, 15, 14, 13, 4, 10, 0, 7, 6, 3, 9, 2, 8, 11],
+    [13, 11, 7, 14, 12, 1, 3, 9, 5, 0, 15, 4, 8, 6, 2, 10],
+    [6, 15, 14, 9, 11, 3, 0, 8, 12, 2, 13, 7, 1, 4, 10, 5],
+    [10, 2, 8, 4, 7, 6, 1, 5, 15, 11, 9, 14, 3, 12, 13, 0],
+];
+
+/// Streaming BLAKE2b-512 hasher.
+#[derive(Clone)]
+pub struct Blake2b {
+    h: [u64; 8],
+    buf: [u8; 128],
+    buf_len: usize,
+    counter: u128,
+}
+
+impl Default for Blake2b {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Blake2b {
+    /// Creates a new unkeyed hasher with 64-byte output.
+    pub fn new() -> Self {
+        let mut h = IV;
+        // Parameter block: digest_length=64, key_length=0, fanout=1, depth=1.
+        h[0] ^= 0x0101_0000 ^ 64;
+        Self {
+            h,
+            buf: [0u8; 128],
+            buf_len: 0,
+            counter: 0,
+        }
+    }
+
+    /// Absorbs `data` into the hash state.
+    pub fn update(&mut self, mut data: &[u8]) {
+        // Fill the partial block first; only compress when we know more data
+        // follows (the final block must be compressed with the last flag).
+        while !data.is_empty() {
+            if self.buf_len == 128 {
+                self.counter += 128;
+                let block = self.buf;
+                self.compress(&block, self.counter, false);
+                self.buf_len = 0;
+            }
+            let take = (128 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+        }
+    }
+
+    /// Finalizes and returns the 64-byte digest.
+    pub fn finalize(mut self) -> [u8; 64] {
+        self.counter += self.buf_len as u128;
+        for b in self.buf[self.buf_len..].iter_mut() {
+            *b = 0;
+        }
+        let block = self.buf;
+        self.compress(&block, self.counter, true);
+        let mut out = [0u8; 64];
+        for (i, word) in self.h.iter().enumerate() {
+            out[i * 8..(i + 1) * 8].copy_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+
+    /// Convenience: hash `data` in one shot.
+    pub fn digest(data: &[u8]) -> [u8; 64] {
+        let mut h = Self::new();
+        h.update(data);
+        h.finalize()
+    }
+
+    fn compress(&mut self, block: &[u8; 128], counter: u128, last: bool) {
+        let mut m = [0u64; 16];
+        for (i, word) in m.iter_mut().enumerate() {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&block[i * 8..(i + 1) * 8]);
+            *word = u64::from_le_bytes(b);
+        }
+        let mut v = [0u64; 16];
+        v[..8].copy_from_slice(&self.h);
+        v[8..].copy_from_slice(&IV);
+        v[12] ^= counter as u64;
+        v[13] ^= (counter >> 64) as u64;
+        if last {
+            v[14] ^= u64::MAX;
+        }
+
+        #[inline(always)]
+        fn g(v: &mut [u64; 16], a: usize, b: usize, c: usize, d: usize, x: u64, y: u64) {
+            v[a] = v[a].wrapping_add(v[b]).wrapping_add(x);
+            v[d] = (v[d] ^ v[a]).rotate_right(32);
+            v[c] = v[c].wrapping_add(v[d]);
+            v[b] = (v[b] ^ v[c]).rotate_right(24);
+            v[a] = v[a].wrapping_add(v[b]).wrapping_add(y);
+            v[d] = (v[d] ^ v[a]).rotate_right(16);
+            v[c] = v[c].wrapping_add(v[d]);
+            v[b] = (v[b] ^ v[c]).rotate_right(63);
+        }
+
+        for round in 0..12 {
+            let s = &SIGMA[round % 10];
+            g(&mut v, 0, 4, 8, 12, m[s[0]], m[s[1]]);
+            g(&mut v, 1, 5, 9, 13, m[s[2]], m[s[3]]);
+            g(&mut v, 2, 6, 10, 14, m[s[4]], m[s[5]]);
+            g(&mut v, 3, 7, 11, 15, m[s[6]], m[s[7]]);
+            g(&mut v, 0, 5, 10, 15, m[s[8]], m[s[9]]);
+            g(&mut v, 1, 6, 11, 12, m[s[10]], m[s[11]]);
+            g(&mut v, 2, 7, 8, 13, m[s[12]], m[s[13]]);
+            g(&mut v, 3, 4, 9, 14, m[s[14]], m[s[15]]);
+        }
+
+        for i in 0..8 {
+            self.h[i] ^= v[i] ^ v[i + 8];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc7693_abc_vector() {
+        // Appendix A of RFC 7693.
+        let d = Blake2b::digest(b"abc");
+        assert_eq!(
+            hex(&d),
+            "ba80a53f981c4d0d6a2797b69f12f6e94c212f14685ac4b74b12bb6fdbffa2d1\
+             7d87c5392aab792dc252d5de4533cc9518d38aa8dbf1925ab92386edd4009923"
+        );
+    }
+
+    #[test]
+    fn empty_input_vector() {
+        let d = Blake2b::digest(b"");
+        assert_eq!(
+            hex(&d),
+            "786a02f742015903c6c6fd852552d272912f4740e15847618a86e217f71f5419\
+             d25e1031afee585313896444934eb04b903a685b1448b755d56f701afe9be2ce"
+        );
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        let oneshot = Blake2b::digest(&data);
+        for chunk_size in [1usize, 7, 64, 127, 128, 129, 333] {
+            let mut h = Blake2b::new();
+            for chunk in data.chunks(chunk_size) {
+                h.update(chunk);
+            }
+            assert_eq!(h.finalize(), oneshot, "chunk_size={chunk_size}");
+        }
+    }
+
+    #[test]
+    fn multi_block_input() {
+        // Exactly 128 and 256 bytes exercise the block boundary logic.
+        let d128 = Blake2b::digest(&[0x42u8; 128]);
+        let d256 = Blake2b::digest(&[0x42u8; 256]);
+        assert_ne!(d128, d256);
+        let mut h = Blake2b::new();
+        h.update(&[0x42u8; 128]);
+        h.update(&[0x42u8; 128]);
+        assert_eq!(h.finalize(), d256);
+    }
+}

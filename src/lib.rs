@@ -1,0 +1,21 @@
+//! Workspace facade for the ZKML reproduction.
+//!
+//! Re-exports the public API of every layer so examples and downstream
+//! users can depend on a single crate:
+//!
+//! * [`zkml`] — the optimizing compiler (gadgets, layers, optimizer).
+//! * [`zkml_model`] — graph IR, executors, model zoo.
+//! * [`zkml_plonk`] — the halo2-style proving system.
+//! * [`zkml_pcs`] — KZG and IPA commitment backends.
+//! * [`zkml_curves`] / [`zkml_poly`] / [`zkml_ff`] — the cryptographic
+//!   substrate (BN254, FFTs, fields).
+
+pub use zkml;
+pub use zkml_curves;
+pub use zkml_ff;
+pub use zkml_model;
+pub use zkml_pcs;
+pub use zkml_plonk;
+pub use zkml_poly;
+pub use zkml_tensor;
+pub use zkml_transcript;
