@@ -7,7 +7,8 @@ use zkml_pcs::Backend;
 fn main() {
     let mut out = String::new();
     let started = std::time::Instant::now();
-    let sections: Vec<(&str, Box<dyn Fn() -> String>)> = vec![
+    type Section<'a> = (&'a str, Box<dyn Fn() -> String>);
+    let sections: Vec<Section> = vec![
         ("table05", Box::new(tables::table05)),
         ("table06", Box::new(|| tables::table06_07(Backend::Kzg))),
         ("table07", Box::new(|| tables::table06_07(Backend::Ipa))),

@@ -61,12 +61,7 @@ pub fn shared_params(backend: Backend, k: u32) -> Params {
 /// # Panics
 ///
 /// Panics on any compile/prove/verify failure — harness bugs should be loud.
-pub fn measure(
-    g: &Graph,
-    cfg: CircuitConfig,
-    backend: Backend,
-    params: &Params,
-) -> EndToEnd {
+pub fn measure(g: &Graph, cfg: CircuitConfig, backend: Backend, params: &Params) -> EndToEnd {
     let fp = FixedPoint::new(cfg.numeric.scale_bits);
     let inputs = random_inputs(g, 0xBEEF, fp);
     let compiled = compile(g, &inputs, cfg, false)
@@ -105,10 +100,15 @@ pub fn measure(
 
 /// Runs the optimizer for a model, caching results per (model, backend)
 /// since several tables query the same plans.
-pub fn optimize_for(g: &Graph, backend: Backend, max_k: u32) -> (CircuitConfig, optimizer::OptimizerReport) {
+pub fn optimize_for(
+    g: &Graph,
+    backend: Backend,
+    max_k: u32,
+) -> (CircuitConfig, optimizer::OptimizerReport) {
     use std::collections::HashMap;
     use std::sync::Mutex;
-    static CACHE: Mutex<Option<HashMap<(String, Backend, u32), CircuitConfig>>> = Mutex::new(None);
+    type PlanCache = HashMap<(String, Backend, u32), CircuitConfig>;
+    static CACHE: Mutex<Option<PlanCache>> = Mutex::new(None);
     let key = (g.name.clone(), backend, max_k);
     if let Some(cfg) = CACHE
         .lock()

@@ -114,7 +114,11 @@ pub fn table08() -> String {
          | Model | Top-1 agreement | Max abs output error | Paper Δ accuracy |\n|---|---|---|---|\n",
     );
     let fp = FixedPoint::new(zkml::NumericConfig::default_nano().scale_bits);
-    let paper = [("MNIST", "0%"), ("VGG16", "+0.01%"), ("ResNet-18", "-0.01%")];
+    let paper = [
+        ("MNIST", "0%"),
+        ("VGG16", "+0.01%"),
+        ("ResNet-18", "-0.01%"),
+    ];
     for (g, (_, pd)) in [
         zkml_model::zoo::mnist_cnn(),
         zkml_model::zoo::vgg16(),
@@ -128,10 +132,8 @@ pub fn table08() -> String {
         const TRIALS: usize = 128;
         for trial in 0..TRIALS {
             let inputs_q = random_inputs(g, 1000 + trial as u64, fp);
-            let inputs_f: Vec<zkml_tensor::Tensor<f32>> = inputs_q
-                .iter()
-                .map(|t| fp.dequantize_tensor(t))
-                .collect();
+            let inputs_f: Vec<zkml_tensor::Tensor<f32>> =
+                inputs_q.iter().map(|t| fp.dequantize_tensor(t)).collect();
             let ef = zkml_model::execute_f32(g, &inputs_f);
             let eq = zkml_model::execute_fixed(g, &inputs_q, fp);
             let of = &ef.outputs(g)[0];
@@ -278,7 +280,11 @@ pub fn table11() -> String {
 
 /// Table 12: optimizer runtime with and without pruning.
 pub fn table12() -> String {
-    let paper = [("MNIST", "6.3 s / 9.0 s"), ("ResNet-18", "28.1 s / 77.5 s"), ("GPT-2", "185.3 s / 277.2 s")];
+    let paper = [
+        ("MNIST", "6.3 s / 9.0 s"),
+        ("ResNet-18", "28.1 s / 77.5 s"),
+        ("GPT-2", "185.3 s / 277.2 s"),
+    ];
     let mut out = String::from(
         "## Table 12 — optimizer runtime with/without pruning\n\n\
          | Model | Pruned | Non-pruned | Same plan chosen | Paper (pruned / non-pruned) |\n\
@@ -380,11 +386,7 @@ pub fn opt_savings() -> String {
         // measured/estimated ratio, and scale the summed estimates.
         let anchor = measure(&g, report.best, Backend::Kzg, &params);
         let ratio = anchor.prove.as_secs_f64() / report.best_cost.proving_s;
-        let exhaustive: f64 = report
-            .all
-            .iter()
-            .map(|e| e.cost.proving_s * ratio)
-            .sum();
+        let exhaustive: f64 = report.all.iter().map(|e| e.cost.proving_s * ratio).sum();
         out += &row(&[
             g.name.clone(),
             format!("{opt_t:.2} s"),
@@ -412,7 +414,12 @@ pub fn cost_accuracy() -> String {
         let report = optimizer::optimize(&g, &opts, hw);
         // Sample layouts across the cost spectrum.
         let mut sorted = report.all.clone();
-        sorted.sort_by(|a, b| a.cost.proving_s.partial_cmp(&b.cost.proving_s).expect("finite"));
+        sorted.sort_by(|a, b| {
+            a.cost
+                .proving_s
+                .partial_cmp(&b.cost.proving_s)
+                .expect("finite")
+        });
         let n = sorted.len();
         let sample: Vec<_> = (0..6).map(|i| sorted[i * (n - 1) / 5].clone()).collect();
         let mut est = Vec::new();
@@ -423,11 +430,12 @@ pub fn cost_accuracy() -> String {
             meas.push(m.prove.as_secs_f64());
         }
         let tau = kendall_tau(&est, &meas);
-        let top_is_fastest = meas[0] <= *meas
-            .iter()
-            .min_by(|a, b| a.partial_cmp(b).expect("finite"))
-            .expect("nonempty")
-            + 1e-9;
+        let top_is_fastest = meas[0]
+            <= *meas
+                .iter()
+                .min_by(|a, b| a.partial_cmp(b).expect("finite"))
+                .expect("nonempty")
+                + 1e-9;
         out += &format!(
             "- {backend}: Kendall tau = {tau:.2} over {} sampled layouts; \
              top-ranked layout fastest: {top_is_fastest}\n",
@@ -459,8 +467,8 @@ pub fn case_study() -> String {
 pub fn table13() -> String {
     use zkml_ff::{Fr, PrimeField};
     use zkml_plonk::{
-        create_proof_with_rng, keygen, verify_proof, ConstraintSystem, Expression,
-        Preprocessed, Rotation, WitnessSource,
+        create_proof_with_rng, keygen, verify_proof, ConstraintSystem, Expression, Preprocessed,
+        Rotation, WitnessSource,
     };
 
     struct W {
@@ -576,7 +584,7 @@ pub fn table13() -> String {
                 m_cur = m_cur.max(y);
                 advice[2][r + 1] = Fr::from_i64(m_cur);
             }
-            let mut d_cur = 1i64 % 1009;
+            let mut d_cur = 1i64;
             for r in 0..rows {
                 let y = (vals[r].1 % 13) + 1;
                 advice[4][r] = Fr::from_i64(d_cur);

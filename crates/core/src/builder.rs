@@ -594,11 +594,12 @@ impl CircuitBuilder {
                 let x = self.a(0);
                 let y = self.a(1);
                 // Offset-binary: x + 2^(tb-1) = sum 2^i b_i.
-                let mut recompose = x.clone()
-                    + Expression::Constant(Fr::from_i64(1 << (tb - 1)));
+                let mut recompose = x.clone() + Expression::Constant(Fr::from_i64(1 << (tb - 1)));
                 for i in 0..tb {
                     let b = self.a(2 + i);
-                    polys.push(self.q(sel) * b.clone() * (b.clone() - Expression::Constant(Fr::ONE)));
+                    polys.push(
+                        self.q(sel) * b.clone() * (b.clone() - Expression::Constant(Fr::ONE)),
+                    );
                     recompose = recompose - b * Fr::from_u64(1u64 << i);
                 }
                 polys.push(self.q(sel) * recompose);
@@ -972,12 +973,16 @@ impl CircuitBuilder {
         den: AValue,
         den_bound: i64,
     ) -> Result<Vec<AValue>, BuildError> {
-        let slots = (self.cfg.num_cols / 4).min(self.cfg.choices.lookup_packs).max(1);
+        let slots = (self.cfg.num_cols / 4)
+            .min(self.cfg.choices.lookup_packs)
+            .max(1);
         let sf = self.scale();
         self.require_range(2 * den_bound);
         if !self.count_only {
             if den.v <= 0 {
-                return Err(BuildError::Range("variable division by non-positive".into()));
+                return Err(BuildError::Range(
+                    "variable division by non-positive".into(),
+                ));
             }
             if den.v > den_bound {
                 return Err(BuildError::Range(format!(
@@ -1066,6 +1071,7 @@ impl CircuitBuilder {
     pub(crate) fn set_fixed_pub(&mut self, col: usize, row: usize, v: Fr) {
         self.set_fixed(col, row, v);
     }
+    #[allow(clippy::type_complexity)]
     pub(crate) fn take_parts(
         self,
     ) -> (

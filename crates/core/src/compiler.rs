@@ -100,10 +100,7 @@ pub fn compile(
     let k = bld.min_k();
     let usable = (1usize << k) - BLINDING_FACTORS - 1;
     let stats = bld.stats();
-    let outputs: Vec<Tensor<i64>> = outs
-        .iter()
-        .map(|t| t.map(|a| a.v))
-        .collect();
+    let outputs: Vec<Tensor<i64>> = outs.iter().map(|t| t.map(|a| a.v)).collect();
 
     // Pad lookup-table columns to the usable height with valid entries so
     // the padding rows do not weaken the table (see builder docs).

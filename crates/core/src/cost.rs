@@ -153,12 +153,7 @@ pub fn quotient_pieces(degree: usize) -> usize {
 }
 
 /// Estimates proving cost for a circuit structure at `2^k` rows (Eq. 1–2).
-pub fn estimate(
-    stats: &LayoutStats,
-    k: u32,
-    backend: Backend,
-    hw: &HardwareStats,
-) -> CostEstimate {
+pub fn estimate(stats: &LayoutStats, k: u32, backend: Backend, hw: &HardwareStats) -> CostEstimate {
     let d = stats.degree.max(3) as f64;
     let n_i = stats.num_instance as f64;
     let n_a = stats.num_advice as f64;
@@ -168,7 +163,10 @@ pub fn estimate(
     // Eq. (2): number of base-size FFTs.
     let n_fft = n_i + n_a + n_lk * 3.0 + (n_pm + d - 3.0) / (d - 2.0);
     let n_fft_ext = n_fft + 1.0;
-    let k_ext = k as usize + (stats.degree.max(3) - 1).next_power_of_two().trailing_zeros() as usize;
+    let k_ext = k as usize
+        + (stats.degree.max(3) - 1)
+            .next_power_of_two()
+            .trailing_zeros() as usize;
     let k_ext = k_ext.min(MAX_K);
 
     // Eq. (1).
@@ -184,9 +182,8 @@ pub fn estimate(
     let lookup_s = n_lk * hw.t_lookup[k as usize];
 
     // Residual: quotient evaluation over the extended domain.
-    let residual_s =
-        stats.num_constraints as f64 * (1u64 << k_ext) as f64 * hw.t_field * 4.0
-            + n_pm * (1u64 << k) as f64 * hw.t_field;
+    let residual_s = stats.num_constraints as f64 * (1u64 << k_ext) as f64 * hw.t_field * 4.0
+        + n_pm * (1u64 << k) as f64 * hw.t_field;
 
     // Proof size.
     let z_count = if stats.num_perm_columns == 0 {
@@ -204,7 +201,9 @@ pub fn estimate(
     let evals = stats.num_advice
         + stats.num_fixed
         + stats.num_perm_columns
-        + z_count.saturating_mul(3).saturating_sub(if z_count > 0 { 1 } else { 0 })
+        + z_count
+            .saturating_mul(3)
+            .saturating_sub(if z_count > 0 { 1 } else { 0 })
         + 5 * stats.num_lookups
         + quotient_pieces(stats.degree.max(3));
     let opening = match backend {

@@ -160,10 +160,10 @@ pub fn freivalds_matmul(
     let m = (n - 2) / 2;
     let zero = bld.constant(0);
     let p1_dot = |bld: &mut CircuitBuilder,
-                      job: &mut FreivaldsJob,
-                      dot: DotId,
-                      xs: &[(CellRef, i64)],
-                      ys: &[CellRef]|
+                  job: &mut FreivaldsJob,
+                  dot: DotId,
+                  xs: &[(CellRef, i64)],
+                  ys: &[CellRef]|
      -> CellRef {
         let len = xs.len();
         debug_assert_eq!(len, ys.len());
@@ -198,8 +198,14 @@ pub fn freivalds_matmul(
                 column: Column::Advice(p1_cols[n - 2]),
                 row,
             };
-            job.cells
-                .push((p1_cols[n - 2], row, Vs::Partial { dot, upto: consumed }));
+            job.cells.push((
+                p1_cols[n - 2],
+                row,
+                Vs::Partial {
+                    dot,
+                    upto: consumed,
+                },
+            ));
             match prev_z {
                 None => bld.copy_pub(zero.cell, bias_cell),
                 Some(z) => bld.copy_pub(z, bias_cell),
@@ -209,8 +215,14 @@ pub fn freivalds_matmul(
                 column: Column::Advice(p1_cols[n - 1]),
                 row,
             };
-            job.cells
-                .push((p1_cols[n - 1], row, Vs::Partial { dot, upto: consumed }));
+            job.cells.push((
+                p1_cols[n - 1],
+                row,
+                Vs::Partial {
+                    dot,
+                    upto: consumed,
+                },
+            ));
             prev_z = Some(zcell);
         }
         prev_z.expect("at least one chunk")
@@ -253,10 +265,8 @@ pub fn fill_jobs(
     rows: usize,
 ) -> Vec<(usize, Vec<Fr>)> {
     let chi = challenges[0];
-    let mut columns: Vec<(usize, Vec<Fr>)> = p1_cols
-        .iter()
-        .map(|c| (*c, vec![Fr::ZERO; rows]))
-        .collect();
+    let mut columns: Vec<(usize, Vec<Fr>)> =
+        p1_cols.iter().map(|c| (*c, vec![Fr::ZERO; rows])).collect();
     let col_index: HashMap<usize, usize> =
         p1_cols.iter().enumerate().map(|(i, c)| (*c, i)).collect();
 

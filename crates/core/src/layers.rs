@@ -52,11 +52,7 @@ pub fn lower_graph(
 
 /// Loads a bias weight at double scale (`round(b * SF^2)`), for addition to
 /// unrescaled accumulators.
-fn load_bias2(
-    bld: &mut CircuitBuilder,
-    g: &Graph,
-    id: zkml_model::TensorId,
-) -> Vec<AValue> {
+fn load_bias2(bld: &mut CircuitBuilder, g: &Graph, id: zkml_model::TensorId) -> Vec<AValue> {
     let sf = bld.scale() as f64;
     let w = g.weights[id].as_ref().expect("bias weight");
     let vals: Vec<i64> = w
@@ -135,9 +131,8 @@ pub fn lower_node(
     node: &Node,
     tensors: &[Option<Tensor<AValue>>],
 ) -> Result<Tensor<AValue>, BuildError> {
-    let input = |i: usize| -> &Tensor<AValue> {
-        tensors[node.inputs[i]].as_ref().expect("input lowered")
-    };
+    let input =
+        |i: usize| -> &Tensor<AValue> { tensors[node.inputs[i]].as_ref().expect("input lowered") };
     let sf = bld.scale();
     let out_shape = g.shape(node.output).to_vec();
 
@@ -253,10 +248,7 @@ pub fn lower_node(
             let k = w.shape()[0];
             let t = w.shape()[1];
             let rows = x.len() / k;
-            let bias2 = node
-                .inputs
-                .get(2)
-                .map(|id| load_bias2(bld, g, *id));
+            let bias2 = node.inputs.get(2).map(|id| load_bias2(bld, g, *id));
             let raw = matmul_raw(bld, x.data(), w.data(), rows, k, t, bias2.as_deref())?;
             let scaled = bld.rescale(&raw)?;
             let out = apply_act(bld, *activation, &scaled)?;
@@ -300,9 +292,7 @@ pub fn lower_node(
                     for oj in 0..ow {
                         for ch in 0..c {
                             let window: Vec<AValue> = (0..ksize.0)
-                                .flat_map(|ki| {
-                                    (0..ksize.1).map(move |kj| (ki, kj))
-                                })
+                                .flat_map(|ki| (0..ksize.1).map(move |kj| (ki, kj)))
                                 .map(|(ki, kj)| {
                                     *x.get(&[b, oi * stride.0 + ki, oj * stride.1 + kj, ch])
                                 })
@@ -365,8 +355,7 @@ pub fn lower_node(
                 let var = mean_of(bld, &sq, d as i64)?;
                 let r = bld.nonlin(TableFn::Rsqrt, &[var])?[0];
                 let d_vals = bld.arith_pack(Gadget::SubPack, &pairs)?;
-                let norm_raw: Vec<(AValue, AValue)> =
-                    d_vals.iter().map(|v| (*v, r)).collect();
+                let norm_raw: Vec<(AValue, AValue)> = d_vals.iter().map(|v| (*v, r)).collect();
                 let norm_raw = bld.arith_pack(Gadget::MulPack, &norm_raw)?;
                 let norm = bld.rescale(&norm_raw)?;
                 let g_pairs: Vec<(AValue, AValue)> = norm
@@ -464,15 +453,12 @@ fn conv2d(
                             for kj in 0..kw {
                                 let ii = (oi * stride.0 + ki) as isize - ph as isize;
                                 let jj = (oj * stride.1 + kj) as isize - pw as isize;
-                                let cell = if ii < 0
-                                    || jj < 0
-                                    || ii >= h as isize
-                                    || jj >= wid as isize
-                                {
-                                    zero
-                                } else {
-                                    *x.get(&[b, ii as usize, jj as usize, ch])
-                                };
+                                let cell =
+                                    if ii < 0 || jj < 0 || ii >= h as isize || jj >= wid as isize {
+                                        zero
+                                    } else {
+                                        *x.get(&[b, ii as usize, jj as usize, ch])
+                                    };
                                 xs.push(cell);
                                 ws.push(*w.get(&[ki, kj, ch, 0]));
                             }
@@ -500,10 +486,7 @@ fn conv2d(
                         let ii = (oi * stride.0 + ki) as isize - ph as isize;
                         let jj = (oj * stride.1 + kj) as isize - pw as isize;
                         for ci in 0..cin {
-                            let cell = if ii < 0
-                                || jj < 0
-                                || ii >= h as isize
-                                || jj >= wid as isize
+                            let cell = if ii < 0 || jj < 0 || ii >= h as isize || jj >= wid as isize
                             {
                                 zero
                             } else {
@@ -517,7 +500,8 @@ fn conv2d(
         }
     }
     // Weight layout [KH, KW, Cin, Cout] is already row-major [k, cout].
-    let raw = super::layers::matmul_raw_entry(bld, &patches, w.data(), rows, k, cout, bias2.as_deref())?;
+    let raw =
+        super::layers::matmul_raw_entry(bld, &patches, w.data(), rows, k, cout, bias2.as_deref())?;
     let scaled = bld.rescale(&raw)?;
     let act = apply_act(bld, activation, &scaled)?;
     Ok(Tensor::new(vec![n, oh, ow, cout], act))

@@ -75,7 +75,9 @@ pub fn table_eval(f: TableFn, x: i64, scale: i64) -> i64 {
 pub fn nonlin_entries(f: TableFn, numeric: &NumericConfig) -> Vec<(i64, i64)> {
     let half = 1i64 << (numeric.table_bits() - 1);
     let scale = numeric.scale();
-    (-half..half).map(|x| (x, table_eval(f, x, scale))).collect()
+    (-half..half)
+        .map(|x| (x, table_eval(f, x, scale)))
+        .collect()
 }
 
 #[cfg(test)]

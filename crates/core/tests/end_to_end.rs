@@ -5,7 +5,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use zkml::{compile, CircuitConfig, LayoutChoices, MatmulImpl, ReluImpl};
-use zkml_ff::{Field, Fr, PrimeField};
+use zkml_ff::{Field, Fr};
 use zkml_model::{execute_fixed, Activation, Graph, GraphBuilder, Op};
 use zkml_pcs::{Backend, Params};
 use zkml_tensor::{FixedPoint, Tensor};

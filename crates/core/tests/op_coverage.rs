@@ -81,7 +81,10 @@ fn concat_op() {
     let g = b.finish(vec![z]);
     check(
         &g,
-        &[t_2x3([1, 2, 3, 4, 5, 6]), Tensor::new(vec![2, 2], vec![7, 8, 9, 10])],
+        &[
+            t_2x3([1, 2, 3, 4, 5, 6]),
+            Tensor::new(vec![2, 2], vec![7, 8, 9, 10]),
+        ],
     );
 }
 
@@ -100,7 +103,10 @@ fn arithmetic_ops() {
         let g = b.finish(vec![z]);
         check(
             &g,
-            &[t_2x3([60, -120, 3, 4, 900, -6]), t_2x3([9, 8, -70, 600, 5, 4])],
+            &[
+                t_2x3([60, -120, 3, 4, 900, -6]),
+                t_2x3([9, 8, -70, 600, 5, 4]),
+            ],
         );
     }
     let x = t_2x3([64, -128, 300, 0, 77, -1]);
@@ -150,7 +156,10 @@ fn pointwise_ops() {
 
 #[test]
 fn pooling_ops() {
-    let img = Tensor::new(vec![1, 4, 4, 1], (0..16).map(|i| (i * 7 % 23) - 11).collect());
+    let img = Tensor::new(
+        vec![1, 4, 4, 1],
+        (0..16).map(|i| (i * 7 % 23) - 11).collect(),
+    );
     unary(
         "maxpool",
         Op::MaxPool2D {

@@ -55,7 +55,7 @@ fn wrong_models_key_rejects_proof() {
 
     let g1 = model(6);
     let g2 = model(7); // different architecture -> different circuit
-    let c1 = compile(&g1, &[input.clone()], cfg, false).unwrap();
+    let c1 = compile(&g1, std::slice::from_ref(&input), cfg, false).unwrap();
     let c2 = compile(&g2, &[input], cfg, false).unwrap();
     let mut rng = StdRng::seed_from_u64(4);
     let k = c1.k.max(c2.k);

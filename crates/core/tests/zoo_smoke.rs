@@ -11,13 +11,21 @@ fn zoo_compiles_real_mode() {
     let fp = FixedPoint::new(cfg.numeric.scale_bits);
     for g in zkml_model::zoo::all_models() {
         let mut rng = StdRng::seed_from_u64(0xC0FFEE);
-        let inputs: Vec<Tensor<i64>> = g.inputs.iter().map(|id| {
-            let shape = g.shape(*id).to_vec();
-            let n: usize = shape.iter().product();
-            Tensor::new(shape, (0..n).map(|_| fp.quantize(rng.gen_range(-1.0..1.0))).collect())
-        }).collect();
-        let c = compile(&g, &inputs, cfg, false)
-            .unwrap_or_else(|e| panic!("{}: {e}", g.name));
+        let inputs: Vec<Tensor<i64>> = g
+            .inputs
+            .iter()
+            .map(|id| {
+                let shape = g.shape(*id).to_vec();
+                let n: usize = shape.iter().product();
+                Tensor::new(
+                    shape,
+                    (0..n)
+                        .map(|_| fp.quantize(rng.gen_range(-1.0..1.0)))
+                        .collect(),
+                )
+            })
+            .collect();
+        let c = compile(&g, &inputs, cfg, false).unwrap_or_else(|e| panic!("{}: {e}", g.name));
         eprintln!("{:<12} k={} rows={}", g.name, c.k, c.stats.rows);
     }
 }

@@ -145,10 +145,7 @@ mod tests {
     #[test]
     fn w_squared_is_v() {
         let w = Fq12::new(Fq6::zero(), Fq6::one());
-        let v = Fq12::new(
-            Fq6::new(Fq2::zero(), Fq2::one(), Fq2::zero()),
-            Fq6::zero(),
-        );
+        let v = Fq12::new(Fq6::new(Fq2::zero(), Fq2::one(), Fq2::zero()), Fq6::zero());
         assert_eq!(w * w, v);
     }
 

@@ -78,7 +78,7 @@ impl Fq2 {
             for i in (0..64).rev() {
                 res = res.square();
                 if (*e >> i) & 1 == 1 {
-                    res = res * *self;
+                    res *= *self;
                 }
             }
         }

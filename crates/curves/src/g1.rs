@@ -336,8 +336,7 @@ impl PartialEq for G1Projective {
         }
         let z1z1 = self.z.square();
         let z2z2 = other.z.square();
-        self.x * z2z2 == other.x * z1z1
-            && self.y * z2z2 * other.z == other.y * z1z1 * self.z
+        self.x * z2z2 == other.x * z1z1 && self.y * z2z2 * other.z == other.y * z1z1 * self.z
     }
 }
 impl Eq for G1Projective {}
@@ -402,14 +401,8 @@ mod tests {
         let g = G1Projective::generator();
         let a = Fr::random(&mut rng);
         let b = Fr::random(&mut rng);
-        assert_eq!(
-            g.mul_scalar(&a) + g.mul_scalar(&b),
-            g.mul_scalar(&(a + b))
-        );
-        assert_eq!(
-            g.mul_scalar(&a).mul_scalar(&b),
-            g.mul_scalar(&(a * b))
-        );
+        assert_eq!(g.mul_scalar(&a) + g.mul_scalar(&b), g.mul_scalar(&(a + b)));
+        assert_eq!(g.mul_scalar(&a).mul_scalar(&b), g.mul_scalar(&(a * b)));
     }
 
     #[test]

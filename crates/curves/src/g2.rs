@@ -69,7 +69,10 @@ impl G2Affine {
                 y,
                 infinity: false,
             };
-            assert!(g.is_on_curve(), "G2 generator must satisfy the twist equation");
+            assert!(
+                g.is_on_curve(),
+                "G2 generator must satisfy the twist equation"
+            );
             g
         })
     }

@@ -118,7 +118,7 @@ pub fn final_exponentiation(f: &Fq12) -> Fq12 {
     let f_inv = f.invert().expect("Miller value nonzero");
     let mut g = f.conjugate() * f_inv; // f^(q^6 - 1)
     g = g.frobenius().frobenius() * g; // ^(q^2 + 1)
-    // Hard part: g^((q^4 - q^2 + 1)/r).
+                                       // Hard part: g^((q^4 - q^2 + 1)/r).
     g.pow(hard_exponent())
 }
 
@@ -188,8 +188,8 @@ mod tests {
         let pa = G1Projective::generator().mul_scalar(&a).to_affine();
         let qb = G2Affine::generator().mul_scalar(&b);
         let lhs = pairing(&pa, &qb);
-        let rhs = pairing(&G1Affine::generator(), &G2Affine::generator())
-            .pow(&(a * b).to_canonical());
+        let rhs =
+            pairing(&G1Affine::generator(), &G2Affine::generator()).pow(&(a * b).to_canonical());
         assert_eq!(lhs, rhs);
     }
 
@@ -201,10 +201,7 @@ mod tests {
         let p1 = G1Projective::generator().mul_scalar(&a).to_affine();
         let neg_g = G1Projective::generator().negate().to_affine();
         let q2 = G2Affine::generator().mul_scalar(&a);
-        assert!(pairing_check(&[
-            (p1, G2Affine::generator()),
-            (neg_g, q2)
-        ]));
+        assert!(pairing_check(&[(p1, G2Affine::generator()), (neg_g, q2)]));
         // And a wrong statement fails.
         let wrong = G2Affine::generator().mul_scalar(&(a + Fr::ONE));
         assert!(!pairing_check(&[

@@ -167,10 +167,10 @@ impl BigUint {
         }
         let bit_shift = n % 64;
         let mut out = vec![0u64; self.limbs.len() - limb_shift];
-        for i in 0..out.len() {
-            out[i] = self.limbs[i + limb_shift] >> bit_shift;
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.limbs[i + limb_shift] >> bit_shift;
             if bit_shift != 0 && i + limb_shift + 1 < self.limbs.len() {
-                out[i] |= self.limbs[i + limb_shift + 1] << (64 - bit_shift);
+                *o |= self.limbs[i + limb_shift + 1] << (64 - bit_shift);
             }
         }
         Self::from_limbs(&out)

@@ -104,7 +104,7 @@ pub fn batch_invert<F: Field>(values: &mut [F]) {
         acc *= *v;
     }
     let mut inv = acc.invert().expect("batch_invert: zero element");
-    for (v, p) in values.iter_mut().zip(prods.into_iter()).rev() {
+    for (v, p) in values.iter_mut().zip(prods).rev() {
         let tmp = inv * *v;
         *v = inv * p;
         inv = tmp;

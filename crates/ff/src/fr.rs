@@ -95,7 +95,10 @@ mod tests {
         for v in [0i64, 1, -1, 12345, -98765, i64::MAX, i64::MIN + 1] {
             assert_eq!(Fr::from_i64(v).to_signed_i128(), v as i128);
         }
-        assert_eq!(Fr::from_i128(-(1i128 << 100)).to_signed_i128(), -(1i128 << 100));
+        assert_eq!(
+            Fr::from_i128(-(1i128 << 100)).to_signed_i128(),
+            -(1i128 << 100)
+        );
     }
 
     #[test]
@@ -192,10 +195,7 @@ mod tests {
             .shl(256)
             .add(&BigUint::from_u64(5))
             .rem(&r_big());
-        assert_eq!(
-            Fr::from_u512(lo, hi).to_canonical(),
-            expect.to_fixed::<4>()
-        );
+        assert_eq!(Fr::from_u512(lo, hi).to_canonical(), expect.to_fixed::<4>());
     }
 
     #[test]

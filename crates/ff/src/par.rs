@@ -39,7 +39,9 @@ pub fn par_for_each_mut<T: Send, F: Fn(usize, &mut T) + Sync>(items: &mut [T], f
 pub fn par_map<T: Send, F: Fn(usize) -> T + Sync>(n: usize, f: F) -> Vec<T> {
     let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
     par_for_each_mut(&mut out, |i, slot| *slot = Some(f(i)));
-    out.into_iter().map(|x| x.expect("par_map slot filled")).collect()
+    out.into_iter()
+        .map(|x| x.expect("par_map slot filled"))
+        .collect()
 }
 
 /// Splits `data` into `pieces` contiguous chunks and processes each in

@@ -103,7 +103,14 @@ fn eval_f32<'a>(
             padding,
             activation,
         } => {
-            let y = conv2d_f32(get(0), get(1), inputs.get(2).map(|_| get(2)), *stride, *padding, false);
+            let y = conv2d_f32(
+                get(0),
+                get(1),
+                inputs.get(2).map(|_| get(2)),
+                *stride,
+                *padding,
+                false,
+            );
             match activation {
                 Some(a) => y.map(|x| a.eval(*x)),
                 None => y,
@@ -114,7 +121,14 @@ fn eval_f32<'a>(
             padding,
             activation,
         } => {
-            let y = conv2d_f32(get(0), get(1), inputs.get(2).map(|_| get(2)), *stride, *padding, true);
+            let y = conv2d_f32(
+                get(0),
+                get(1),
+                inputs.get(2).map(|_| get(2)),
+                *stride,
+                *padding,
+                true,
+            );
             match activation {
                 Some(a) => y.map(|x| a.eval(*x)),
                 None => y,
@@ -345,7 +359,12 @@ fn softmax_f32(x: &Tensor<f32>) -> Tensor<f32> {
     Tensor::new(x.shape().to_vec(), out)
 }
 
-fn layernorm_f32(x: &Tensor<f32>, gamma: &Tensor<f32>, beta: &Tensor<f32>, eps: f32) -> Tensor<f32> {
+fn layernorm_f32(
+    x: &Tensor<f32>,
+    gamma: &Tensor<f32>,
+    beta: &Tensor<f32>,
+    eps: f32,
+) -> Tensor<f32> {
     let d = *x.shape().last().unwrap();
     let mut out = x.data().to_vec();
     for row in out.chunks_mut(d) {
@@ -395,9 +414,8 @@ pub fn eval_fixed(
     fp: FixedPoint,
 ) -> Tensor<i64> {
     let sf = fp.scale();
-    let get = |i: usize| -> &Tensor<i64> {
-        values[node.inputs[i]].as_ref().expect("input computed")
-    };
+    let get =
+        |i: usize| -> &Tensor<i64> { values[node.inputs[i]].as_ref().expect("input computed") };
     // Bias at double scale (added before the rescale).
     let bias2 = |i: usize| -> Option<Tensor<i64>> {
         node.inputs.get(i).map(|id| {
@@ -451,7 +469,15 @@ pub fn eval_fixed(
             padding,
             activation,
         } => {
-            let y = conv2d_fixed(get(0), get(1), bias2(2).as_ref(), *stride, *padding, false, sf);
+            let y = conv2d_fixed(
+                get(0),
+                get(1),
+                bias2(2).as_ref(),
+                *stride,
+                *padding,
+                false,
+                sf,
+            );
             match activation {
                 Some(a) => y.map(|x| qops::act_q(*a, *x, sf)),
                 None => y,
@@ -462,7 +488,15 @@ pub fn eval_fixed(
             padding,
             activation,
         } => {
-            let y = conv2d_fixed(get(0), get(1), bias2(2).as_ref(), *stride, *padding, true, sf);
+            let y = conv2d_fixed(
+                get(0),
+                get(1),
+                bias2(2).as_ref(),
+                *stride,
+                *padding,
+                true,
+                sf,
+            );
             match activation {
                 Some(a) => y.map(|x| qops::act_q(*a, *x, sf)),
                 None => y,
@@ -821,7 +855,11 @@ mod tests {
         let ef = execute_f32(&g, &[xf]);
         let eq = execute_fixed(&g, &[xq], fp);
         for (a, b) in ef.value(y).data().iter().zip(eq.value(y).data()) {
-            assert!((a - fp.dequantize(*b)).abs() < 0.05, "{a} vs {}", fp.dequantize(*b));
+            assert!(
+                (a - fp.dequantize(*b)).abs() < 0.05,
+                "{a} vs {}",
+                fp.dequantize(*b)
+            );
         }
     }
 }

@@ -114,9 +114,7 @@ impl GraphBuilder {
             100.0
         };
         let bound = (1.0 / fan_in.max(1.0)).sqrt();
-        let data: Vec<f32> = (0..n)
-            .map(|_| self.rng.gen_range(-bound..=bound))
-            .collect();
+        let data: Vec<f32> = (0..n).map(|_| self.rng.gen_range(-bound..=bound)).collect();
         let id = self.push_tensor(shape.clone(), TensorKind::Weight, name.into());
         self.weights[id] = Some(Tensor::new(shape, data));
         id
@@ -155,11 +153,7 @@ impl GraphBuilder {
                 shape.clone()
             }
             Op::Transpose { perm } => perm.iter().map(|&p| s(0)[p]).collect(),
-            Op::Slice { starts, ends } => starts
-                .iter()
-                .zip(ends)
-                .map(|(a, b)| b - a)
-                .collect(),
+            Op::Slice { starts, ends } => starts.iter().zip(ends).map(|(a, b)| b - a).collect(),
             Op::Concat { axis } => {
                 let mut shape = s(0).to_vec();
                 for i in 1..inputs.len() {
@@ -167,11 +161,7 @@ impl GraphBuilder {
                 }
                 shape
             }
-            Op::Pad { pads } => s(0)
-                .iter()
-                .zip(pads)
-                .map(|(d, (b, a))| d + b + a)
-                .collect(),
+            Op::Pad { pads } => s(0).iter().zip(pads).map(|(d, (b, a))| d + b + a).collect(),
             Op::Squeeze { axis } => {
                 let mut shape = s(0).to_vec();
                 assert_eq!(shape[*axis], 1);
@@ -197,7 +187,12 @@ impl GraphBuilder {
                 zkml_tensor::shape::broadcast_shape(s(0), s(1))
                     .unwrap_or_else(|| panic!("cannot broadcast {:?} and {:?}", s(0), s(1)))
             }
-            Op::DivConst { .. } | Op::Square | Op::Act(_) | Op::Rsqrt | Op::Sqrt | Op::Exp
+            Op::DivConst { .. }
+            | Op::Square
+            | Op::Act(_)
+            | Op::Rsqrt
+            | Op::Sqrt
+            | Op::Exp
             | Op::Softmax => s(0).to_vec(),
             Op::Sum { axis, keep_dims } | Op::Mean { axis, keep_dims } => {
                 let mut shape = s(0).to_vec();

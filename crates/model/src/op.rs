@@ -54,8 +54,7 @@ impl Activation {
             Activation::Gelu => {
                 0.5 * x
                     * (1.0
-                        + ((2.0 / std::f32::consts::PI).sqrt() * (x + 0.044715 * x * x * x))
-                            .tanh())
+                        + ((2.0 / std::f32::consts::PI).sqrt() * (x + 0.044715 * x * x * x)).tanh())
             }
             Activation::Silu => x / (1.0 + (-x).exp()),
         }
@@ -95,7 +94,10 @@ pub enum Op {
     /// Permutes axes.
     Transpose { perm: Vec<usize> },
     /// Extracts a box `[starts, ends)`.
-    Slice { starts: Vec<usize>, ends: Vec<usize> },
+    Slice {
+        starts: Vec<usize>,
+        ends: Vec<usize>,
+    },
     /// Concatenates all inputs along `axis`.
     Concat { axis: usize },
     /// Zero-pads.

@@ -11,6 +11,7 @@
 use crate::graph::{Graph, GraphBuilder, TensorId};
 use crate::op::{Activation, Op, Padding};
 
+#[allow(clippy::too_many_arguments)]
 fn conv(
     b: &mut GraphBuilder,
     x: TensorId,
@@ -121,7 +122,16 @@ pub fn resnet18() -> Graph {
     let mut b = GraphBuilder::new("ResNet-18", 0x5EED_0006);
     let x = b.input(vec![1, 16, 16, 3], "image");
     let widths = [4usize, 8, 8, 8];
-    let mut cur = conv(&mut b, x, 3, widths[0], 3, 1, Some(Activation::Relu), "stem");
+    let mut cur = conv(
+        &mut b,
+        x,
+        3,
+        widths[0],
+        3,
+        1,
+        Some(Activation::Relu),
+        "stem",
+    );
     let mut cin = widths[0];
     for (stage, &w) in widths.iter().enumerate() {
         for blk in 0..2 {
@@ -141,7 +151,16 @@ pub fn resnet18() -> Graph {
             let c2 = conv(&mut b, c1, w, w, 3, 1, None, &format!("{name}.conv2"));
             let c2 = bn(&mut b, c2, w, &format!("{name}.bn2"));
             let shortcut = if stride != 1 || cin != w {
-                let p = conv(&mut b, cur, cin, w, 1, stride, None, &format!("{name}.proj"));
+                let p = conv(
+                    &mut b,
+                    cur,
+                    cin,
+                    w,
+                    1,
+                    stride,
+                    None,
+                    &format!("{name}.proj"),
+                );
                 bn(&mut b, p, w, &format!("{name}.proj.bn"))
             } else {
                 cur
@@ -196,7 +215,16 @@ pub fn mobilenet_v2() -> Graph {
             &format!("{name}.dw"),
         );
         let dw = bn(&mut b, dw, hidden, &format!("{name}.dw.bn"));
-        let projected = conv(&mut b, dw, hidden, *c, 1, 1, None, &format!("{name}.project"));
+        let projected = conv(
+            &mut b,
+            dw,
+            hidden,
+            *c,
+            1,
+            1,
+            None,
+            &format!("{name}.project"),
+        );
         let projected = bn(&mut b, projected, *c, &format!("{name}.project.bn"));
         cur = if *s == 1 && cin == *c {
             b.op(Op::Add, &[projected, cur], &format!("{name}.add"))
@@ -205,7 +233,16 @@ pub fn mobilenet_v2() -> Graph {
         };
         cin = *c;
     }
-    cur = conv(&mut b, cur, cin, 32, 1, 1, Some(Activation::Relu6), "headconv");
+    cur = conv(
+        &mut b,
+        cur,
+        cin,
+        32,
+        1,
+        1,
+        Some(Activation::Relu6),
+        "headconv",
+    );
     let gap = b.op(Op::GlobalAvgPool, &[cur], "gap");
     let out = fc(&mut b, gap, 32, 16, None, "classifier");
     b.finish(vec![out])
@@ -268,21 +305,29 @@ pub fn twitter_masknet() -> Graph {
     for blk in 0..2 {
         let name = format!("mask{blk}");
         // Instance-guided mask: d -> 2d -> d on the raw embedding.
-        let m1 = fc(&mut b, x, d, 2 * d, Some(Activation::Relu), &format!("{name}.agg"));
+        let m1 = fc(
+            &mut b,
+            x,
+            d,
+            2 * d,
+            Some(Activation::Relu),
+            &format!("{name}.agg"),
+        );
         let m2 = fc(&mut b, m1, 2 * d, d, None, &format!("{name}.proj"));
         let gated = b.op(Op::Mul, &[xn, m2], &format!("{name}.gate"));
-        let hidden = fc(
-            &mut b,
-            gated,
-            d,
-            block_dim,
-            None,
-            &format!("{name}.hidden"),
-        );
+        let hidden = fc(&mut b, gated, d, block_dim, None, &format!("{name}.hidden"));
         let g = b.weight(vec![block_dim], &format!("{name}.ln.gamma"));
         let beta = b.weight(vec![block_dim], &format!("{name}.ln.beta"));
-        let normed = b.op(Op::LayerNorm { eps: 1e-5 }, &[hidden, g, beta], &format!("{name}.ln"));
-        let act = b.op(Op::Act(Activation::Relu), &[normed], &format!("{name}.relu"));
+        let normed = b.op(
+            Op::LayerNorm { eps: 1e-5 },
+            &[hidden, g, beta],
+            &format!("{name}.ln"),
+        );
+        let act = b.op(
+            Op::Act(Activation::Relu),
+            &[normed],
+            &format!("{name}.relu"),
+        );
         block_outputs.push(act);
     }
     let cat = b.op(Op::Concat { axis: 1 }, &block_outputs, "concat");
@@ -319,7 +364,11 @@ pub fn gpt2_config(seq: usize, d: usize, layers: usize, vocab: usize) -> Graph {
         let name = format!("blk{l}");
         let g1 = b.weight(vec![d], &format!("{name}.ln1.g"));
         let b1 = b.weight(vec![d], &format!("{name}.ln1.b"));
-        let ln1 = b.op(Op::LayerNorm { eps: 1e-5 }, &[cur, g1, b1], &format!("{name}.ln1"));
+        let ln1 = b.op(
+            Op::LayerNorm { eps: 1e-5 },
+            &[cur, g1, b1],
+            &format!("{name}.ln1"),
+        );
         let q = fc(&mut b, ln1, d, d, None, &format!("{name}.q"));
         let k = fc(&mut b, ln1, d, d, None, &format!("{name}.k"));
         let v = fc(&mut b, ln1, d, d, None, &format!("{name}.v"));
@@ -342,7 +391,11 @@ pub fn gpt2_config(seq: usize, d: usize, layers: usize, vocab: usize) -> Graph {
         let res1 = b.op(Op::Add, &[cur, attn_out], &format!("{name}.res1"));
         let g2 = b.weight(vec![d], &format!("{name}.ln2.g"));
         let b2 = b.weight(vec![d], &format!("{name}.ln2.b"));
-        let ln2 = b.op(Op::LayerNorm { eps: 1e-5 }, &[res1, g2, b2], &format!("{name}.ln2"));
+        let ln2 = b.op(
+            Op::LayerNorm { eps: 1e-5 },
+            &[res1, g2, b2],
+            &format!("{name}.ln2"),
+        );
         let m1 = fc(
             &mut b,
             ln2,
@@ -426,6 +479,36 @@ pub fn diffusion() -> Graph {
     b.finish(vec![out])
 }
 
+/// Canonical CLI names of the zoo models, in the paper's Table 5 order.
+pub const MODEL_NAMES: [&str; 8] = [
+    "gpt2",
+    "diffusion",
+    "twitter",
+    "dlrm",
+    "mobilenet",
+    "resnet18",
+    "vgg16",
+    "mnist",
+];
+
+/// Looks up a zoo model by name (case-insensitive, common aliases accepted).
+///
+/// This is the single source of truth for name-to-model resolution; the CLI
+/// and the proving service both route through it.
+pub fn by_name(name: &str) -> Option<Graph> {
+    Some(match name.to_ascii_lowercase().as_str() {
+        "mnist" => mnist_cnn(),
+        "vgg16" | "vgg" => vgg16(),
+        "resnet18" | "resnet-18" | "resnet" => resnet18(),
+        "mobilenet" => mobilenet_v2(),
+        "dlrm" => dlrm(),
+        "twitter" | "masknet" => twitter_masknet(),
+        "gpt2" | "gpt-2" | "gpt" => gpt2(),
+        "diffusion" => diffusion(),
+        _ => return None,
+    })
+}
+
 /// All eight evaluation models, in the paper's Table 5 order.
 pub fn all_models() -> Vec<Graph> {
     vec![
@@ -496,6 +579,22 @@ mod tests {
                 g.name
             );
         }
+    }
+
+    #[test]
+    fn by_name_covers_the_zoo() {
+        // Every canonical name resolves, matching all_models() order.
+        let from_names: Vec<String> = MODEL_NAMES
+            .iter()
+            .map(|n| by_name(n).expect("canonical name").name)
+            .collect();
+        let from_zoo: Vec<String> = all_models().into_iter().map(|g| g.name).collect();
+        assert_eq!(from_names, from_zoo);
+        // Display names, aliases, and arbitrary case also resolve.
+        for alias in ["ResNet-18", "GPT-2", "vgg", "MASKNET", "Gpt"] {
+            assert!(by_name(alias).is_some(), "alias {alias} should resolve");
+        }
+        assert!(by_name("alexnet").is_none());
     }
 
     #[test]

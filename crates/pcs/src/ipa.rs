@@ -280,7 +280,10 @@ mod tests {
         let z1 = Fr::random(&mut rng);
         let z2 = Fr::random(&mut rng);
         let queries: Vec<(usize, Fr)> = vec![(0, z1), (1, z1), (2, z2)];
-        let evals: Vec<Fr> = queries.iter().map(|(i, z)| polys[*i].evaluate(*z)).collect();
+        let evals: Vec<Fr> = queries
+            .iter()
+            .map(|(i, z)| polys[*i].evaluate(*z))
+            .collect();
         let commits: Vec<G1Affine> = polys.iter().map(|p| params.commit(p)).collect();
 
         let mut tp = Transcript::new(b"test");

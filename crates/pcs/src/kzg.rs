@@ -155,8 +155,8 @@ impl KzgSrs {
             }
             let wp = wit.to_projective();
             lhs += wp.mul_scalar(&uj);
-            rhs += (f + wp.mul_scalar(z) - G1Projective::generator().mul_scalar(&v))
-                .mul_scalar(&uj);
+            rhs +=
+                (f + wp.mul_scalar(z) - G1Projective::generator().mul_scalar(&v)).mul_scalar(&uj);
             uj *= u;
         }
         let ok = pairing_check(&[
@@ -264,9 +264,11 @@ mod tests {
         let z1 = Fr::random(&mut rng);
         let z2 = Fr::random(&mut rng);
         // p0, p1, p2 at z1; p1, p3 at z2.
-        let queries: Vec<(usize, Fr)> =
-            vec![(0, z1), (1, z1), (2, z1), (1, z2), (3, z2)];
-        let evals: Vec<Fr> = queries.iter().map(|(i, z)| polys[*i].evaluate(*z)).collect();
+        let queries: Vec<(usize, Fr)> = vec![(0, z1), (1, z1), (2, z1), (1, z2), (3, z2)];
+        let evals: Vec<Fr> = queries
+            .iter()
+            .map(|(i, z)| polys[*i].evaluate(*z))
+            .collect();
         let commits: Vec<G1Affine> = polys.iter().map(|p| s.commit(p)).collect();
 
         let mut tp = Transcript::new(b"test");

@@ -145,7 +145,6 @@ impl<'a> Reader<'a> {
 mod tests {
     use super::*;
     use zkml_curves::G1Projective;
-    use zkml_ff::Field;
 
     #[test]
     fn roundtrip() {

@@ -149,7 +149,9 @@ impl ConstraintSystem {
         if self.permutation_columns.is_empty() {
             0
         } else {
-            self.permutation_columns.len().div_ceil(self.permutation_chunk())
+            self.permutation_columns
+                .len()
+                .div_ceil(self.permutation_chunk())
         }
     }
 
@@ -271,10 +273,7 @@ mod tests {
         let t = cs.fixed_column();
         cs.create_lookup(
             "lk",
-            vec![
-                Expression::Fixed(q, Rotation::cur())
-                    * Expression::Advice(a, Rotation::cur()),
-            ],
+            vec![Expression::Fixed(q, Rotation::cur()) * Expression::Advice(a, Rotation::cur())],
             vec![Expression::Fixed(t, Rotation::cur())],
         );
         assert_eq!(cs.degree(), 5);

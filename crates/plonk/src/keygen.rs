@@ -108,6 +108,102 @@ pub struct ProvingKey {
     pub l_active_ext: Vec<Fr>,
 }
 
+/// Interpolates column values into coefficient form and evaluates each
+/// polynomial over the extended coset.
+fn interpolate_columns(
+    domains: &ExtendedDomain,
+    values: &[Vec<Fr>],
+) -> (Vec<Coeffs<Fr>>, Vec<Vec<Fr>>) {
+    let polys: Vec<Coeffs<Fr>> = values
+        .iter()
+        .map(|v| {
+            let mut c = v.clone();
+            domains.domain.ifft(&mut c);
+            Coeffs::new(c)
+        })
+        .collect();
+    let ext = polys
+        .iter()
+        .map(|p| domains.coset_ext(p.values.clone()))
+        .collect();
+    (polys, ext)
+}
+
+/// Computes the `l_0`, `l_last`, and `l_active` selector polynomials on the
+/// extended coset.
+fn lagrange_selectors(
+    domains: &ExtendedDomain,
+    cs: &ConstraintSystem,
+) -> (Vec<Fr>, Vec<Fr>, Vec<Fr>) {
+    let n = domains.domain.n;
+    let usable = cs.usable_rows(n);
+    let indicator = |rows: &dyn Fn(usize) -> bool| -> Vec<Fr> {
+        let mut evals: Vec<Fr> = (0..n)
+            .map(|i| if rows(i) { Fr::one() } else { Fr::zero() })
+            .collect();
+        domains.domain.ifft(&mut evals);
+        domains.coset_ext(evals)
+    };
+    (
+        indicator(&|i| i == 0),
+        indicator(&|i| i == usable),
+        indicator(&|i| i < usable),
+    )
+}
+
+impl ProvingKey {
+    /// Rebuilds a proving key from its persistent core: the verifying key
+    /// plus the fixed and sigma column *values*. Everything else in the key
+    /// (coefficient forms, coset extensions, Lagrange selectors) is derived
+    /// data and is recomputed here, which keeps the serialized form small.
+    pub fn from_parts(
+        vk: VerifyingKey,
+        fixed_values: Vec<Vec<Fr>>,
+        sigma_values: Vec<Vec<Fr>>,
+    ) -> Result<ProvingKey, PlonkError> {
+        let domains = ExtendedDomain::new(vk.k, vk.cs.degree());
+        let n = domains.domain.n;
+        if fixed_values.len() != vk.cs.num_fixed {
+            return Err(PlonkError::Synthesis(format!(
+                "expected {} fixed columns, got {}",
+                vk.cs.num_fixed,
+                fixed_values.len()
+            )));
+        }
+        if sigma_values.len() != vk.cs.permutation_columns.len() {
+            return Err(PlonkError::Synthesis(format!(
+                "expected {} sigma columns, got {}",
+                vk.cs.permutation_columns.len(),
+                sigma_values.len()
+            )));
+        }
+        for col in fixed_values.iter().chain(sigma_values.iter()) {
+            if col.len() != n {
+                return Err(PlonkError::Synthesis(format!(
+                    "column has {} rows but n = {n}",
+                    col.len()
+                )));
+            }
+        }
+        let (fixed_polys, fixed_ext) = interpolate_columns(&domains, &fixed_values);
+        let (sigma_polys, sigma_ext) = interpolate_columns(&domains, &sigma_values);
+        let (l0_ext, l_last_ext, l_active_ext) = lagrange_selectors(&domains, &vk.cs);
+        Ok(ProvingKey {
+            vk,
+            domains,
+            fixed_values,
+            fixed_polys,
+            fixed_ext,
+            sigma_values,
+            sigma_polys,
+            sigma_ext,
+            l0_ext,
+            l_last_ext,
+            l_active_ext,
+        })
+    }
+}
+
 /// Builds the permutation mapping from copy constraints using the PLONK
 /// cycle-merging construction.
 pub fn build_permutation(
@@ -209,20 +305,8 @@ pub fn keygen(
         v.resize(n, Fr::zero());
         fixed_values.push(v);
     }
-    let fixed_polys: Vec<Coeffs<Fr>> = fixed_values
-        .iter()
-        .map(|v| {
-            let mut c = v.clone();
-            domains.domain.ifft(&mut c);
-            Coeffs::new(c)
-        })
-        .collect();
-    let fixed_commitments: Vec<G1Affine> =
-        fixed_polys.iter().map(|p| params.commit(p)).collect();
-    let fixed_ext: Vec<Vec<Fr>> = fixed_polys
-        .iter()
-        .map(|p| domains.coset_ext(p.values.clone()))
-        .collect();
+    let (fixed_polys, fixed_ext) = interpolate_columns(&domains, &fixed_values);
+    let fixed_commitments: Vec<G1Affine> = fixed_polys.iter().map(|p| params.commit(p)).collect();
 
     // Permutation sigmas.
     let mapping = build_permutation(cs, &pre.copies, n)?;
@@ -242,33 +326,11 @@ pub fn keygen(
                 .collect()
         })
         .collect();
-    let sigma_polys: Vec<Coeffs<Fr>> = sigma_values
-        .iter()
-        .map(|v| {
-            let mut c = v.clone();
-            domains.domain.ifft(&mut c);
-            Coeffs::new(c)
-        })
-        .collect();
-    let sigma_commitments: Vec<G1Affine> =
-        sigma_polys.iter().map(|p| params.commit(p)).collect();
-    let sigma_ext: Vec<Vec<Fr>> = sigma_polys
-        .iter()
-        .map(|p| domains.coset_ext(p.values.clone()))
-        .collect();
+    let (sigma_polys, sigma_ext) = interpolate_columns(&domains, &sigma_values);
+    let sigma_commitments: Vec<G1Affine> = sigma_polys.iter().map(|p| params.commit(p)).collect();
 
     // Lagrange selectors.
-    let usable = cs.usable_rows(n);
-    let indicator = |rows: &dyn Fn(usize) -> bool| -> Vec<Fr> {
-        let mut evals: Vec<Fr> = (0..n)
-            .map(|i| if rows(i) { Fr::one() } else { Fr::zero() })
-            .collect();
-        domains.domain.ifft(&mut evals);
-        domains.coset_ext(evals)
-    };
-    let l0_ext = indicator(&|i| i == 0);
-    let l_last_ext = indicator(&|i| i == usable);
-    let l_active_ext = indicator(&|i| i < usable);
+    let (l0_ext, l_last_ext, l_active_ext) = lagrange_selectors(&domains, cs);
 
     // Key digest.
     let mut hasher = Blake2b::new();

@@ -42,7 +42,11 @@ pub struct PlanEntry {
 /// `usable` is the `l_last` row index (`n - BLINDING_FACTORS - 1`); the
 /// permutation chunk-linking constraint evaluates the previous chunk's
 /// grand product at `omega^usable * x`.
-pub fn opening_plan(cs: &ConstraintSystem, usable: usize, quotient_pieces: usize) -> Vec<PlanEntry> {
+pub fn opening_plan(
+    cs: &ConstraintSystem,
+    usable: usize,
+    quotient_pieces: usize,
+) -> Vec<PlanEntry> {
     let mut plan = Vec::new();
     // 1. Column queries from gates/lookup expressions (instance columns are
     //    evaluated directly by the verifier and never opened).
@@ -158,7 +162,9 @@ mod tests {
         for j in 0..4 {
             assert!(plan.iter().any(|e| e.poly == PolyId::Quotient(j)));
         }
-        assert!(plan.iter().any(|e| e.poly == PolyId::LookupA(0) && e.rotation == -1));
+        assert!(plan
+            .iter()
+            .any(|e| e.poly == PolyId::LookupA(0) && e.rotation == -1));
     }
 
     #[test]

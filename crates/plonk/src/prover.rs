@@ -153,7 +153,15 @@ pub fn create_proof_with_rng(
         let mut acc = Fr::zero();
         let mut t = Fr::one();
         for e in exprs {
-            acc += t * eval_on_row(e, i, n, &instance, &advice_values, &pk.fixed_values, &challenges);
+            acc += t * eval_on_row(
+                e,
+                i,
+                n,
+                &instance,
+                &advice_values,
+                &pk.fixed_values,
+                &challenges,
+            );
             t *= theta;
         }
         acc
@@ -199,7 +207,7 @@ pub fn create_proof_with_rng(
         }
         let mut leftovers = t_counts
             .into_iter()
-            .flat_map(|(v, c)| std::iter::repeat(v).take(c));
+            .flat_map(|(v, c)| std::iter::repeat_n(v, c));
         let s_permuted: Vec<Fr> = s_permuted
             .into_iter()
             .map(|slot| {
@@ -314,8 +322,7 @@ pub fn create_proof_with_rng(
         let mut z = vec![Fr::zero(); n];
         z[0] = Fr::one();
         for i in 0..usable {
-            z[i + 1] =
-                z[i] * (w.a_compressed[i] + beta) * (w.t_compressed[i] + gamma) * den[i];
+            z[i + 1] = z[i] * (w.a_compressed[i] + beta) * (w.t_compressed[i] + gamma) * den[i];
         }
         if z[usable] != Fr::one() {
             return Err(PlonkError::Synthesis(format!(
@@ -348,8 +355,7 @@ pub fn create_proof_with_rng(
     };
     let poly_to_ext = |p: &Coeffs<Fr>| ext.coset_ext(p.values.clone());
 
-    let instance_ext: Vec<Vec<Fr>> =
-        instance_polys.iter().map(poly_to_ext).collect();
+    let instance_ext: Vec<Vec<Fr>> = instance_polys.iter().map(poly_to_ext).collect();
     let advice_ext: Vec<Vec<Fr>> = advice_polys.iter().map(poly_to_ext).collect();
     let perm_z_ext: Vec<Vec<Fr>> = perm_z_values.iter().map(|v| to_ext(v)).collect();
     let lookup_a_ext: Vec<Vec<Fr>> = lookups.iter().map(|w| poly_to_ext(&w.a_poly)).collect();
@@ -465,7 +471,8 @@ pub fn create_proof_with_rng(
                 let a = compress_ext(&lk.inputs, i);
                 let t = compress_ext(&lk.table, i);
                 pk.l_active_ext[i]
-                    * (z_next * (lookup_a_ext[lk_idx][i] + beta)
+                    * (z_next
+                        * (lookup_a_ext[lk_idx][i] + beta)
                         * (lookup_s_ext[lk_idx][i] + gamma)
                         - z * (a + beta) * (t + gamma))
             },

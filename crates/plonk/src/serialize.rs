@@ -1,13 +1,17 @@
-//! Binary serialization of verifying keys.
+//! Binary serialization of verifying and proving keys.
 //!
 //! The paper (§8) ships the verifier as a standalone binary that takes the
 //! model configuration, verifying key, proof and public values. This module
 //! provides the verifying-key encoding: the constraint-system structure
-//! (including gate expressions) plus the fixed/sigma commitments.
+//! (including gate expressions) plus the fixed/sigma commitments. It also
+//! encodes proving keys (verifying key + preprocessed column values) so a
+//! proving service can spill generated keys to disk and skip keygen on warm
+//! restarts.
 
 use crate::circuit::{ConstraintSystem, Gate, Lookup};
 use crate::expression::{Column, Expression, Rotation};
-use crate::keygen::VerifyingKey;
+use crate::keygen::{ProvingKey, VerifyingKey};
+use crate::PlonkError;
 use zkml_pcs::{ReadError, Reader, Writer};
 
 fn write_column(w: &mut Writer, c: &Column) {
@@ -293,6 +297,62 @@ impl VerifyingKey {
             sigma_commitments,
             digest,
         })
+    }
+}
+
+fn write_scalar_columns(w: &mut Writer, cols: &[Vec<zkml_ff::Fr>]) {
+    w.u64(cols.len() as u64);
+    for col in cols {
+        w.u64(col.len() as u64);
+        for s in col {
+            w.scalar(s);
+        }
+    }
+}
+
+fn read_scalar_columns(r: &mut Reader) -> Result<Vec<Vec<zkml_ff::Fr>>, ReadError> {
+    let ncols = r.u64()? as usize;
+    if ncols > 1 << 20 {
+        return Err(ReadError("too many columns"));
+    }
+    let mut cols = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        let rows = r.u64()? as usize;
+        if rows > 1 << 28 {
+            return Err(ReadError("column too long"));
+        }
+        cols.push((0..rows).map(|_| r.scalar()).collect::<Result<_, _>>()?);
+    }
+    Ok(cols)
+}
+
+impl ProvingKey {
+    /// Serializes the proving key: the verifying key plus the fixed and
+    /// sigma column values. Derived data (coefficient forms, coset
+    /// extensions, Lagrange selectors) is recomputed on load by
+    /// [`ProvingKey::from_parts`], trading a few FFTs at read time for an
+    /// encoding linear in the preprocessed columns.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        let vk_bytes = self.vk.to_bytes();
+        w.u64(vk_bytes.len() as u64);
+        w.bytes(&vk_bytes);
+        write_scalar_columns(&mut w, &self.fixed_values);
+        write_scalar_columns(&mut w, &self.sigma_values);
+        w.finish()
+    }
+
+    /// Deserializes a proving key written by [`ProvingKey::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, PlonkError> {
+        let mut r = Reader::new(bytes);
+        let vk_len = r.u64()? as usize;
+        let vk = VerifyingKey::from_bytes(r.take_bytes(vk_len)?)?;
+        let fixed_values = read_scalar_columns(&mut r)?;
+        let sigma_values = read_scalar_columns(&mut r)?;
+        if !r.is_exhausted() {
+            return Err(ReadError("trailing bytes in proving key").into());
+        }
+        ProvingKey::from_parts(vk, fixed_values, sigma_values)
     }
 }
 

@@ -58,13 +58,13 @@ pub fn verify_proof(
     let mut challenges: Vec<Fr> = Vec::new();
     let phases: &[u8] = if cs.num_challenges > 0 { &[0, 1] } else { &[0] };
     for &phase in phases {
-        for c in 0..cs.num_advice {
+        for (c, slot) in advice_commitments.iter_mut().enumerate() {
             if cs.advice_phase[c] != phase {
                 continue;
             }
             let com = r.g1()?;
             transcript.absorb(b"advice", &com.to_bytes());
-            advice_commitments[c] = Some(com);
+            *slot = Some(com);
         }
         if phase == 0 {
             for _ in 0..cs.num_challenges {
@@ -144,9 +144,8 @@ pub fn verify_proof(
             Coeffs::new(c)
         })
         .collect();
-    let instance_eval = |c: usize, rot: i32| -> Fr {
-        instance_polys[c].evaluate(domain.rotate(x, rot))
-    };
+    let instance_eval =
+        |c: usize, rot: i32| -> Fr { instance_polys[c].evaluate(domain.rotate(x, rot)) };
 
     let column_eval = |col: Column, rot: Rotation| -> Fr {
         match col {
@@ -210,9 +209,8 @@ pub fn verify_proof(
         add_term(l_last_x * (z_last.square() - z_last), &mut combined);
         for c in 1..z_count {
             add_term(
-                l0_x
-                    * (find_eval(PolyId::PermZ(c), 0)
-                        - find_eval(PolyId::PermZ(c - 1), usable as i32)),
+                l0_x * (find_eval(PolyId::PermZ(c), 0)
+                    - find_eval(PolyId::PermZ(c - 1), usable as i32)),
                 &mut combined,
             );
         }
@@ -243,8 +241,7 @@ pub fn verify_proof(
         let t = compress(&lk.table);
         add_term(
             l_active_x
-                * (z_next * (a_perm + beta) * (s_perm + gamma)
-                    - z * (a + beta) * (t + gamma)),
+                * (z_next * (a_perm + beta) * (s_perm + gamma) - z * (a + beta) * (t + gamma)),
             &mut combined,
         );
         add_term(l0_x * (a_perm - s_perm), &mut combined);

@@ -20,6 +20,7 @@ fn params(backend: Backend, k: u32) -> Params {
 struct VecWitness {
     instance: Vec<Vec<Fr>>,
     advice0: Vec<(usize, Vec<Fr>)>,
+    #[allow(clippy::type_complexity)]
     advice1: Box<dyn Fn(&[Fr]) -> Vec<(usize, Vec<Fr>)> + Send + Sync>,
 }
 
@@ -305,9 +306,8 @@ fn challenge_phase_circuit() {
     let result = create_proof_with_rng(&params, &pk, &bad, &mut rng);
     // The prover does not self-check gates, so it emits a proof; the
     // verifier must reject it.
-    match result {
-        Ok(p) => assert!(verify_proof(&params, &pk.vk, &[], &p).is_err()),
-        Err(_) => {}
+    if let Ok(p) = result {
+        assert!(verify_proof(&params, &pk.vk, &[], &p).is_err());
     }
 }
 
@@ -337,10 +337,7 @@ fn multi_row_accumulator_circuit() {
         accs.push(prev + *x);
     }
     // q active on rows 0..rows; acc column has rows+1 values.
-    let witness = VecWitness::simple(
-        vec![],
-        vec![(v, vals), (acc, accs)],
-    );
+    let witness = VecWitness::simple(vec![], vec![(v, vals), (acc, accs)]);
     let pre = Preprocessed {
         fixed: vec![vec![Fr::one(); rows]],
         copies: vec![],

@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use zkml_ff::{Field, Fr, PrimeField};
+use zkml_ff::{Fr, PrimeField};
 use zkml_pcs::{Backend, Params};
 use zkml_plonk::{
     create_proof_with_rng, keygen, verify_proof, CellRef, Column, ConstraintSystem, Expression,
@@ -34,7 +34,10 @@ fn params() -> &'static Params {
 
 /// Builds an affine-chain circuit: v_{i+1} = a_i * v_i + b_i with the final
 /// value public, for arbitrary coefficient vectors.
-fn affine_chain(coeffs: &[(u64, u64)], start: u64) -> (ConstraintSystem, Preprocessed, VecWitness, Fr) {
+fn affine_chain(
+    coeffs: &[(u64, u64)],
+    start: u64,
+) -> (ConstraintSystem, Preprocessed, VecWitness, Fr) {
     let mut cs = ConstraintSystem::new();
     let q = cs.fixed_column();
     let a = cs.advice_column(0);

@@ -73,7 +73,7 @@ impl<F: FftField> EvaluationDomain<F> {
     }
 
     /// Converts evaluations over the domain back to coefficients, in place.
-    pub fn ifft(&self, a: &mut Vec<F>) {
+    pub fn ifft(&self, a: &mut [F]) {
         assert_eq!(a.len(), self.n, "evaluations must cover the domain");
         ifft_in_place(a, self.omega_inv, self.n_inv, self.k);
     }
@@ -91,7 +91,7 @@ impl<F: FftField> EvaluationDomain<F> {
     }
 
     /// Interpolates evaluations over the coset `g * H` back to coefficients.
-    pub fn coset_ifft(&self, a: &mut Vec<F>) {
+    pub fn coset_ifft(&self, a: &mut [F]) {
         assert_eq!(a.len(), self.n, "evaluations must cover the domain");
         ifft_in_place(a, self.omega_inv, self.n_inv, self.k);
         let mut cur = F::one();
@@ -188,9 +188,7 @@ mod tests {
         for e in domain.elements() {
             assert!(domain.evaluate_vanishing(e).is_zero());
         }
-        assert!(!domain
-            .evaluate_vanishing(domain.coset_gen)
-            .is_zero());
+        assert!(!domain.evaluate_vanishing(domain.coset_gen).is_zero());
     }
 
     #[test]

@@ -90,10 +90,7 @@ impl<F: Field> Coeffs<F> {
 
     /// Degree of the polynomial ignoring leading zeros (zero poly -> 0).
     pub fn degree(&self) -> usize {
-        self.values
-            .iter()
-            .rposition(|c| !c.is_zero())
-            .unwrap_or(0)
+        self.values.iter().rposition(|c| !c.is_zero()).unwrap_or(0)
     }
 }
 
@@ -200,11 +197,7 @@ mod tests {
     #[test]
     fn horner_evaluation() {
         // p(x) = 3 + 2x + x^2; p(5) = 3 + 10 + 25 = 38.
-        let p = Coeffs::new(vec![
-            Fr::from_u64(3),
-            Fr::from_u64(2),
-            Fr::from_u64(1),
-        ]);
+        let p = Coeffs::new(vec![Fr::from_u64(3), Fr::from_u64(2), Fr::from_u64(1)]);
         assert_eq!(p.evaluate(Fr::from_u64(5)), Fr::from_u64(38));
         assert_eq!(p.degree(), 2);
     }

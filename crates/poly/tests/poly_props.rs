@@ -1,7 +1,7 @@
 //! Property tests for polynomial arithmetic and evaluation domains.
 
 use proptest::prelude::*;
-use zkml_ff::{FftField, Field, Fr, PrimeField};
+use zkml_ff::{Field, Fr, PrimeField};
 use zkml_poly::{Coeffs, EvaluationDomain};
 
 fn fr() -> impl Strategy<Value = Fr> {

@@ -1,0 +1,556 @@
+//! The ZKML command-line interface (§8 of the paper): optimize, prove, and
+//! verify model inferences — plus a proving-service front-end.
+//!
+//! ```text
+//! zkml models
+//! zkml optimize mnist --backend kzg
+//! zkml prove mnist --dir /tmp/mnist-proof [--backend kzg] [--seed 7]
+//! zkml verify --dir /tmp/mnist-proof
+//! zkml serve --spool /tmp/zkml-spool [--workers 2] [--once] [--cache-dir D]
+//! zkml submit mnist --spool /tmp/zkml-spool [--seed 7] [--wait]
+//! ```
+//!
+//! `serve`/`submit` speak a spool-directory protocol: `submit` drops a
+//! `<job>.req` file (atomic rename), `serve` picks it up, proves through the
+//! `zkml-service` worker pool, and writes `<job>.out/` with the proof
+//! artifacts and a `status` file. The environment has no network; a spool
+//! directory gives the same queue semantics over a shared filesystem.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use zkml::{compile, optimizer, OptimizerOptions};
+use zkml_ff::PrimeField;
+use zkml_model::Graph;
+use zkml_pcs::{Backend, Params};
+use zkml_plonk::VerifyingKey;
+use zkml_service::{
+    decode_public, encode_public, write_proof_dir, JobHandle, JobSpec, ProvingService,
+    ServiceConfig, SRS_SEED,
+};
+use zkml_tensor::{FixedPoint, Tensor};
+
+/// A CLI failure: either a usage error (exit 2) or a runtime error (exit 1).
+enum CliError {
+    Usage,
+    Msg(String),
+}
+
+impl From<String> for CliError {
+    fn from(s: String) -> Self {
+        CliError::Msg(s)
+    }
+}
+
+fn parse_backend(args: &[String]) -> Backend {
+    match flag_value(args, "--backend").as_deref() {
+        Some("ipa") => Backend::Ipa,
+        _ => Backend::Kzg,
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn parsed_flag<T: std::str::FromStr>(
+    args: &[String],
+    flag: &str,
+    default: T,
+) -> Result<T, CliError> {
+    match flag_value(args, flag) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError::Msg(format!("invalid value '{v}' for {flag}"))),
+    }
+}
+
+fn usage() -> &'static str {
+    "usage:\n  zkml models\n  zkml export <model> --file <path.zkml>\n  \
+     zkml optimize <model|path.zkml> [--backend kzg|ipa] [--max-k K]\n  \
+     zkml prove <model|path.zkml> --dir <out-dir> [--backend kzg|ipa] [--seed N]\n  \
+     zkml verify --dir <dir>\n  \
+     zkml serve --spool <dir> [--workers N] [--queue N] [--cache-dir <dir>]\n             \
+     [--once] [--poll-ms M] [--deadline-s S]\n  \
+     zkml submit <model> --spool <dir> [--backend kzg|ipa] [--seed N]\n             \
+     [--wait] [--timeout-s S]"
+}
+
+/// Resolves a model argument: a zoo name or a `.zkml` model file.
+fn resolve_model(arg: &str) -> Result<Graph, CliError> {
+    if arg.ends_with(".zkml") || Path::new(arg).exists() {
+        let bytes =
+            std::fs::read(arg).map_err(|e| CliError::Msg(format!("read model {arg}: {e}")))?;
+        return Graph::from_bytes(&bytes)
+            .map_err(|e| CliError::Msg(format!("parse model {arg}: {e}")));
+    }
+    zkml_model::zoo::by_name(arg)
+        .ok_or_else(|| CliError::Msg(format!("unknown model '{arg}' (try `zkml models`)")))
+}
+
+/// Restores default SIGPIPE handling so `zkml models | head` terminates
+/// quietly instead of panicking on a broken pipe (Rust ignores SIGPIPE by
+/// default, turning it into an io::Error that println! panics on).
+#[cfg(unix)]
+fn reset_sigpipe() {
+    unsafe extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGPIPE: i32 = 13;
+    const SIG_DFL: usize = 0;
+    unsafe {
+        signal(SIGPIPE, SIG_DFL);
+    }
+}
+
+#[cfg(not(unix))]
+fn reset_sigpipe() {}
+
+fn main() -> ExitCode {
+    reset_sigpipe();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(CliError::Usage) => {
+            eprintln!("{}", usage());
+            ExitCode::from(2)
+        }
+        Err(CliError::Msg(msg)) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), CliError> {
+    match args.first().map(String::as_str) {
+        Some("models") => {
+            println!("{:<12} {:>10} {:>12}", "model", "params", "flops");
+            for g in zkml_model::zoo::all_models() {
+                let s = zkml_model::stats(&g);
+                println!(
+                    "{:<12} {:>10} {:>12}",
+                    g.name,
+                    zkml_model::stats::human(s.params),
+                    zkml_model::stats::human(s.flops)
+                );
+            }
+            Ok(())
+        }
+        Some("export") => {
+            let name = args.get(1).ok_or(CliError::Usage)?;
+            let g = resolve_model(name)?;
+            let file = flag_value(args, "--file").ok_or(CliError::Usage)?;
+            std::fs::write(&file, g.to_bytes())
+                .map_err(|e| CliError::Msg(format!("write {file}: {e}")))?;
+            println!("wrote {} ({} nodes) to {file}", g.name, g.nodes.len());
+            Ok(())
+        }
+        Some("optimize") => {
+            let name = args.get(1).ok_or(CliError::Usage)?;
+            let g = resolve_model(name)?;
+            let backend = parse_backend(args);
+            let max_k: u32 = parsed_flag(args, "--max-k", 15)?;
+            let hw = zkml::cost::HardwareStats::cached();
+            let opts = OptimizerOptions::new(backend, max_k);
+            let report = optimizer::optimize(&g, &opts, hw);
+            println!(
+                "{} ({backend}): {} layouts evaluated ({} pruned) in {:?}",
+                g.name, report.evaluated, report.pruned, report.elapsed
+            );
+            println!(
+                "best: 2^{} rows x {} columns, {:?}",
+                report.best_k, report.best.num_cols, report.best.choices
+            );
+            println!(
+                "estimated proving {:.2}s (fft {:.2}s, msm {:.2}s, lookup {:.2}s), proof ~{} B",
+                report.best_cost.proving_s,
+                report.best_cost.fft_s,
+                report.best_cost.msm_s,
+                report.best_cost.lookup_s,
+                report.best_cost.proof_bytes
+            );
+            Ok(())
+        }
+        Some("prove") => {
+            let name = args.get(1).ok_or(CliError::Usage)?;
+            let g = resolve_model(name)?;
+            let dir = flag_value(args, "--dir").ok_or(CliError::Usage)?;
+            let backend = parse_backend(args);
+            let seed: u64 = parsed_flag(args, "--seed", 1)?;
+            prove_flow(&g, backend, seed, Path::new(&dir))
+        }
+        Some("verify") => {
+            let dir = flag_value(args, "--dir").ok_or(CliError::Usage)?;
+            verify_flow(Path::new(&dir))
+        }
+        Some("serve") => serve_flow(args),
+        Some("submit") => submit_flow(args),
+        _ => Err(CliError::Usage),
+    }
+}
+
+fn prove_flow(g: &Graph, backend: Backend, seed: u64, dir: &Path) -> Result<(), CliError> {
+    std::fs::create_dir_all(dir)
+        .map_err(|e| CliError::Msg(format!("create {}: {e}", dir.display())))?;
+    let hw = zkml::cost::HardwareStats::cached();
+    let opts = OptimizerOptions::new(backend, 15);
+    let report = optimizer::optimize(g, &opts, hw);
+    println!(
+        "optimizer chose 2^{} x {} cols in {:?}",
+        report.best_k, report.best.num_cols, report.elapsed
+    );
+    let fp = FixedPoint::new(report.best.numeric.scale_bits);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let inputs: Vec<Tensor<i64>> = g
+        .inputs
+        .iter()
+        .map(|id| {
+            let shape = g.shape(*id).to_vec();
+            let n: usize = shape.iter().product();
+            Tensor::new(
+                shape,
+                (0..n)
+                    .map(|_| fp.quantize(rng.gen_range(-1.0..1.0)))
+                    .collect(),
+            )
+        })
+        .collect();
+
+    let t = Instant::now();
+    let compiled = compile(g, &inputs, report.best, false)
+        .map_err(|e| CliError::Msg(format!("compile {}: {e}", g.name)))?;
+    println!(
+        "compiled in {:?} (rows {})",
+        t.elapsed(),
+        compiled.stats.rows
+    );
+    let mut srs_rng = StdRng::seed_from_u64(SRS_SEED);
+    let params = Params::setup(backend, compiled.k, &mut srs_rng);
+    let pk = compiled
+        .keygen(&params)
+        .map_err(|e| CliError::Msg(format!("keygen: {e}")))?;
+    let t = Instant::now();
+    let proof = compiled
+        .prove(&params, &pk, &mut rng)
+        .map_err(|e| CliError::Msg(format!("prove: {e}")))?;
+    println!("proved in {:?} ({} bytes)", t.elapsed(), proof.len());
+
+    let write = |name: &str, bytes: &[u8]| -> Result<(), CliError> {
+        std::fs::write(dir.join(name), bytes)
+            .map_err(|e| CliError::Msg(format!("write {name}: {e}")))
+    };
+    write("proof.bin", &proof)?;
+    write("vk.bin", &pk.vk.to_bytes())?;
+    write(
+        "public.bin",
+        &encode_public(backend, &compiled.instance()[0]),
+    )?;
+    println!("wrote proof.bin, vk.bin, public.bin to {}", dir.display());
+    Ok(())
+}
+
+fn verify_flow(dir: &Path) -> Result<(), CliError> {
+    let load = |name: &str| -> Result<Vec<u8>, CliError> {
+        std::fs::read(PathBuf::from(dir).join(name))
+            .map_err(|e| CliError::Msg(format!("read {name}: {e}")))
+    };
+    let vk = VerifyingKey::from_bytes(&load("vk.bin")?)
+        .map_err(|e| CliError::Msg(format!("parse vk.bin: {e}")))?;
+    let (backend, instance) = decode_public(&load("public.bin")?)
+        .map_err(|e| CliError::Msg(format!("parse public.bin: {e}")))?;
+    let proof = load("proof.bin")?;
+    // The SRS is a public artifact; this reproduction regenerates it from
+    // the fixed test seed (see DESIGN.md on the trusted-setup substitution).
+    let mut srs_rng = StdRng::seed_from_u64(SRS_SEED);
+    let params = Params::setup(backend, vk.k, &mut srs_rng);
+    let t = Instant::now();
+    match zkml_plonk::verify_proof(&params, &vk, std::slice::from_ref(&instance), &proof) {
+        Ok(()) => {
+            println!(
+                "proof VERIFIED in {:?} ({} public values, {} byte proof)",
+                t.elapsed(),
+                instance.len(),
+                proof.len()
+            );
+            // Show the first few outputs as fixed-point values.
+            let preview: Vec<i128> = instance
+                .iter()
+                .take(8)
+                .map(|v| v.to_signed_i128())
+                .collect();
+            println!("public outputs (quantized): {preview:?}");
+            Ok(())
+        }
+        Err(e) => Err(CliError::Msg(format!("proof REJECTED: {e}"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Spool protocol: serve / submit.
+// ---------------------------------------------------------------------------
+
+struct SpoolRequest {
+    stem: String,
+    model: String,
+    backend: Backend,
+    seed: u64,
+}
+
+fn parse_request(path: &Path) -> Result<SpoolRequest, String> {
+    let stem = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .ok_or("bad request filename")?
+        .to_string();
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read request: {e}"))?;
+    let mut model = None;
+    let mut backend = Backend::Kzg;
+    let mut seed = 1u64;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (key, value) = line.split_once('=').ok_or("request line missing '='")?;
+        match key.trim() {
+            "model" => model = Some(value.trim().to_string()),
+            "backend" => {
+                backend = match value.trim() {
+                    "kzg" => Backend::Kzg,
+                    "ipa" => Backend::Ipa,
+                    other => return Err(format!("bad backend '{other}'")),
+                }
+            }
+            "seed" => seed = value.trim().parse().map_err(|_| "bad seed".to_string())?,
+            other => return Err(format!("unknown request key '{other}'")),
+        }
+    }
+    Ok(SpoolRequest {
+        stem,
+        model: model.ok_or("request missing model=")?,
+        backend,
+        seed,
+    })
+}
+
+fn write_status(spool: &Path, stem: &str, status: &str) {
+    let out_dir = spool.join(format!("{stem}.out"));
+    if std::fs::create_dir_all(&out_dir).is_ok() {
+        let _ = std::fs::write(out_dir.join("status"), status);
+    }
+}
+
+fn serve_flow(args: &[String]) -> Result<(), CliError> {
+    let spool = PathBuf::from(flag_value(args, "--spool").ok_or(CliError::Usage)?);
+    std::fs::create_dir_all(&spool)
+        .map_err(|e| CliError::Msg(format!("create spool {}: {e}", spool.display())))?;
+    let once = has_flag(args, "--once");
+    let poll = Duration::from_millis(parsed_flag(args, "--poll-ms", 100u64)?);
+    let deadline_s: u64 = parsed_flag(args, "--deadline-s", 0)?;
+    let cfg = ServiceConfig {
+        workers: parsed_flag(args, "--workers", 2usize)?,
+        queue_capacity: parsed_flag(args, "--queue", 16usize)?,
+        default_deadline: (deadline_s > 0).then(|| Duration::from_secs(deadline_s)),
+        cache_dir: flag_value(args, "--cache-dir").map(PathBuf::from),
+        ..ServiceConfig::default()
+    };
+    let service =
+        ProvingService::start(cfg).map_err(|e| CliError::Msg(format!("start service: {e}")))?;
+    println!(
+        "serving spool {} ({} workers, queue {}){}",
+        spool.display(),
+        parsed_flag(args, "--workers", 2usize)?,
+        parsed_flag(args, "--queue", 16usize)?,
+        if once { ", one-shot" } else { "" }
+    );
+
+    let mut inflight: Vec<(String, JobHandle)> = Vec::new();
+    loop {
+        // Pick up new requests. A request is removed from the spool only
+        // once the service accepts it; on Busy it stays for the next scan.
+        let mut reqs: Vec<PathBuf> = std::fs::read_dir(&spool)
+            .map_err(|e| CliError::Msg(format!("scan spool: {e}")))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|ext| ext == "req"))
+            .collect();
+        reqs.sort();
+        for path in reqs {
+            let request = match parse_request(&path) {
+                Ok(r) => r,
+                Err(msg) => {
+                    let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("bad");
+                    write_status(&spool, stem, &format!("error: {msg}\n"));
+                    let _ = std::fs::remove_file(&path);
+                    continue;
+                }
+            };
+            let graph = match resolve_model(&request.model) {
+                Ok(g) => g,
+                Err(_) => {
+                    write_status(
+                        &spool,
+                        &request.stem,
+                        &format!("error: unknown model '{}'\n", request.model),
+                    );
+                    let _ = std::fs::remove_file(&path);
+                    continue;
+                }
+            };
+            match service.submit(JobSpec::prove(
+                Arc::new(graph),
+                request.backend,
+                request.seed,
+            )) {
+                Ok(handle) => {
+                    println!("job {} accepted: {}", handle.id(), request.stem);
+                    let _ = std::fs::remove_file(&path);
+                    inflight.push((request.stem, handle));
+                }
+                Err(zkml_service::ServiceError::Busy { .. }) => {
+                    // Backpressure: leave the request in the spool.
+                    break;
+                }
+                Err(e) => {
+                    write_status(&spool, &request.stem, &format!("error: {e}\n"));
+                    let _ = std::fs::remove_file(&path);
+                }
+            }
+        }
+
+        // Drain completed jobs without blocking new pickups for long.
+        let mut still_running = Vec::new();
+        for (stem, handle) in inflight {
+            match handle.wait_timeout(Duration::from_millis(10)) {
+                None => still_running.push((stem, handle)),
+                Some(Ok(Some(artifacts))) => {
+                    let out_dir = spool.join(format!("{stem}.out"));
+                    match write_proof_dir(&out_dir, &artifacts) {
+                        Ok(()) => {
+                            write_status(
+                                &spool,
+                                &stem,
+                                &format!(
+                                    "ok model={} k={} cache={:?} prove_ms={}\n",
+                                    artifacts.model,
+                                    artifacts.k,
+                                    artifacts.cache,
+                                    artifacts.prove_ms
+                                ),
+                            );
+                            println!(
+                                "job {} done: {} (k={}, cache {:?}, {} ms)",
+                                artifacts.job_id,
+                                stem,
+                                artifacts.k,
+                                artifacts.cache,
+                                artifacts.prove_ms
+                            );
+                        }
+                        Err(e) => write_status(&spool, &stem, &format!("error: {e}\n")),
+                    }
+                }
+                Some(Ok(None)) => write_status(&spool, &stem, "ok\n"),
+                Some(Err(e)) => {
+                    println!("job failed: {stem}: {e}");
+                    write_status(&spool, &stem, &format!("error: {e}\n"));
+                }
+            }
+        }
+        inflight = still_running;
+
+        if once && inflight.is_empty() {
+            let empty = !std::fs::read_dir(&spool)
+                .map_err(|e| CliError::Msg(format!("scan spool: {e}")))?
+                .filter_map(|entry| entry.ok().map(|e| e.path()))
+                .any(|p| p.extension().is_some_and(|ext| ext == "req"));
+            if empty {
+                break;
+            }
+        }
+        std::thread::sleep(poll);
+    }
+
+    let report = service.flush_verifications();
+    println!(
+        "batch verification: {} proofs in {} group(s), {} failed",
+        report.verified + report.failed,
+        report.groups,
+        report.failed
+    );
+    println!("{}", service.snapshot().to_json());
+    if report.failed > 0 {
+        return Err(CliError::Msg(format!(
+            "{} proof(s) failed batched verification",
+            report.failed
+        )));
+    }
+    Ok(())
+}
+
+fn submit_flow(args: &[String]) -> Result<(), CliError> {
+    let model = args.get(1).ok_or(CliError::Usage)?;
+    let spool = PathBuf::from(flag_value(args, "--spool").ok_or(CliError::Usage)?);
+    std::fs::create_dir_all(&spool)
+        .map_err(|e| CliError::Msg(format!("create spool {}: {e}", spool.display())))?;
+    let backend = parse_backend(args);
+    let seed: u64 = parsed_flag(args, "--seed", 1)?;
+
+    // Pick the first free job slot. Submissions race only with themselves
+    // here; the tmp-write + rename keeps the serve-side scan atomic.
+    let mut stem = String::new();
+    for i in 0.. {
+        let candidate = format!("job-{i:04}");
+        let busy = ["req", "out", "done"]
+            .iter()
+            .any(|ext| spool.join(format!("{candidate}.{ext}")).exists());
+        if !busy {
+            stem = candidate;
+            break;
+        }
+    }
+    let body = format!(
+        "model={model}\nbackend={}\nseed={seed}\n",
+        match backend {
+            Backend::Kzg => "kzg",
+            Backend::Ipa => "ipa",
+        }
+    );
+    let tmp = spool.join(format!("{stem}.tmp"));
+    let req = spool.join(format!("{stem}.req"));
+    std::fs::write(&tmp, body).map_err(|e| CliError::Msg(format!("write request: {e}")))?;
+    std::fs::rename(&tmp, &req).map_err(|e| CliError::Msg(format!("publish request: {e}")))?;
+    println!("submitted {stem} ({model}, {backend}, seed {seed})");
+
+    if has_flag(args, "--wait") {
+        let timeout = Duration::from_secs(parsed_flag(args, "--timeout-s", 600u64)?);
+        let status_path = spool.join(format!("{stem}.out")).join("status");
+        let start = Instant::now();
+        loop {
+            if let Ok(status) = std::fs::read_to_string(&status_path) {
+                print!("{status}");
+                if status.starts_with("ok") {
+                    return Ok(());
+                }
+                return Err(CliError::Msg(format!("job {stem} failed")));
+            }
+            if start.elapsed() > timeout {
+                return Err(CliError::Msg(format!(
+                    "timed out after {timeout:?} waiting for {stem}"
+                )));
+            }
+            std::thread::sleep(Duration::from_millis(100));
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,213 @@
+//! The artifact cache: per-model proving/verifying keys and per-size SRS,
+//! shared across workers behind `parking_lot::RwLock`s, with optional disk
+//! spill so a restarted service skips key generation entirely.
+//!
+//! Keys are cached under `(model content hash, backend, circuit k)` — the
+//! exact inputs key generation depends on. The SRS is a public artifact this
+//! reproduction regenerates from a fixed seed (see DESIGN.md on the
+//! trusted-setup substitution), so it is memoized per `(backend, k)` rather
+//! than persisted.
+
+use parking_lot::RwLock;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use zkml_pcs::{Backend, Params};
+use zkml_plonk::ProvingKey;
+
+/// Seed for the deterministic SRS regeneration (shared with the CLI's
+/// standalone prove/verify flows; see DESIGN.md).
+pub const SRS_SEED: u64 = 0x5151;
+
+/// Identity of a cached proving key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArtifactKey {
+    /// `Graph::content_hash()` of the model.
+    pub model_hash: [u8; 32],
+    /// Commitment backend the key was generated for.
+    pub backend: Backend,
+    /// log2 of the circuit's row count.
+    pub k: u32,
+}
+
+impl ArtifactKey {
+    /// A filesystem-safe stem naming this key's spill file.
+    pub fn file_stem(&self) -> String {
+        let mut hex = String::with_capacity(64);
+        for b in self.model_hash {
+            hex.push_str(&format!("{b:02x}"));
+        }
+        let backend = match self.backend {
+            Backend::Kzg => "kzg",
+            Backend::Ipa => "ipa",
+        };
+        format!("{hex}-{backend}-k{}", self.k)
+    }
+}
+
+/// How a cache lookup was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Found in memory.
+    MemoryHit,
+    /// Loaded from the disk spill directory (keygen still skipped).
+    DiskHit,
+    /// Not cached anywhere; the key was generated.
+    Miss,
+}
+
+impl CacheOutcome {
+    /// Whether key generation was skipped.
+    pub fn is_hit(&self) -> bool {
+        !matches!(self, CacheOutcome::Miss)
+    }
+}
+
+/// Shared cache of proving keys and SRS instances.
+pub struct ArtifactCache {
+    keys: RwLock<HashMap<ArtifactKey, Arc<ProvingKey>>>,
+    params: RwLock<HashMap<(Backend, u32), Arc<Params>>>,
+    disk_dir: Option<PathBuf>,
+}
+
+impl ArtifactCache {
+    /// A purely in-memory cache.
+    pub fn in_memory() -> Self {
+        Self {
+            keys: RwLock::new(HashMap::new()),
+            params: RwLock::new(HashMap::new()),
+            disk_dir: None,
+        }
+    }
+
+    /// A cache that additionally spills proving keys to `dir`, so a future
+    /// service instance pointed at the same directory starts warm.
+    pub fn with_disk(dir: &Path) -> std::io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        Ok(Self {
+            keys: RwLock::new(HashMap::new()),
+            params: RwLock::new(HashMap::new()),
+            disk_dir: Some(dir.to_path_buf()),
+        })
+    }
+
+    /// The spill directory, if configured.
+    pub fn disk_dir(&self) -> Option<&Path> {
+        self.disk_dir.as_deref()
+    }
+
+    /// Returns the SRS for `(backend, k)`, generating it on first use.
+    ///
+    /// Generation happens outside the lock so concurrent workers are never
+    /// serialized behind a multi-second setup; if two race, one result wins
+    /// and the other is dropped (both are identical — the seed is fixed).
+    pub fn params(&self, backend: Backend, k: u32) -> Arc<Params> {
+        if let Some(p) = self.params.read().get(&(backend, k)) {
+            return Arc::clone(p);
+        }
+        let mut rng = StdRng::seed_from_u64(SRS_SEED);
+        let fresh = Arc::new(Params::setup(backend, k, &mut rng));
+        let mut map = self.params.write();
+        Arc::clone(map.entry((backend, k)).or_insert(fresh))
+    }
+
+    /// Looks up a proving key, falling back to the disk spill; `None` means
+    /// the caller must generate it (and should then call [`Self::insert`]).
+    pub fn get(&self, key: &ArtifactKey) -> Option<(Arc<ProvingKey>, CacheOutcome)> {
+        if let Some(pk) = self.keys.read().get(key) {
+            return Some((Arc::clone(pk), CacheOutcome::MemoryHit));
+        }
+        let dir = self.disk_dir.as_ref()?;
+        let path = dir.join(format!("{}.pk", key.file_stem()));
+        let bytes = std::fs::read(&path).ok()?;
+        let pk = ProvingKey::from_bytes(&bytes).ok()?;
+        let pk = Arc::new(pk);
+        self.keys
+            .write()
+            .entry(*key)
+            .or_insert_with(|| Arc::clone(&pk));
+        Some((pk, CacheOutcome::DiskHit))
+    }
+
+    /// Inserts a freshly generated key, spilling it to disk when configured.
+    /// Returns the cached handle (the existing one if another worker won the
+    /// race, so all holders share one allocation).
+    pub fn insert(&self, key: ArtifactKey, pk: ProvingKey) -> Arc<ProvingKey> {
+        let pk = Arc::new(pk);
+        let cached = {
+            let mut map = self.keys.write();
+            Arc::clone(map.entry(key).or_insert_with(|| Arc::clone(&pk)))
+        };
+        if let Some(dir) = &self.disk_dir {
+            let path = dir.join(format!("{}.pk", key.file_stem()));
+            if !path.exists() {
+                // Spill via a temp file + rename so concurrent readers never
+                // observe a half-written key. Spill failure is non-fatal: the
+                // cache simply stays memory-only for this entry.
+                let tmp = dir.join(format!("{}.pk.tmp", key.file_stem()));
+                if std::fs::write(&tmp, cached.to_bytes()).is_ok() {
+                    let _ = std::fs::rename(&tmp, &path);
+                }
+            }
+        }
+        cached
+    }
+
+    /// Looks up the key, generating and caching it on a miss. The returned
+    /// outcome reports whether keygen was skipped.
+    pub fn get_or_generate<E>(
+        &self,
+        key: ArtifactKey,
+        generate: impl FnOnce() -> Result<ProvingKey, E>,
+    ) -> Result<(Arc<ProvingKey>, CacheOutcome), E> {
+        if let Some(found) = self.get(&key) {
+            return Ok(found);
+        }
+        let pk = generate()?;
+        Ok((self.insert(key, pk), CacheOutcome::Miss))
+    }
+
+    /// Number of proving keys currently held in memory.
+    pub fn len(&self) -> usize {
+        self.keys.read().len()
+    }
+
+    /// Whether the in-memory cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_stem_distinguishes_backend_and_k() {
+        let key = |backend, k| ArtifactKey {
+            model_hash: [0xAB; 32],
+            backend,
+            k,
+        };
+        let a = key(Backend::Kzg, 10).file_stem();
+        let b = key(Backend::Ipa, 10).file_stem();
+        let c = key(Backend::Kzg, 11).file_stem();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert!(a.starts_with("abab"));
+        assert!(a.ends_with("kzg-k10"));
+    }
+
+    #[test]
+    fn params_memoized_per_backend_and_k() {
+        let cache = ArtifactCache::in_memory();
+        let p1 = cache.params(Backend::Kzg, 4);
+        let p2 = cache.params(Backend::Kzg, 4);
+        assert!(Arc::ptr_eq(&p1, &p2));
+        let p3 = cache.params(Backend::Ipa, 4);
+        assert!(!Arc::ptr_eq(&p1, &p3));
+        assert_eq!(p3.backend(), Backend::Ipa);
+    }
+}

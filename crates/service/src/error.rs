@@ -1,0 +1,57 @@
+//! Error type for the proving service.
+
+use std::time::Duration;
+
+/// Errors surfaced to job submitters and the CLI front-end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The job queue is at capacity; the caller should back off and retry.
+    Busy {
+        /// The configured queue capacity that was exceeded.
+        queue_capacity: usize,
+    },
+    /// The job missed its deadline before (or while) being processed.
+    Timeout {
+        /// How long the job had been in the system when it was abandoned.
+        elapsed: Duration,
+    },
+    /// The requested model name is not in the zoo.
+    UnknownModel(String),
+    /// Lowering the model to a circuit failed.
+    Compile(String),
+    /// Key generation or proof creation failed.
+    Prove(String),
+    /// A proof failed verification.
+    Verify(String),
+    /// The worker processing this job panicked; the service itself keeps
+    /// running and the panic payload is reported here.
+    WorkerPanicked(String),
+    /// The service is shutting down and no longer accepts or answers jobs.
+    Shutdown,
+    /// Reading or writing a service artifact (spool file, cache entry).
+    Io(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Busy { queue_capacity } => {
+                write!(f, "service busy: job queue full ({queue_capacity} queued)")
+            }
+            ServiceError::Timeout { elapsed } => {
+                write!(f, "job deadline exceeded after {elapsed:?}")
+            }
+            ServiceError::UnknownModel(name) => {
+                write!(f, "unknown model '{name}' (try `zkml models`)")
+            }
+            ServiceError::Compile(msg) => write!(f, "compile failed: {msg}"),
+            ServiceError::Prove(msg) => write!(f, "proving failed: {msg}"),
+            ServiceError::Verify(msg) => write!(f, "verification failed: {msg}"),
+            ServiceError::WorkerPanicked(msg) => write!(f, "worker panicked: {msg}"),
+            ServiceError::Shutdown => write!(f, "service is shutting down"),
+            ServiceError::Io(msg) => write!(f, "io error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}

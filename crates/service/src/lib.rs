@@ -1,0 +1,36 @@
+//! zkml-service: a long-lived, multi-tenant proving service over the ZKML
+//! compiler.
+//!
+//! The paper's CLI workflow (§8) pays layout search and key generation on
+//! every invocation. This crate amortizes that cost across requests:
+//!
+//! * an **artifact cache** ([`cache`]) keyed by `(model content hash,
+//!   backend, k)` holds SRS and proving/verifying keys behind
+//!   `parking_lot::RwLock`s, and spills proving keys to disk (via
+//!   `zkml_plonk::serialize`) so a restarted service starts warm;
+//! * a **job queue and worker pool** ([`service`]) on bounded `crossbeam`
+//!   channels applies backpressure (reject-with-busy when full), enforces
+//!   per-job deadlines, and isolates worker panics from the service;
+//! * a **batched verification path** ([`verify`]) checks queued proofs for
+//!   the same verifying key together;
+//! * a **metrics layer** ([`stats`]) tracks jobs, queue depth, cache hit
+//!   rate, and prove-latency percentiles as a serializable snapshot.
+//!
+//! The `zkml` binary (`serve` / `submit` subcommands) fronts this library
+//! with a spool-directory protocol.
+
+pub mod artifact;
+pub mod cache;
+pub mod error;
+pub mod service;
+pub mod stats;
+pub mod verify;
+
+pub use artifact::{decode_public, encode_public, write_proof_dir};
+pub use cache::{ArtifactCache, ArtifactKey, CacheOutcome, SRS_SEED};
+pub use error::ServiceError;
+pub use service::{
+    JobHandle, JobKind, JobResult, JobSpec, ProofArtifacts, ProvingService, ServiceConfig,
+};
+pub use stats::{ServiceStats, StatsSnapshot};
+pub use verify::{BatchOutcome, BatchReport, BatchVerifier, PendingProof};

@@ -1,0 +1,466 @@
+//! The proving service: a bounded job queue feeding a pool of worker
+//! threads, with per-job deadlines, panic isolation, and shared access to
+//! the artifact cache and batch verifier.
+
+use crate::cache::{ArtifactCache, ArtifactKey, CacheOutcome};
+use crate::error::ServiceError;
+use crate::stats::{ServiceStats, StatsSnapshot};
+use crate::verify::{BatchReport, BatchVerifier, PendingProof};
+use crossbeam::channel::{self, Receiver, Sender, TrySendError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use zkml::{compile, optimizer, OptimizerOptions};
+use zkml_ff::Fr;
+use zkml_model::Graph;
+use zkml_pcs::Backend;
+use zkml_tensor::{FixedPoint, Tensor};
+
+/// Service construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Number of worker threads.
+    pub workers: usize,
+    /// Bounded queue capacity; submissions beyond it are rejected with
+    /// [`ServiceError::Busy`].
+    pub queue_capacity: usize,
+    /// Largest circuit `k` the optimizer may choose.
+    pub max_k: u32,
+    /// Deadline applied to jobs that do not set their own.
+    pub default_deadline: Option<Duration>,
+    /// Queue each completed proof for batched verification.
+    pub verify_after_prove: bool,
+    /// Spill proving keys here so warm restarts skip keygen.
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            queue_capacity: 16,
+            max_k: 15,
+            default_deadline: None,
+            verify_after_prove: true,
+            cache_dir: None,
+        }
+    }
+}
+
+/// What a job asks the service to do.
+pub enum JobKind {
+    /// Optimize, compile, and prove one inference of `graph`.
+    Prove {
+        /// The model graph.
+        graph: Arc<Graph>,
+        /// Commitment backend.
+        backend: Backend,
+        /// Seed for the synthetic quantized inputs and proof randomness.
+        seed: u64,
+    },
+    /// Occupy a worker for the given duration (health checks and tests).
+    Sleep(Duration),
+    /// Panic inside the worker (tests the panic-isolation path).
+    Panic,
+}
+
+/// A job specification: what to do and how long it may take.
+pub struct JobSpec {
+    /// The work itself.
+    pub kind: JobKind,
+    /// Deadline measured from submission; `None` uses the service default.
+    pub deadline: Option<Duration>,
+}
+
+impl JobSpec {
+    /// A job of the given kind with no deadline of its own.
+    pub fn new(kind: JobKind) -> Self {
+        Self {
+            kind,
+            deadline: None,
+        }
+    }
+
+    /// A proving job for `graph`.
+    pub fn prove(graph: Arc<Graph>, backend: Backend, seed: u64) -> Self {
+        Self {
+            kind: JobKind::Prove {
+                graph,
+                backend,
+                seed,
+            },
+            deadline: None,
+        }
+    }
+
+    /// Sets a per-job deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// Everything a completed proving job produced.
+#[derive(Debug, Clone)]
+pub struct ProofArtifacts {
+    /// The job's id.
+    pub job_id: u64,
+    /// Model name (from the graph).
+    pub model: String,
+    /// Backend the proof targets.
+    pub backend: Backend,
+    /// Circuit size exponent the optimizer chose.
+    pub k: u32,
+    /// The proof bytes.
+    pub proof: Vec<u8>,
+    /// The serialized verifying key.
+    pub vk_bytes: Vec<u8>,
+    /// Public values (first instance column).
+    pub public: Vec<Fr>,
+    /// How the proving key was obtained.
+    pub cache: CacheOutcome,
+    /// Wall-clock proof generation time.
+    pub prove_ms: u64,
+}
+
+/// Outcome of a job: proof artifacts for proving jobs, `None` for
+/// instrumentation jobs, or the error that stopped it.
+pub type JobResult = Result<Option<ProofArtifacts>, ServiceError>;
+
+struct Job {
+    id: u64,
+    spec: JobSpec,
+    submitted: Instant,
+    reply: Sender<JobResult>,
+}
+
+/// A submitted job's receipt; await the result through it.
+pub struct JobHandle {
+    id: u64,
+    rx: Receiver<JobResult>,
+}
+
+impl JobHandle {
+    /// The job's id (also stamped into its artifacts).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks until the job finishes.
+    pub fn wait(&self) -> JobResult {
+        self.rx.recv().unwrap_or(Err(ServiceError::Shutdown))
+    }
+
+    /// Blocks up to `timeout`; `None` if the job is still running.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<JobResult> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(result) => Some(result),
+            Err(channel::RecvTimeoutError::Timeout) => None,
+            Err(channel::RecvTimeoutError::Disconnected) => Some(Err(ServiceError::Shutdown)),
+        }
+    }
+}
+
+struct WorkerCtx {
+    cache: ArtifactCache,
+    stats: ServiceStats,
+    verifier: BatchVerifier,
+    max_k: u32,
+    verify_after_prove: bool,
+}
+
+/// The long-lived proving service.
+///
+/// Dropping the service disconnects the queue and joins every worker;
+/// jobs already queued still run to completion first.
+pub struct ProvingService {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    ctx: Arc<WorkerCtx>,
+    next_id: AtomicU64,
+    queue_capacity: usize,
+    default_deadline: Option<Duration>,
+}
+
+impl ProvingService {
+    /// Starts the worker pool. Fails only if the cache spill directory
+    /// cannot be created.
+    pub fn start(cfg: ServiceConfig) -> std::io::Result<Self> {
+        let cache = match &cfg.cache_dir {
+            Some(dir) => ArtifactCache::with_disk(dir)?,
+            None => ArtifactCache::in_memory(),
+        };
+        let ctx = Arc::new(WorkerCtx {
+            cache,
+            stats: ServiceStats::new(),
+            verifier: BatchVerifier::new(),
+            max_k: cfg.max_k,
+            verify_after_prove: cfg.verify_after_prove,
+        });
+        let (tx, rx) = channel::bounded::<Job>(cfg.queue_capacity);
+        let workers = (0..cfg.workers.max(1))
+            .map(|i| {
+                let rx = rx.clone();
+                let ctx = Arc::clone(&ctx);
+                std::thread::Builder::new()
+                    .name(format!("zkml-worker-{i}"))
+                    .spawn(move || worker_loop(rx, ctx))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Ok(Self {
+            tx: Some(tx),
+            workers,
+            ctx,
+            next_id: AtomicU64::new(1),
+            queue_capacity: cfg.queue_capacity,
+            default_deadline: cfg.default_deadline,
+        })
+    }
+
+    /// Submits a job. Never blocks: a full queue rejects immediately with
+    /// [`ServiceError::Busy`] so callers can apply backpressure upstream.
+    pub fn submit(&self, mut spec: JobSpec) -> Result<JobHandle, ServiceError> {
+        if spec.deadline.is_none() {
+            spec.deadline = self.default_deadline;
+        }
+        let tx = self.tx.as_ref().ok_or(ServiceError::Shutdown)?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (reply_tx, reply_rx) = channel::unbounded();
+        let job = Job {
+            id,
+            spec,
+            submitted: Instant::now(),
+            reply: reply_tx,
+        };
+        match tx.try_send(job) {
+            Ok(()) => {
+                self.ctx.stats.record_submitted();
+                self.ctx.stats.set_queue_depth(tx.len());
+                Ok(JobHandle { id, rx: reply_rx })
+            }
+            Err(TrySendError::Full(_)) => {
+                self.ctx.stats.record_rejected_busy();
+                Err(ServiceError::Busy {
+                    queue_capacity: self.queue_capacity,
+                })
+            }
+            Err(TrySendError::Disconnected(_)) => Err(ServiceError::Shutdown),
+        }
+    }
+
+    /// Submits a proving job for a zoo model by name.
+    pub fn submit_model(
+        &self,
+        name: &str,
+        backend: Backend,
+        seed: u64,
+    ) -> Result<JobHandle, ServiceError> {
+        let graph = zkml_model::zoo::by_name(name)
+            .ok_or_else(|| ServiceError::UnknownModel(name.to_string()))?;
+        self.submit(JobSpec::prove(Arc::new(graph), backend, seed))
+    }
+
+    /// The live metrics.
+    pub fn stats(&self) -> &ServiceStats {
+        &self.ctx.stats
+    }
+
+    /// A snapshot of the metrics with the queue depth refreshed.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        if let Some(tx) = &self.tx {
+            self.ctx.stats.set_queue_depth(tx.len());
+        }
+        self.ctx.stats.snapshot()
+    }
+
+    /// The shared artifact cache.
+    pub fn cache(&self) -> &ArtifactCache {
+        &self.ctx.cache
+    }
+
+    /// Number of jobs waiting in the queue.
+    pub fn queue_depth(&self) -> usize {
+        self.tx.as_ref().map_or(0, Sender::len)
+    }
+
+    /// Verifies every queued proof (grouped by verifying key) and records
+    /// the outcomes in the stats.
+    pub fn flush_verifications(&self) -> BatchReport {
+        let report = self.ctx.verifier.flush();
+        self.ctx
+            .stats
+            .record_verified(report.verified as u64, report.failed as u64);
+        report
+    }
+
+    /// Drains the queue and stops the workers. Equivalent to dropping the
+    /// service, but explicit at call sites that care about ordering.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.tx = None; // disconnect: workers exit once the queue drains
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for ProvingService {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+fn worker_loop(rx: Receiver<Job>, ctx: Arc<WorkerCtx>) {
+    while let Ok(job) = rx.recv() {
+        ctx.stats.set_queue_depth(rx.len());
+        let reply = job.reply.clone();
+        // Panic isolation: a panicking job poisons nothing — the worker
+        // reports it as a job failure and moves on to the next job.
+        let result = match catch_unwind(AssertUnwindSafe(|| run_job(&ctx, &job))) {
+            Ok(result) => result,
+            Err(payload) => {
+                ctx.stats.record_worker_panic();
+                Err(ServiceError::WorkerPanicked(panic_message(&payload)))
+            }
+        };
+        match &result {
+            Ok(_) => ctx.stats.record_completed(),
+            Err(ServiceError::Timeout { .. }) => {
+                ctx.stats.record_timed_out();
+                ctx.stats.record_failed();
+            }
+            Err(_) => ctx.stats.record_failed(),
+        }
+        // The submitter may have dropped its handle; that is not an error.
+        let _ = reply.send(result);
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+fn check_deadline(job: &Job) -> Result<(), ServiceError> {
+    match job.spec.deadline {
+        Some(d) if job.submitted.elapsed() > d => Err(ServiceError::Timeout {
+            elapsed: job.submitted.elapsed(),
+        }),
+        _ => Ok(()),
+    }
+}
+
+fn run_job(ctx: &WorkerCtx, job: &Job) -> JobResult {
+    check_deadline(job)?;
+    match &job.spec.kind {
+        JobKind::Sleep(d) => {
+            std::thread::sleep(*d);
+            Ok(None)
+        }
+        JobKind::Panic => panic!("job {} requested a panic", job.id),
+        JobKind::Prove {
+            graph,
+            backend,
+            seed,
+        } => prove_job(ctx, job, graph, *backend, *seed).map(Some),
+    }
+}
+
+fn prove_job(
+    ctx: &WorkerCtx,
+    job: &Job,
+    graph: &Graph,
+    backend: Backend,
+    seed: u64,
+) -> Result<ProofArtifacts, ServiceError> {
+    // Layout search and compilation.
+    let hw = zkml::cost::HardwareStats::cached();
+    let opts = OptimizerOptions::new(backend, ctx.max_k);
+    let report = optimizer::optimize(graph, &opts, hw);
+    let fp = FixedPoint::new(report.best.numeric.scale_bits);
+    let mut input_rng = StdRng::seed_from_u64(seed);
+    let inputs: Vec<Tensor<i64>> = graph
+        .inputs
+        .iter()
+        .map(|id| {
+            let shape = graph.shape(*id).to_vec();
+            let n: usize = shape.iter().product();
+            Tensor::new(
+                shape,
+                (0..n)
+                    .map(|_| fp.quantize(input_rng.gen_range(-1.0..1.0)))
+                    .collect(),
+            )
+        })
+        .collect();
+    let compiled = compile(graph, &inputs, report.best, false)
+        .map_err(|e| ServiceError::Compile(e.to_string()))?;
+    check_deadline(job)?;
+
+    // Key material, through the artifact cache.
+    let key = ArtifactKey {
+        model_hash: graph.content_hash(),
+        backend,
+        k: compiled.k,
+    };
+    let params = ctx.cache.params(backend, compiled.k);
+    let (pk, cache_outcome) = ctx.cache.get_or_generate(key, || {
+        compiled
+            .keygen(&params)
+            .map_err(|e| ServiceError::Prove(e.to_string()))
+    })?;
+    if cache_outcome.is_hit() {
+        ctx.stats.record_cache_hit();
+    } else {
+        ctx.stats.record_cache_miss();
+    }
+    check_deadline(job)?;
+
+    // Prove. No deadline check afterwards: a finished proof is returned
+    // even if it came in late — the submitter can still discard it.
+    let t = Instant::now();
+    let mut proof_rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+    let proof = compiled
+        .prove(&params, &pk, &mut proof_rng)
+        .map_err(|e| ServiceError::Prove(e.to_string()))?;
+    let prove_ms = t.elapsed().as_millis() as u64;
+    ctx.stats.record_prove_latency_ms(prove_ms);
+
+    if ctx.verify_after_prove {
+        ctx.verifier.enqueue(
+            Arc::clone(&params),
+            Arc::clone(&pk),
+            PendingProof {
+                job_id: job.id,
+                instance: compiled.instance().to_vec(),
+                proof: proof.clone(),
+            },
+        );
+    }
+
+    Ok(ProofArtifacts {
+        job_id: job.id,
+        model: graph.name.clone(),
+        backend,
+        k: compiled.k,
+        proof,
+        vk_bytes: pk.vk.to_bytes(),
+        public: compiled.instance()[0].clone(),
+        cache: cache_outcome,
+        prove_ms,
+    })
+}

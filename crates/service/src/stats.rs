@@ -1,0 +1,233 @@
+//! Service metrics: lock-free counters updated by workers, plus a
+//! serializable point-in-time snapshot for operators and the CLI.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live counters shared between the service, its workers, and observers.
+///
+/// Counters are monotonically increasing except `queue_depth`, which is a
+/// gauge the service refreshes on submission and completion. Prove
+/// latencies are kept in full (one `u64` of milliseconds per completed
+/// proof) so percentiles are exact rather than estimated; a proving service
+/// completes jobs at a rate where this stays small.
+#[derive(Default)]
+pub struct ServiceStats {
+    jobs_submitted: AtomicU64,
+    jobs_completed: AtomicU64,
+    jobs_failed: AtomicU64,
+    jobs_rejected_busy: AtomicU64,
+    jobs_timed_out: AtomicU64,
+    worker_panics: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    proofs_verified: AtomicU64,
+    verify_failures: AtomicU64,
+    queue_depth: AtomicU64,
+    prove_latencies_ms: Mutex<Vec<u64>>,
+}
+
+impl ServiceStats {
+    /// Creates zeroed stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_submitted(&self) {
+        self.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn record_completed(&self) {
+        self.jobs_completed.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn record_failed(&self) {
+        self.jobs_failed.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn record_rejected_busy(&self) {
+        self.jobs_rejected_busy.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn record_timed_out(&self) {
+        self.jobs_timed_out.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn record_worker_panic(&self) {
+        self.worker_panics.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn record_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn record_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn record_verified(&self, ok: u64, failed: u64) {
+        self.proofs_verified.fetch_add(ok, Ordering::Relaxed);
+        self.verify_failures.fetch_add(failed, Ordering::Relaxed);
+    }
+    pub(crate) fn set_queue_depth(&self, depth: usize) {
+        self.queue_depth.store(depth as u64, Ordering::Relaxed);
+    }
+    pub(crate) fn record_prove_latency_ms(&self, ms: u64) {
+        self.prove_latencies_ms.lock().push(ms);
+    }
+
+    /// Captures a consistent-enough snapshot of every metric. Individual
+    /// counters are read independently (Relaxed), which is the usual
+    /// contract for metrics: totals may be skewed by in-flight jobs but
+    /// never corrupt.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let hits = self.cache_hits.load(Ordering::Relaxed);
+        let misses = self.cache_misses.load(Ordering::Relaxed);
+        let lat = self.prove_latencies_ms.lock().clone();
+        StatsSnapshot {
+            jobs_submitted: self.jobs_submitted.load(Ordering::Relaxed),
+            jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
+            jobs_failed: self.jobs_failed.load(Ordering::Relaxed),
+            jobs_rejected_busy: self.jobs_rejected_busy.load(Ordering::Relaxed),
+            jobs_timed_out: self.jobs_timed_out.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            cache_hits: hits,
+            cache_misses: misses,
+            cache_hit_rate: if hits + misses > 0 {
+                hits as f64 / (hits + misses) as f64
+            } else {
+                0.0
+            },
+            proofs_verified: self.proofs_verified.load(Ordering::Relaxed),
+            verify_failures: self.verify_failures.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            prove_p50_ms: percentile(&lat, 50),
+            prove_p95_ms: percentile(&lat, 95),
+        }
+    }
+}
+
+/// Nearest-rank percentile over raw millisecond samples; 0 when empty.
+fn percentile(samples: &[u64], pct: u32) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = (pct as usize * sorted.len()).div_ceil(100);
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// A point-in-time view of [`ServiceStats`], serializable for operators.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsSnapshot {
+    /// Jobs accepted into the queue.
+    pub jobs_submitted: u64,
+    /// Jobs that finished successfully.
+    pub jobs_completed: u64,
+    /// Jobs that finished with an error (including timeouts and panics).
+    pub jobs_failed: u64,
+    /// Submissions rejected because the queue was full.
+    pub jobs_rejected_busy: u64,
+    /// Jobs abandoned for missing their deadline.
+    pub jobs_timed_out: u64,
+    /// Worker panics survived (a subset of `jobs_failed`).
+    pub worker_panics: u64,
+    /// Artifact-cache hits (memory or disk; keygen skipped).
+    pub cache_hits: u64,
+    /// Artifact-cache misses (keygen ran).
+    pub cache_misses: u64,
+    /// `hits / (hits + misses)`, 0 when the cache is untouched.
+    pub cache_hit_rate: f64,
+    /// Proofs that passed (batched) verification.
+    pub proofs_verified: u64,
+    /// Proofs that failed verification.
+    pub verify_failures: u64,
+    /// Jobs currently waiting in the queue.
+    pub queue_depth: u64,
+    /// Median end-to-end prove latency in milliseconds.
+    pub prove_p50_ms: u64,
+    /// 95th-percentile prove latency in milliseconds.
+    pub prove_p95_ms: u64,
+}
+
+impl StatsSnapshot {
+    /// Renders the snapshot as a single JSON object. Hand-rolled (every
+    /// field is a number) so the service has no serialization dependency.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"jobs_submitted\":{},\"jobs_completed\":{},\"jobs_failed\":{},",
+                "\"jobs_rejected_busy\":{},\"jobs_timed_out\":{},\"worker_panics\":{},",
+                "\"cache_hits\":{},\"cache_misses\":{},\"cache_hit_rate\":{:.4},",
+                "\"proofs_verified\":{},\"verify_failures\":{},\"queue_depth\":{},",
+                "\"prove_p50_ms\":{},\"prove_p95_ms\":{}}}"
+            ),
+            self.jobs_submitted,
+            self.jobs_completed,
+            self.jobs_failed,
+            self.jobs_rejected_busy,
+            self.jobs_timed_out,
+            self.worker_panics,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_hit_rate,
+            self.proofs_verified,
+            self.verify_failures,
+            self.queue_depth,
+            self.prove_p50_ms,
+            self.prove_p95_ms,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        assert_eq!(percentile(&[], 50), 0);
+        assert_eq!(percentile(&[7], 50), 7);
+        assert_eq!(percentile(&[7], 95), 7);
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50), 50);
+        assert_eq!(percentile(&v, 95), 95);
+        // Order-independent.
+        let mut rev = v.clone();
+        rev.reverse();
+        assert_eq!(percentile(&rev, 95), 95);
+    }
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let s = ServiceStats::new();
+        s.record_submitted();
+        s.record_submitted();
+        s.record_completed();
+        s.record_cache_miss();
+        s.record_cache_hit();
+        s.record_cache_hit();
+        s.record_prove_latency_ms(10);
+        s.record_prove_latency_ms(30);
+        s.set_queue_depth(1);
+        let snap = s.snapshot();
+        assert_eq!(snap.jobs_submitted, 2);
+        assert_eq!(snap.jobs_completed, 1);
+        assert_eq!(snap.cache_hits, 2);
+        assert_eq!(snap.cache_misses, 1);
+        assert!((snap.cache_hit_rate - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(snap.queue_depth, 1);
+        assert_eq!(snap.prove_p50_ms, 10);
+        assert_eq!(snap.prove_p95_ms, 30);
+    }
+
+    #[test]
+    fn json_is_well_formed() {
+        let snap = ServiceStats::new().snapshot();
+        let json = snap.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert_eq!(json.matches('{').count(), 1);
+        for key in [
+            "jobs_submitted",
+            "cache_hit_rate",
+            "prove_p50_ms",
+            "prove_p95_ms",
+            "queue_depth",
+        ] {
+            assert!(json.contains(&format!("\"{key}\":")), "missing {key}");
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Batched verification: completed proofs are queued and verified in groups
+//! sharing a verifying key.
+//!
+//! Grouping by key digest means the per-key work — resolving the SRS,
+//! holding the key's commitments hot in cache, walking the constraint
+//! system — is paid once per batch instead of once per proof. (The pairing
+//! or IPA check itself still runs per proof; the commitment backends do not
+//! currently expose a multi-proof accumulator.)
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use zkml_ff::Fr;
+use zkml_pcs::Params;
+use zkml_plonk::{verify_proof, ProvingKey};
+
+/// A proof waiting for verification.
+pub struct PendingProof {
+    /// The job that produced the proof.
+    pub job_id: u64,
+    /// Public values, one vector per instance column.
+    pub instance: Vec<Vec<Fr>>,
+    /// The proof bytes.
+    pub proof: Vec<u8>,
+}
+
+struct Group {
+    params: Arc<Params>,
+    pk: Arc<ProvingKey>,
+    pending: Vec<PendingProof>,
+}
+
+/// The result of verifying one queued proof.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// The job that produced the proof.
+    pub job_id: u64,
+    /// Whether the proof verified.
+    pub ok: bool,
+    /// The verification error, when `ok` is false.
+    pub error: Option<String>,
+}
+
+/// Summary of one [`BatchVerifier::flush`] call.
+#[derive(Debug, Clone, Default)]
+pub struct BatchReport {
+    /// Distinct verifying keys in the flushed batch.
+    pub groups: usize,
+    /// Proofs that verified.
+    pub verified: usize,
+    /// Proofs that failed.
+    pub failed: usize,
+    /// Per-proof outcomes.
+    pub outcomes: Vec<BatchOutcome>,
+}
+
+/// Accumulates proofs and verifies them grouped by verifying key.
+#[derive(Default)]
+pub struct BatchVerifier {
+    groups: Mutex<HashMap<[u8; 64], Group>>,
+}
+
+impl BatchVerifier {
+    /// Creates an empty verifier.
+    pub fn new() -> Self {
+        Self {
+            groups: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Queues a proof under its key's digest.
+    pub fn enqueue(&self, params: Arc<Params>, pk: Arc<ProvingKey>, proof: PendingProof) {
+        let mut groups = self.groups.lock();
+        groups
+            .entry(pk.vk.digest)
+            .or_insert_with(|| Group {
+                params,
+                pk,
+                pending: Vec::new(),
+            })
+            .pending
+            .push(proof);
+    }
+
+    /// Number of proofs currently queued.
+    pub fn pending(&self) -> usize {
+        self.groups.lock().values().map(|g| g.pending.len()).sum()
+    }
+
+    /// Verifies everything queued, one verifying key at a time, and empties
+    /// the queue.
+    pub fn flush(&self) -> BatchReport {
+        let drained: Vec<Group> = {
+            let mut groups = self.groups.lock();
+            groups.drain().map(|(_, g)| g).collect()
+        };
+        let mut report = BatchReport {
+            groups: drained.len(),
+            ..BatchReport::default()
+        };
+        for group in drained {
+            let vk = &group.pk.vk;
+            for p in group.pending {
+                match verify_proof(&group.params, vk, &p.instance, &p.proof) {
+                    Ok(()) => {
+                        report.verified += 1;
+                        report.outcomes.push(BatchOutcome {
+                            job_id: p.job_id,
+                            ok: true,
+                            error: None,
+                        });
+                    }
+                    Err(e) => {
+                        report.failed += 1;
+                        report.outcomes.push(BatchOutcome {
+                            job_id: p.job_id,
+                            ok: false,
+                            error: Some(e.to_string()),
+                        });
+                    }
+                }
+            }
+        }
+        report
+    }
+}

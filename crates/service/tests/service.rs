@@ -1,0 +1,230 @@
+//! Integration tests for the proving service: artifact-cache warm path,
+//! queue backpressure, worker panic isolation, and warm restarts from disk.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+use zkml_model::{Activation, Graph, GraphBuilder, Op};
+use zkml_pcs::Backend;
+use zkml_service::{CacheOutcome, JobKind, JobSpec, ProvingService, ServiceConfig, ServiceError};
+
+/// A small but representative model: FC + relu + FC head.
+fn tiny_mlp() -> Graph {
+    let mut b = GraphBuilder::new("svc-mlp", 77);
+    let x = b.input(vec![1, 6], "x");
+    let w1 = b.weight(vec![6, 8], "w1");
+    let b1 = b.weight(vec![8], "b1");
+    let h = b.op(
+        Op::FullyConnected {
+            activation: Some(Activation::Relu),
+        },
+        &[x, w1, b1],
+        "fc1",
+    );
+    let w2 = b.weight(vec![8, 4], "w2");
+    let b2 = b.weight(vec![4], "b2");
+    let y = b.op(Op::FullyConnected { activation: None }, &[h, w2, b2], "fc2");
+    b.finish(vec![y])
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("zkml-service-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The acceptance-criteria test: proving the same model twice through the
+/// service hits the artifact cache on the second job (no keygen), both
+/// proofs pass batched verification, and the stats report the cache hit.
+#[test]
+fn second_job_hits_artifact_cache_and_verifies() {
+    let service = ProvingService::start(ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    let graph = Arc::new(tiny_mlp());
+
+    let first = service
+        .submit(JobSpec::prove(graph.clone(), Backend::Kzg, 1))
+        .unwrap()
+        .wait()
+        .unwrap()
+        .expect("prove jobs produce artifacts");
+    assert_eq!(first.cache, CacheOutcome::Miss);
+    assert!(!first.proof.is_empty());
+
+    let second = service
+        .submit(JobSpec::prove(graph.clone(), Backend::Kzg, 2))
+        .unwrap()
+        .wait()
+        .unwrap()
+        .expect("prove jobs produce artifacts");
+    assert_eq!(
+        second.cache,
+        CacheOutcome::MemoryHit,
+        "second job must reuse the cached pk"
+    );
+    assert_eq!(second.k, first.k);
+    assert_eq!(second.vk_bytes, first.vk_bytes);
+    // Different input seeds -> different witnesses and proofs.
+    assert_ne!(second.proof, first.proof);
+
+    // Both proofs share a vk, so they verify as one batch group.
+    let report = service.flush_verifications();
+    assert_eq!(report.groups, 1);
+    assert_eq!(report.verified, 2);
+    assert_eq!(report.failed, 0);
+
+    let snap = service.snapshot();
+    assert_eq!(snap.jobs_submitted, 2);
+    assert_eq!(snap.jobs_completed, 2);
+    assert_eq!(snap.jobs_failed, 0);
+    assert_eq!(snap.cache_misses, 1);
+    assert!(snap.cache_hits >= 1, "stats must report the cache hit");
+    assert!(snap.cache_hit_rate > 0.0);
+    assert_eq!(snap.proofs_verified, 2);
+    assert!(snap.prove_p50_ms <= snap.prove_p95_ms);
+}
+
+/// A service restarted with the same cache directory loads the spilled
+/// proving key from disk instead of re-running keygen.
+#[test]
+fn warm_restart_loads_proving_key_from_disk() {
+    let cache_dir = tempdir("warm");
+    let graph = Arc::new(tiny_mlp());
+    let cfg = || ServiceConfig {
+        workers: 1,
+        cache_dir: Some(cache_dir.clone()),
+        ..ServiceConfig::default()
+    };
+
+    let service = ProvingService::start(cfg()).unwrap();
+    let cold = service
+        .submit(JobSpec::prove(graph.clone(), Backend::Kzg, 1))
+        .unwrap()
+        .wait()
+        .unwrap()
+        .unwrap();
+    assert_eq!(cold.cache, CacheOutcome::Miss);
+    service.shutdown();
+
+    // Fresh process state, same disk cache.
+    let service = ProvingService::start(cfg()).unwrap();
+    let warm = service
+        .submit(JobSpec::prove(graph, Backend::Kzg, 1))
+        .unwrap()
+        .wait()
+        .unwrap()
+        .unwrap();
+    assert_eq!(
+        warm.cache,
+        CacheOutcome::DiskHit,
+        "restart must start warm from disk"
+    );
+    assert_eq!(warm.vk_bytes, cold.vk_bytes);
+    let report = service.flush_verifications();
+    assert_eq!(report.verified, 1);
+    assert_eq!(report.failed, 0);
+
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+/// A full queue rejects new submissions with a busy error instead of
+/// blocking, and the stats record the rejection.
+#[test]
+fn full_queue_rejects_with_busy() {
+    let service = ProvingService::start(ServiceConfig {
+        workers: 1,
+        queue_capacity: 1,
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+
+    // One job occupies the worker, one fills the single queue slot. The
+    // sleeps are long enough that both are still around for the third
+    // submit, which must bounce.
+    let nap = Duration::from_millis(400);
+    let h1 = service.submit(JobSpec::new(JobKind::Sleep(nap))).unwrap();
+    // Make sure the first job is on the worker (not in the queue slot).
+    std::thread::sleep(Duration::from_millis(100));
+    let h2 = service.submit(JobSpec::new(JobKind::Sleep(nap))).unwrap();
+    match service.submit(JobSpec::new(JobKind::Sleep(nap))) {
+        Err(ServiceError::Busy { queue_capacity }) => assert_eq!(queue_capacity, 1),
+        Err(other) => panic!("expected Busy, got {other:?}"),
+        Ok(_) => panic!("expected Busy, but the queue accepted the job"),
+    }
+
+    assert!(h1.wait().unwrap().is_none());
+    assert!(h2.wait().unwrap().is_none());
+    let snap = service.snapshot();
+    assert_eq!(snap.jobs_rejected_busy, 1);
+    assert_eq!(snap.jobs_completed, 2);
+}
+
+/// A panicking job is isolated: the submitter gets a WorkerPanicked error
+/// and the service keeps processing later jobs.
+#[test]
+fn worker_panic_does_not_crash_service() {
+    let service = ProvingService::start(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+
+    let boom = service.submit(JobSpec::new(JobKind::Panic)).unwrap();
+    match boom.wait() {
+        Err(ServiceError::WorkerPanicked(msg)) => {
+            assert!(msg.contains("panic"), "panic message should survive: {msg}")
+        }
+        other => panic!("expected WorkerPanicked, got {other:?}"),
+    }
+
+    // The same worker thread keeps serving jobs afterwards.
+    let after = service
+        .submit(JobSpec::new(JobKind::Sleep(Duration::from_millis(1))))
+        .unwrap();
+    assert!(after.wait().unwrap().is_none());
+
+    let snap = service.snapshot();
+    assert_eq!(snap.worker_panics, 1);
+    assert_eq!(snap.jobs_failed, 1);
+    assert_eq!(snap.jobs_completed, 1);
+}
+
+/// Expired deadlines fail the job with a timeout error before proving work
+/// starts.
+#[test]
+fn expired_deadline_times_out() {
+    let service = ProvingService::start(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    let graph = Arc::new(tiny_mlp());
+
+    let spec = JobSpec::prove(graph, Backend::Kzg, 1).with_deadline(Duration::from_millis(0));
+    // Park the worker briefly so the deadline is already gone at pickup.
+    let napping = service
+        .submit(JobSpec::new(JobKind::Sleep(Duration::from_millis(50))))
+        .unwrap();
+    let handle = service.submit(spec).unwrap();
+    match handle.wait() {
+        Err(ServiceError::Timeout { .. }) => {}
+        other => panic!("expected Timeout, got {other:?}"),
+    }
+    assert!(napping.wait().unwrap().is_none());
+    assert_eq!(service.snapshot().jobs_timed_out, 1);
+}
+
+/// Unknown model names are rejected at submission time.
+#[test]
+fn unknown_model_is_rejected_at_submit() {
+    let service = ProvingService::start(ServiceConfig::default()).unwrap();
+    match service.submit_model("no-such-model", Backend::Kzg, 1) {
+        Err(ServiceError::UnknownModel(name)) => assert_eq!(name, "no-such-model"),
+        Err(other) => panic!("expected UnknownModel, got {other:?}"),
+        Ok(_) => panic!("expected UnknownModel, but the job was accepted"),
+    }
+}

@@ -233,11 +233,7 @@ impl<T: Clone> Tensor<T> {
     }
 
     /// Combines two tensors elementwise with broadcasting.
-    pub fn zip<U: Clone, V: Clone>(
-        &self,
-        other: &Tensor<U>,
-        f: impl Fn(&T, &U) -> V,
-    ) -> Tensor<V> {
+    pub fn zip<U: Clone, V: Clone>(&self, other: &Tensor<U>, f: impl Fn(&T, &U) -> V) -> Tensor<V> {
         let shape = broadcast_shape(&self.shape, &other.shape)
             .unwrap_or_else(|| panic!("zip: {:?} vs {:?}", self.shape, other.shape));
         let mut data = Vec::with_capacity(numel(&shape));

@@ -26,7 +26,9 @@ impl Transcript {
         h.update(b"zkml-transcript-v1");
         h.update(&(domain.len() as u64).to_le_bytes());
         h.update(domain);
-        Self { state: h.finalize() }
+        Self {
+            state: h.finalize(),
+        }
     }
 
     /// Absorbs labelled bytes into the transcript.

@@ -28,7 +28,9 @@ fn main() {
             let n: usize = shape.iter().product();
             zkml_tensor::Tensor::new(
                 shape,
-                (0..n).map(|_| fp.quantize(rng.gen_range(-1.0..1.0))).collect(),
+                (0..n)
+                    .map(|_| fp.quantize(rng.gen_range(-1.0..1.0)))
+                    .collect(),
             )
         })
         .collect();

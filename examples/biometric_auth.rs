@@ -64,7 +64,10 @@ fn main() {
     // Enrolled template and two probes: one genuine (template + noise), one
     // impostor (random).
     let template: Vec<f32> = (0..16).map(|_| rng.gen_range(-0.8..0.8)).collect();
-    let genuine: Vec<f32> = template.iter().map(|t| t + rng.gen_range(-0.05..0.05)).collect();
+    let genuine: Vec<f32> = template
+        .iter()
+        .map(|t| t + rng.gen_range(-0.05..0.05))
+        .collect();
     let impostor: Vec<f32> = (0..16).map(|_| rng.gen_range(-0.8..0.8)).collect();
 
     let tq = fp.quantize_tensor(&Tensor::new(vec![1, 16], template));

@@ -28,7 +28,11 @@ fn main() {
     );
     let w2 = b.weight(vec![8, 3], "w2");
     let b2 = b.weight(vec![3], "b2");
-    let logits = b.op(Op::FullyConnected { activation: None }, &[h, w2, b2], "logits");
+    let logits = b.op(
+        Op::FullyConnected { activation: None },
+        &[h, w2, b2],
+        "logits",
+    );
     let probs = b.op(Op::Softmax, &[logits], "probs");
     let graph = b.finish(vec![probs]);
 

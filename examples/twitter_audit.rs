@@ -42,13 +42,10 @@ fn main() {
     // The platform scores each candidate and attaches a proof.
     let mut scored = Vec::new();
     for (i, cand) in candidates.iter().enumerate() {
-        let compiled = compile(&model, &[cand.clone()], cfg, false).expect("compile");
+        let compiled = compile(&model, std::slice::from_ref(cand), cfg, false).expect("compile");
         let proof = compiled.prove(&params, &pk, &mut rng).expect("prove");
         let score = fp.dequantize(compiled.outputs[0].data()[0]);
-        println!(
-            "tweet #{i}: score {score:.4}, proof {} bytes",
-            proof.len()
-        );
+        println!("tweet #{i}: score {score:.4}, proof {} bytes", proof.len());
         scored.push((i, score, compiled, proof));
     }
 

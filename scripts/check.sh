@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Repo gate: build, tests, formatting, lints. Run from the repo root before
+# sending a change; CI-equivalent for this offline environment.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q (workspace)"
+cargo test --workspace -q
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy (workspace, all targets, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "All checks passed."

@@ -3,9 +3,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use zkml::{
-    compile, optimizer, CircuitConfig, LayoutChoices, Objective, OptimizerOptions,
-};
+use zkml::{compile, optimizer, CircuitConfig, LayoutChoices, Objective, OptimizerOptions};
 use zkml_model::{execute_fixed, Activation, GraphBuilder, Op};
 use zkml_pcs::{Backend, Params};
 use zkml_tensor::{FixedPoint, Tensor};
@@ -100,7 +98,9 @@ fn circuit_outputs_match_reference_for_every_zoo_model() {
                 let n: usize = shape.iter().product();
                 Tensor::new(
                     shape,
-                    (0..n).map(|_| fp.quantize(rng.gen_range(-0.8..0.8))).collect(),
+                    (0..n)
+                        .map(|_| fp.quantize(rng.gen_range(-0.8..0.8)))
+                        .collect(),
                 )
             })
             .collect();

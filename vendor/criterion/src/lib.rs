@@ -1,0 +1,180 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build container cannot fetch the real criterion, so this crate
+//! provides the API surface the workspace's benches use — `Criterion`,
+//! benchmark groups, `Bencher::iter`, `BenchmarkId`, and the
+//! `criterion_group!` / `criterion_main!` macros — with a minimal
+//! wall-clock measurement loop instead of criterion's statistical engine.
+//! Each benchmark runs a small fixed number of timed iterations and prints
+//! the mean, which keeps `cargo bench` functional for smoke-level numbers.
+
+use std::time::{Duration, Instant};
+
+/// Number of timed iterations per benchmark (after one warmup).
+const ITERS: u32 = 10;
+
+/// The measurement driver passed to benchmark closures.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Times `f` over a fixed number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let _warmup = f();
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = ITERS;
+    }
+}
+
+fn report(name: &str, b: &Bencher) {
+    if b.iters > 0 {
+        let per = b.elapsed / b.iters;
+        println!("{name:<40} {per:>12.2?}/iter ({} iters)", b.iters);
+    }
+}
+
+/// Identifier for a parameterized benchmark.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and parameter.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Sets the sample count (accepted for API compatibility; the stub's
+    /// iteration count is fixed).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement time (accepted for API compatibility).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchId, mut f: F) {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.into_id()), &b);
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: impl IntoBenchId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.into_id()), &b);
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// Conversion of the various id forms criterion accepts.
+pub trait IntoBenchId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        report(name, &b);
+        self
+    }
+
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into() }
+    }
+}
+
+/// Re-export for code written against `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,231 @@
+//! Offline stand-in for `parking_lot`.
+//!
+//! Exposes `Mutex`, `RwLock`, and `Condvar` with parking_lot's
+//! non-poisoning API, implemented over `std::sync`. Poisoned std locks are
+//! recovered transparently (`into_inner`), matching parking_lot's behavior
+//! of never poisoning: a panicking holder releases the lock and later
+//! acquisitions see the data as-is.
+
+use std::sync::{self, PoisonError};
+use std::time::Duration;
+
+pub use sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard, WaitTimeoutResult};
+
+/// A mutex whose `lock` never fails.
+#[derive(Default, Debug)]
+pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub const fn new(value: T) -> Self {
+        Mutex(sync::Mutex::new(value))
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, recovering from poisoning.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Attempts to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(g),
+            Err(sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A reader-writer lock whose acquisitions never fail.
+#[derive(Default, Debug)]
+pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Creates a new reader-writer lock.
+    pub const fn new(value: T) -> Self {
+        RwLock(sync::RwLock::new(value))
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires a shared read lock.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Acquires an exclusive write lock.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Attempts to acquire a read lock without blocking.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.0.try_read() {
+            Ok(g) => Some(g),
+            Err(sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Attempts to acquire a write lock without blocking.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.0.try_write() {
+            Ok(g) => Some(g),
+            Err(sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A condition variable paired with [`Mutex`].
+#[derive(Default, Debug)]
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Condvar(sync::Condvar::new())
+    }
+
+    /// Blocks until notified, atomically releasing the guard's lock.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        // parking_lot waits in place on `&mut guard`; emulate by a
+        // move-through: std wait consumes and returns the guard.
+        replace_guard(guard, |g| {
+            self.0.wait(g).unwrap_or_else(PoisonError::into_inner)
+        });
+    }
+
+    /// Blocks until notified or the timeout elapses. Returns `true` if the
+    /// wait timed out.
+    pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: Duration) -> bool {
+        let mut timed_out = false;
+        replace_guard(guard, |g| {
+            let (g, r) = self
+                .0
+                .wait_timeout(g, timeout)
+                .unwrap_or_else(PoisonError::into_inner);
+            timed_out = r.timed_out();
+            g
+        });
+        timed_out
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) -> bool {
+        self.0.notify_one();
+        true
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) -> usize {
+        self.0.notify_all();
+        0
+    }
+}
+
+/// Applies a guard-consuming function through a `&mut` slot.
+fn replace_guard<T: ?Sized, F>(slot: &mut MutexGuard<'_, T>, f: F)
+where
+    F: FnOnce(MutexGuard<'_, T>) -> MutexGuard<'_, T>,
+{
+    // std's wait API consumes the guard, parking_lot's takes `&mut`; bridge
+    // with a read/write pair. If `f` unwound mid-flight the guard would be
+    // dropped twice, so escalate any panic in `f` to an abort.
+    struct Bomb;
+    impl Drop for Bomb {
+        fn drop(&mut self) {
+            std::process::abort();
+        }
+    }
+    unsafe {
+        let old = std::ptr::read(slot);
+        let bomb = Bomb;
+        let new = f(old);
+        std::mem::forget(bomb);
+        std::ptr::write(slot, new);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn mutex_basic() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+    }
+
+    #[test]
+    fn rwlock_many_readers() {
+        let l = Arc::new(RwLock::new(5));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let l = Arc::clone(&l);
+                thread::spawn(move || *l.read())
+            })
+            .collect();
+        for r in readers {
+            assert_eq!(r.join().unwrap(), 5);
+        }
+        *l.write() = 6;
+        assert_eq!(*l.read(), 6);
+    }
+
+    #[test]
+    fn lock_recovers_after_holder_panics() {
+        let m = Arc::new(Mutex::new(7));
+        let m2 = Arc::clone(&m);
+        let _ = thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("holder dies");
+        })
+        .join();
+        assert_eq!(*m.lock(), 7);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let waiter = thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut g = m.lock();
+            while !*g {
+                cv.wait(&mut g);
+            }
+            true
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let (m, cv) = &*pair;
+        *m.lock() = true;
+        cv.notify_all();
+        assert!(waiter.join().unwrap());
+    }
+}

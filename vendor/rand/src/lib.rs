@@ -1,0 +1,353 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build container has no network access and no vendored registry, so
+//! the real `rand` cannot be fetched. This crate implements the subset of
+//! the rand 0.8 API the workspace uses (see `vendor/README.md`): the
+//! [`RngCore`]/[`SeedableRng`]/[`Rng`] traits, a deterministic [`rngs::StdRng`]
+//! (xoshiro256**), an entropy-seeded [`rngs::OsRng`], and
+//! [`rngs::mock::StepRng`]. It is wired in through `[patch.crates-io]` in the
+//! workspace root.
+//!
+//! Statistical quality matches what the workspace needs (seeded test-input
+//! generation and proof blinding); it is NOT the audited upstream generator,
+//! and the exact sequences differ from upstream `StdRng`.
+
+/// A source of uniformly distributed random bits.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be instantiated from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// The seed array type.
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Creates a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64` seed (splitmix64 expansion).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+
+    /// Creates a generator seeded from process entropy.
+    fn from_entropy() -> Self {
+        Self::seed_from_u64(rngs::entropy_seed())
+    }
+}
+
+mod uniform {
+    use super::RngCore;
+
+    /// Types samplable uniformly from a half-open or inclusive range.
+    pub trait SampleUniform: Sized + Copy + PartialOrd {
+        fn sample_range(rng: &mut dyn RngCore, low: Self, high_excl: Self) -> Self;
+    }
+
+    macro_rules! impl_int_uniform {
+        ($t:ty, $wide:ty) => {
+            impl SampleUniform for $t {
+                fn sample_range(rng: &mut dyn RngCore, low: Self, high_excl: Self) -> Self {
+                    assert!(low < high_excl, "gen_range: empty range");
+                    let span = (high_excl as $wide).wrapping_sub(low as $wide) as u64;
+                    // Modulo reduction: negligible bias for the test-sized
+                    // spans used here, and keeps the stub dependency-free.
+                    let v = rng.next_u64() % span;
+                    ((low as $wide).wrapping_add(v as $wide)) as $t
+                }
+            }
+        };
+    }
+    impl_int_uniform!(i8, i64);
+    impl_int_uniform!(i16, i64);
+    impl_int_uniform!(i32, i64);
+    impl_int_uniform!(i64, i64);
+    impl_int_uniform!(u8, u64);
+    impl_int_uniform!(u16, u64);
+    impl_int_uniform!(u32, u64);
+    impl_int_uniform!(u64, u64);
+    impl_int_uniform!(usize, u64);
+    impl_int_uniform!(isize, i64);
+
+    impl SampleUniform for f32 {
+        fn sample_range(rng: &mut dyn RngCore, low: Self, high_excl: Self) -> Self {
+            let unit = (rng.next_u32() >> 8) as f32 / (1u32 << 24) as f32;
+            low + (high_excl - low) * unit
+        }
+    }
+
+    impl SampleUniform for f64 {
+        fn sample_range(rng: &mut dyn RngCore, low: Self, high_excl: Self) -> Self {
+            let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            low + (high_excl - low) * unit
+        }
+    }
+
+    /// Range forms accepted by [`super::Rng::gen_range`].
+    pub trait SampleRange<T> {
+        fn sample(self, rng: &mut dyn RngCore) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+        fn sample(self, rng: &mut dyn RngCore) -> T {
+            T::sample_range(rng, self.start, self.end)
+        }
+    }
+
+    /// Types samplable from an inclusive range.
+    pub trait SampleInclusive: SampleUniform {
+        fn sample_range_incl(rng: &mut dyn RngCore, low: Self, high: Self) -> Self;
+    }
+
+    macro_rules! impl_int_inclusive {
+        ($($t:ty),*) => {$(
+            impl SampleInclusive for $t {
+                fn sample_range_incl(rng: &mut dyn RngCore, low: Self, high: Self) -> Self {
+                    if high < <$t>::MAX {
+                        Self::sample_range(rng, low, high + 1)
+                    } else if low > <$t>::MIN {
+                        Self::sample_range(rng, low - 1, high).max(low)
+                    } else {
+                        // Full-width range: raw bits are already uniform.
+                        rng.next_u64() as $t
+                    }
+                }
+            }
+        )*};
+    }
+    impl_int_inclusive!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    impl SampleInclusive for f32 {
+        fn sample_range_incl(rng: &mut dyn RngCore, low: Self, high: Self) -> Self {
+            Self::sample_range(rng, low, high)
+        }
+    }
+    impl SampleInclusive for f64 {
+        fn sample_range_incl(rng: &mut dyn RngCore, low: Self, high: Self) -> Self {
+            Self::sample_range(rng, low, high)
+        }
+    }
+
+    impl<T: SampleInclusive> SampleRange<T> for core::ops::RangeInclusive<T> {
+        fn sample(self, rng: &mut dyn RngCore) -> T {
+            T::sample_range_incl(rng, *self.start(), *self.end())
+        }
+    }
+}
+
+pub use uniform::{SampleRange, SampleUniform};
+
+/// Convenience sampling methods on any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples uniformly from a range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Samples a uniform boolean with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Derives a 64-bit entropy seed from the clock and address-space layout.
+    pub(crate) fn entropy_seed() -> u64 {
+        use std::time::{SystemTime, UNIX_EPOCH};
+        let t = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x5EED);
+        let stack_probe = 0u8;
+        t ^ (&stack_probe as *const u8 as u64).rotate_left(32) ^ std::process::id() as u64
+    }
+
+    /// The standard deterministic generator (xoshiro256**).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        fn step(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.step() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.step()
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            // The all-zero state is a fixed point; displace it.
+            if s == [0; 4] {
+                s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+            }
+            StdRng { s }
+        }
+    }
+
+    /// An entropy-backed generator (re-seeded per construction, stateless
+    /// unit struct like upstream `OsRng`).
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct OsRng;
+
+    impl RngCore for OsRng {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            use std::cell::Cell;
+            thread_local! {
+                static STATE: Cell<u64> = Cell::new(entropy_seed());
+            }
+            STATE.with(|st| {
+                let mut z = st.get().wrapping_add(0x9E37_79B9_7F4A_7C15);
+                st.set(z);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            })
+        }
+    }
+
+    pub mod mock {
+        use crate::RngCore;
+
+        /// A mock generator stepping by a fixed increment.
+        #[derive(Clone, Debug)]
+        pub struct StepRng {
+            v: u64,
+            inc: u64,
+        }
+
+        impl StepRng {
+            /// Creates a generator yielding `initial`, `initial + increment`, ...
+            pub fn new(initial: u64, increment: u64) -> Self {
+                StepRng {
+                    v: initial,
+                    inc: increment,
+                }
+            }
+        }
+
+        impl RngCore for StepRng {
+            fn next_u32(&mut self) -> u32 {
+                self.next_u64() as u32
+            }
+            fn next_u64(&mut self) -> u64 {
+                let out = self.v;
+                self.v = self.v.wrapping_add(self.inc);
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: i64 = rng.gen_range(-5i64..17);
+            assert!((-5..17).contains(&v));
+            let f: f32 = rng.gen_range(-1.0f32..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let u: usize = rng.gen_range(1usize..4);
+            assert!((1..4).contains(&u));
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|b| *b != 0));
+    }
+}
