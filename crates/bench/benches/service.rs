@@ -38,11 +38,7 @@ fn bench_cache(c: &mut Criterion) {
     let fp = FixedPoint::new(report.best.numeric.scale_bits);
     let inputs = random_inputs(&g, 1, fp);
     let compiled = compile(&g, &inputs, report.best, false).unwrap();
-    let key = ArtifactKey {
-        model_hash: g.content_hash(),
-        backend,
-        k: compiled.k,
-    };
+    let key = ArtifactKey::for_circuit(g.content_hash(), backend, &compiled);
 
     let mut group = c.benchmark_group("service_cache");
     group.sample_size(10);

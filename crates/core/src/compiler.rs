@@ -149,6 +149,41 @@ pub fn compile(
 }
 
 impl CompiledCircuit {
+    /// A digest pinning this compilation's exact circuit identity: the
+    /// configuration (gadget choices, column count, numerics), the row
+    /// count, and the serialized constraint system.
+    ///
+    /// The optimizer picks the configuration using machine- and
+    /// run-dependent timing measurements, so two compilations of the same
+    /// model can legitimately produce different circuits that share a `k`.
+    /// Anything caching keys derived from a compiled circuit must key on
+    /// this digest (in addition to the model hash), not on `k` alone.
+    pub fn circuit_digest(&self) -> [u8; 32] {
+        let mut w = zkml_pcs::Writer::new();
+        w.u32(self.k);
+        let c = &self.cfg.choices;
+        for v in [
+            c.relu as u64,
+            c.matmul as u64,
+            c.dot as u64,
+            c.arith as u64,
+            c.lookup_packs as u64,
+            self.cfg.num_cols as u64,
+            self.cfg.numeric.scale_bits as u64,
+            self.cfg.numeric.clip_bits as u64,
+        ] {
+            w.u64(v);
+        }
+        zkml_plonk::serialize::write_cs(&mut w, &self.cs);
+        let mut h = zkml_transcript::Blake2b::new();
+        h.update(b"zkml-circuit-digest-v1");
+        h.update(&w.finish());
+        let digest = h.finalize();
+        let mut out = [0u8; 32];
+        out.copy_from_slice(&digest[..32]);
+        out
+    }
+
     /// Generates proving and verifying keys.
     pub fn keygen(&self, params: &Params) -> Result<ProvingKey, ZkmlError> {
         Ok(keygen(params, &self.cs, &self.pre, self.k)?)

@@ -28,8 +28,8 @@ use zkml_model::Graph;
 use zkml_pcs::{Backend, Params};
 use zkml_plonk::VerifyingKey;
 use zkml_service::{
-    decode_public, encode_public, write_proof_dir, JobHandle, JobSpec, ProvingService,
-    ServiceConfig, SRS_SEED,
+    decode_public, encode_public, write_proof_dir, BatchOutcome, BatchReport, JobHandle, JobSpec,
+    ProvingService, ServiceConfig, SRS_SEED,
 };
 use zkml_tensor::{FixedPoint, Tensor};
 
@@ -81,7 +81,7 @@ fn usage() -> &'static str {
      zkml prove <model|path.zkml> --dir <out-dir> [--backend kzg|ipa] [--seed N]\n  \
      zkml verify --dir <dir>\n  \
      zkml serve --spool <dir> [--workers N] [--queue N] [--cache-dir <dir>]\n             \
-     [--once] [--poll-ms M] [--deadline-s S]\n  \
+     [--once] [--poll-ms M] [--deadline-s S] [--verify-batch N] [--no-verify]\n  \
      zkml submit <model> --spool <dir> [--backend kzg|ipa] [--seed N]\n             \
      [--wait] [--timeout-s S]"
 }
@@ -252,10 +252,12 @@ fn prove_flow(g: &Graph, backend: Backend, seed: u64, dir: &Path) -> Result<(), 
     };
     write("proof.bin", &proof)?;
     write("vk.bin", &pk.vk.to_bytes())?;
-    write(
-        "public.bin",
-        &encode_public(backend, &compiled.instance()[0]),
-    )?;
+    let public = compiled
+        .instance()
+        .first()
+        .map(Vec::as_slice)
+        .unwrap_or(&[]);
+    write("public.bin", &encode_public(backend, public))?;
     println!("wrote proof.bin, vk.bin, public.bin to {}", dir.display());
     Ok(())
 }
@@ -351,6 +353,63 @@ fn write_status(spool: &Path, stem: &str, status: &str) {
     }
 }
 
+/// Joins proved jobs with their (batched, hence later) verification
+/// outcomes, so a job's status file is written only once its proof has
+/// actually been checked. Workers enqueue a proof for verification before
+/// the serve loop sees the job complete, so outcomes can arrive in either
+/// order relative to the proof artifacts.
+#[derive(Default)]
+struct VerifyTracker {
+    /// Proved jobs waiting for a verification outcome: job id -> (spool
+    /// stem, status line to write on success).
+    awaiting: std::collections::HashMap<u64, (String, String)>,
+    /// Verification outcomes that arrived before the job's artifacts were
+    /// drained from the service.
+    early: std::collections::HashMap<u64, BatchOutcome>,
+    /// Total proofs that failed verification.
+    failed: usize,
+}
+
+impl VerifyTracker {
+    fn settle(&mut self, spool: &Path, stem: &str, ok_line: &str, outcome: &BatchOutcome) {
+        if outcome.ok {
+            write_status(spool, stem, ok_line);
+            println!("job {} verified: {stem}", outcome.job_id);
+        } else {
+            self.failed += 1;
+            let msg = outcome.error.as_deref().unwrap_or("proof rejected");
+            write_status(
+                spool,
+                stem,
+                &format!("error: proof failed verification: {msg}\n"),
+            );
+            println!("job {} FAILED verification: {stem}: {msg}", outcome.job_id);
+        }
+    }
+
+    /// Called when the serve loop drains a completed proving job.
+    fn on_proved(&mut self, spool: &Path, job_id: u64, stem: &str, ok_line: String) {
+        match self.early.remove(&job_id) {
+            Some(outcome) => self.settle(spool, stem, &ok_line, &outcome),
+            None => {
+                self.awaiting.insert(job_id, (stem.to_string(), ok_line));
+            }
+        }
+    }
+
+    /// Called with each batch-verification report.
+    fn record_flush(&mut self, spool: &Path, report: &BatchReport) {
+        for outcome in &report.outcomes {
+            match self.awaiting.remove(&outcome.job_id) {
+                Some((stem, ok_line)) => self.settle(spool, &stem, &ok_line, outcome),
+                None => {
+                    self.early.insert(outcome.job_id, outcome.clone());
+                }
+            }
+        }
+    }
+}
+
 fn serve_flow(args: &[String]) -> Result<(), CliError> {
     let spool = PathBuf::from(flag_value(args, "--spool").ok_or(CliError::Usage)?);
     std::fs::create_dir_all(&spool)
@@ -358,11 +417,14 @@ fn serve_flow(args: &[String]) -> Result<(), CliError> {
     let once = has_flag(args, "--once");
     let poll = Duration::from_millis(parsed_flag(args, "--poll-ms", 100u64)?);
     let deadline_s: u64 = parsed_flag(args, "--deadline-s", 0)?;
+    let verify = !has_flag(args, "--no-verify");
+    let verify_batch: usize = parsed_flag(args, "--verify-batch", 4usize)?.max(1);
     let cfg = ServiceConfig {
         workers: parsed_flag(args, "--workers", 2usize)?,
         queue_capacity: parsed_flag(args, "--queue", 16usize)?,
         default_deadline: (deadline_s > 0).then(|| Duration::from_secs(deadline_s)),
         cache_dir: flag_value(args, "--cache-dir").map(PathBuf::from),
+        verify_after_prove: verify,
         ..ServiceConfig::default()
     };
     let service =
@@ -376,6 +438,7 @@ fn serve_flow(args: &[String]) -> Result<(), CliError> {
     );
 
     let mut inflight: Vec<(String, JobHandle)> = Vec::new();
+    let mut tracker = VerifyTracker::default();
     loop {
         // Pick up new requests. A request is removed from the spool only
         // once the service accepts it; on Busy it stays for the next scan.
@@ -437,25 +500,26 @@ fn serve_flow(args: &[String]) -> Result<(), CliError> {
                     let out_dir = spool.join(format!("{stem}.out"));
                     match write_proof_dir(&out_dir, &artifacts) {
                         Ok(()) => {
-                            write_status(
-                                &spool,
-                                &stem,
-                                &format!(
-                                    "ok model={} k={} cache={:?} prove_ms={}\n",
-                                    artifacts.model,
-                                    artifacts.k,
-                                    artifacts.cache,
-                                    artifacts.prove_ms
-                                ),
+                            let ok_line = format!(
+                                "ok model={} k={} cache={:?} prove_ms={}\n",
+                                artifacts.model, artifacts.k, artifacts.cache, artifacts.prove_ms
                             );
                             println!(
-                                "job {} done: {} (k={}, cache {:?}, {} ms)",
+                                "job {} proved: {} (k={}, cache {:?}, {} ms)",
                                 artifacts.job_id,
                                 stem,
                                 artifacts.k,
                                 artifacts.cache,
                                 artifacts.prove_ms
                             );
+                            if verify {
+                                // Status is written once the proof clears
+                                // batched verification, so 'ok' really
+                                // means verified.
+                                tracker.on_proved(&spool, artifacts.job_id, &stem, ok_line);
+                            } else {
+                                write_status(&spool, &stem, &ok_line);
+                            }
                         }
                         Err(e) => write_status(&spool, &stem, &format!("error: {e}\n")),
                     }
@@ -469,6 +533,18 @@ fn serve_flow(args: &[String]) -> Result<(), CliError> {
         }
         inflight = still_running;
 
+        // Flush batched verification inside the loop: once a batch has
+        // accumulated, or as soon as the service goes idle. Without this
+        // the long-running mode would queue proofs (and their key
+        // material) forever and never actually verify them.
+        if verify {
+            let pending = service.pending_verifications();
+            if pending >= verify_batch || (pending > 0 && inflight.is_empty()) {
+                let report = service.flush_verifications();
+                tracker.record_flush(&spool, &report);
+            }
+        }
+
         if once && inflight.is_empty() {
             let empty = !std::fs::read_dir(&spool)
                 .map_err(|e| CliError::Msg(format!("scan spool: {e}")))?
@@ -481,18 +557,20 @@ fn serve_flow(args: &[String]) -> Result<(), CliError> {
         std::thread::sleep(poll);
     }
 
-    let report = service.flush_verifications();
+    if verify {
+        let report = service.flush_verifications();
+        tracker.record_flush(&spool, &report);
+    }
+    let snap = service.snapshot();
     println!(
-        "batch verification: {} proofs in {} group(s), {} failed",
-        report.verified + report.failed,
-        report.groups,
-        report.failed
+        "batch verification: {} proofs verified, {} failed",
+        snap.proofs_verified, snap.verify_failures
     );
-    println!("{}", service.snapshot().to_json());
-    if report.failed > 0 {
+    println!("{}", snap.to_json());
+    if tracker.failed > 0 {
         return Err(CliError::Msg(format!(
             "{} proof(s) failed batched verification",
-            report.failed
+            tracker.failed
         )));
     }
     Ok(())
@@ -506,19 +584,6 @@ fn submit_flow(args: &[String]) -> Result<(), CliError> {
     let backend = parse_backend(args);
     let seed: u64 = parsed_flag(args, "--seed", 1)?;
 
-    // Pick the first free job slot. Submissions race only with themselves
-    // here; the tmp-write + rename keeps the serve-side scan atomic.
-    let mut stem = String::new();
-    for i in 0.. {
-        let candidate = format!("job-{i:04}");
-        let busy = ["req", "out", "done"]
-            .iter()
-            .any(|ext| spool.join(format!("{candidate}.{ext}")).exists());
-        if !busy {
-            stem = candidate;
-            break;
-        }
-    }
     let body = format!(
         "model={model}\nbackend={}\nseed={seed}\n",
         match backend {
@@ -526,9 +591,40 @@ fn submit_flow(args: &[String]) -> Result<(), CliError> {
             Backend::Ipa => "ipa",
         }
     );
+    // Reserve the first free job slot by creating its .tmp file with
+    // O_EXCL: concurrent submitters that race to the same index all but
+    // one lose the create and move on to the next slot, so no request is
+    // ever silently overwritten. The tmp-write + rename keeps the
+    // serve-side scan atomic.
+    let mut stem = None;
+    for i in 0..10_000 {
+        let candidate = format!("job-{i:04}");
+        let busy = ["tmp", "req", "out", "done"]
+            .iter()
+            .any(|ext| spool.join(format!("{candidate}.{ext}")).exists());
+        if busy {
+            continue;
+        }
+        let tmp = spool.join(format!("{candidate}.tmp"));
+        match std::fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&tmp)
+        {
+            Ok(mut f) => {
+                use std::io::Write;
+                f.write_all(body.as_bytes())
+                    .map_err(|e| CliError::Msg(format!("write request: {e}")))?;
+                stem = Some(candidate);
+                break;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => continue,
+            Err(e) => return Err(CliError::Msg(format!("reserve job slot: {e}"))),
+        }
+    }
+    let stem = stem.ok_or_else(|| CliError::Msg("no free job slot in spool".to_string()))?;
     let tmp = spool.join(format!("{stem}.tmp"));
     let req = spool.join(format!("{stem}.req"));
-    std::fs::write(&tmp, body).map_err(|e| CliError::Msg(format!("write request: {e}")))?;
     std::fs::rename(&tmp, &req).map_err(|e| CliError::Msg(format!("publish request: {e}")))?;
     println!("submitted {stem} ({model}, {backend}, seed {seed})");
 

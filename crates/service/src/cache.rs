@@ -2,11 +2,18 @@
 //! shared across workers behind `parking_lot::RwLock`s, with optional disk
 //! spill so a restarted service skips key generation entirely.
 //!
-//! Keys are cached under `(model content hash, backend, circuit k)` — the
-//! exact inputs key generation depends on. The SRS is a public artifact this
-//! reproduction regenerates from a fixed seed (see DESIGN.md on the
-//! trusted-setup substitution), so it is memoized per `(backend, k)` rather
-//! than persisted.
+//! Keys are cached under `(model content hash, backend, circuit digest)` —
+//! the exact inputs key generation depends on. The circuit digest
+//! ([`zkml::CompiledCircuit::circuit_digest`]) covers the optimizer's full
+//! layout choice and the serialized constraint system; the optimizer picks
+//! layouts from machine- and run-dependent timing measurements, so two runs
+//! can compile the same model to different circuits with the same `k`, and
+//! a key cached for one must never be applied to the other. As a second
+//! line of defense against stale or foreign spill files, cached keys are
+//! validated against the freshly compiled circuit before use. The SRS is a
+//! public artifact this reproduction regenerates from a fixed seed (see
+//! DESIGN.md on the trusted-setup substitution), so it is memoized per
+//! `(backend, k)` rather than persisted.
 
 use parking_lot::RwLock;
 use rand::rngs::StdRng;
@@ -14,8 +21,9 @@ use rand::SeedableRng;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use zkml_pcs::{Backend, Params};
-use zkml_plonk::ProvingKey;
+use zkml::CompiledCircuit;
+use zkml_pcs::{Backend, Params, Writer};
+use zkml_plonk::{serialize::write_cs, ProvingKey};
 
 /// Seed for the deterministic SRS regeneration (shared with the CLI's
 /// standalone prove/verify flows; see DESIGN.md).
@@ -30,21 +38,60 @@ pub struct ArtifactKey {
     pub backend: Backend,
     /// log2 of the circuit's row count.
     pub k: u32,
+    /// `CompiledCircuit::circuit_digest()` — pins the layout choice and
+    /// constraint system the key was generated for, which `k` alone does
+    /// not (the optimizer's choice is timing-dependent).
+    pub circuit: [u8; 32],
+}
+
+fn hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
 }
 
 impl ArtifactKey {
+    /// The key identifying `compiled` (a compilation of the model hashing
+    /// to `model_hash`) for `backend`.
+    pub fn for_circuit(model_hash: [u8; 32], backend: Backend, compiled: &CompiledCircuit) -> Self {
+        Self {
+            model_hash,
+            backend,
+            k: compiled.k,
+            circuit: compiled.circuit_digest(),
+        }
+    }
+
     /// A filesystem-safe stem naming this key's spill file.
     pub fn file_stem(&self) -> String {
-        let mut hex = String::with_capacity(64);
-        for b in self.model_hash {
-            hex.push_str(&format!("{b:02x}"));
-        }
         let backend = match self.backend {
             Backend::Kzg => "kzg",
             Backend::Ipa => "ipa",
         };
-        format!("{hex}-{backend}-k{}", self.k)
+        format!(
+            "{}-{backend}-k{}-{}",
+            hex(&self.model_hash),
+            self.k,
+            hex(&self.circuit)
+        )
     }
+}
+
+/// Whether a (possibly disk-loaded) proving key actually belongs to the
+/// freshly compiled circuit: same row count and identical serialized
+/// constraint system. Guards against stale spill files or cache
+/// directories shared across incompatible builds.
+pub fn pk_matches_circuit(pk: &ProvingKey, compiled: &CompiledCircuit) -> bool {
+    if pk.vk.k != compiled.k {
+        return false;
+    }
+    let mut a = Writer::new();
+    write_cs(&mut a, &pk.vk.cs);
+    let mut b = Writer::new();
+    write_cs(&mut b, &compiled.cs);
+    a.finish() == b.finish()
 }
 
 /// How a cache lookup was satisfied.
@@ -155,15 +202,30 @@ impl ArtifactCache {
         cached
     }
 
-    /// Looks up the key, generating and caching it on a miss. The returned
-    /// outcome reports whether keygen was skipped.
+    /// Drops the key from memory and deletes its spill file, so the next
+    /// lookup regenerates it.
+    pub fn invalidate(&self, key: &ArtifactKey) {
+        self.keys.write().remove(key);
+        if let Some(dir) = &self.disk_dir {
+            let _ = std::fs::remove_file(dir.join(format!("{}.pk", key.file_stem())));
+        }
+    }
+
+    /// Looks up the key, generating and caching it on a miss. A cached key
+    /// that fails `valid` (e.g. a spill file whose constraint system does
+    /// not match the compiled circuit) is invalidated and regenerated. The
+    /// returned outcome reports whether keygen was skipped.
     pub fn get_or_generate<E>(
         &self,
         key: ArtifactKey,
+        valid: impl Fn(&ProvingKey) -> bool,
         generate: impl FnOnce() -> Result<ProvingKey, E>,
     ) -> Result<(Arc<ProvingKey>, CacheOutcome), E> {
-        if let Some(found) = self.get(&key) {
-            return Ok(found);
+        if let Some((pk, outcome)) = self.get(&key) {
+            if valid(&pk) {
+                return Ok((pk, outcome));
+            }
+            self.invalidate(&key);
         }
         let pk = generate()?;
         Ok((self.insert(key, pk), CacheOutcome::Miss))
@@ -185,19 +247,22 @@ mod tests {
     use super::*;
 
     #[test]
-    fn file_stem_distinguishes_backend_and_k() {
-        let key = |backend, k| ArtifactKey {
+    fn file_stem_distinguishes_backend_k_and_circuit() {
+        let key = |backend, k, circuit| ArtifactKey {
             model_hash: [0xAB; 32],
             backend,
             k,
+            circuit,
         };
-        let a = key(Backend::Kzg, 10).file_stem();
-        let b = key(Backend::Ipa, 10).file_stem();
-        let c = key(Backend::Kzg, 11).file_stem();
+        let a = key(Backend::Kzg, 10, [0x01; 32]).file_stem();
+        let b = key(Backend::Ipa, 10, [0x01; 32]).file_stem();
+        let c = key(Backend::Kzg, 11, [0x01; 32]).file_stem();
+        let d = key(Backend::Kzg, 10, [0x02; 32]).file_stem();
         assert_ne!(a, b);
         assert_ne!(a, c);
+        assert_ne!(a, d, "layouts sharing k must spill to distinct files");
         assert!(a.starts_with("abab"));
-        assert!(a.ends_with("kzg-k10"));
+        assert!(a.contains("kzg-k10"));
     }
 
     #[test]

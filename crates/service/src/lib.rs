@@ -5,9 +5,10 @@
 //! every invocation. This crate amortizes that cost across requests:
 //!
 //! * an **artifact cache** ([`cache`]) keyed by `(model content hash,
-//!   backend, k)` holds SRS and proving/verifying keys behind
-//!   `parking_lot::RwLock`s, and spills proving keys to disk (via
-//!   `zkml_plonk::serialize`) so a restarted service starts warm;
+//!   backend, circuit digest)` holds SRS and proving/verifying keys behind
+//!   `parking_lot::RwLock`s, validates cached keys against the compiled
+//!   circuit, and spills proving keys to disk (via `zkml_plonk::serialize`)
+//!   so a restarted service starts warm;
 //! * a **job queue and worker pool** ([`service`]) on bounded `crossbeam`
 //!   channels applies backpressure (reject-with-busy when full), enforces
 //!   per-job deadlines, and isolates worker panics from the service;
@@ -27,7 +28,7 @@ pub mod stats;
 pub mod verify;
 
 pub use artifact::{decode_public, encode_public, write_proof_dir};
-pub use cache::{ArtifactCache, ArtifactKey, CacheOutcome, SRS_SEED};
+pub use cache::{pk_matches_circuit, ArtifactCache, ArtifactKey, CacheOutcome, SRS_SEED};
 pub use error::ServiceError;
 pub use service::{
     JobHandle, JobKind, JobResult, JobSpec, ProofArtifacts, ProvingService, ServiceConfig,

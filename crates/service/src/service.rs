@@ -2,7 +2,7 @@
 //! threads, with per-job deadlines, panic isolation, and shared access to
 //! the artifact cache and batch verifier.
 
-use crate::cache::{ArtifactCache, ArtifactKey, CacheOutcome};
+use crate::cache::{pk_matches_circuit, ArtifactCache, ArtifactKey, CacheOutcome};
 use crate::error::ServiceError;
 use crate::stats::{ServiceStats, StatsSnapshot};
 use crate::verify::{BatchReport, BatchVerifier, PendingProof};
@@ -172,6 +172,20 @@ struct WorkerCtx {
     verifier: BatchVerifier,
     max_k: u32,
     verify_after_prove: bool,
+    proof_entropy: u64,
+}
+
+/// Per-process entropy mixed into every proof RNG seed so two service
+/// instances given the same request seed do not emit byte-identical
+/// blinding factors.
+fn process_entropy() -> u64 {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let stack = &nanos as *const u64 as u64; // ASLR-dependent
+    nanos ^ stack.rotate_left(32) ^ u64::from(std::process::id()).rotate_left(17)
 }
 
 /// The long-lived proving service.
@@ -201,6 +215,7 @@ impl ProvingService {
             verifier: BatchVerifier::new(),
             max_k: cfg.max_k,
             verify_after_prove: cfg.verify_after_prove,
+            proof_entropy: process_entropy(),
         });
         let (tx, rx) = channel::bounded::<Job>(cfg.queue_capacity);
         let workers = (0..cfg.workers.max(1))
@@ -287,6 +302,14 @@ impl ProvingService {
     /// Number of jobs waiting in the queue.
     pub fn queue_depth(&self) -> usize {
         self.tx.as_ref().map_or(0, Sender::len)
+    }
+
+    /// Number of completed proofs queued for batched verification. Callers
+    /// running the service long-term should [`Self::flush_verifications`]
+    /// once this reaches their batch size — the queue holds proofs (and
+    /// their key material) until flushed.
+    pub fn pending_verifications(&self) -> usize {
+        self.ctx.verifier.pending()
     }
 
     /// Verifies every queued proof (grouped by verifying key) and records
@@ -411,18 +434,22 @@ fn prove_job(
         .map_err(|e| ServiceError::Compile(e.to_string()))?;
     check_deadline(job)?;
 
-    // Key material, through the artifact cache.
-    let key = ArtifactKey {
-        model_hash: graph.content_hash(),
-        backend,
-        k: compiled.k,
-    };
+    // Key material, through the artifact cache. The key pins the circuit
+    // digest (layout choice + constraint system), not just k, and a cached
+    // key is still validated against the compiled circuit before use: a
+    // stale spill file must fall back to keygen, never produce a proof
+    // under a mismatched key.
+    let key = ArtifactKey::for_circuit(graph.content_hash(), backend, &compiled);
     let params = ctx.cache.params(backend, compiled.k);
-    let (pk, cache_outcome) = ctx.cache.get_or_generate(key, || {
-        compiled
-            .keygen(&params)
-            .map_err(|e| ServiceError::Prove(e.to_string()))
-    })?;
+    let (pk, cache_outcome) = ctx.cache.get_or_generate(
+        key,
+        |pk| pk_matches_circuit(pk, &compiled),
+        || {
+            compiled
+                .keygen(&params)
+                .map_err(|e| ServiceError::Prove(e.to_string()))
+        },
+    )?;
     if cache_outcome.is_hit() {
         ctx.stats.record_cache_hit();
     } else {
@@ -432,8 +459,14 @@ fn prove_job(
 
     // Prove. No deadline check afterwards: a finished proof is returned
     // even if it came in late — the submitter can still discard it.
+    //
+    // The blinding RNG mixes per-process entropy into the client-supplied
+    // seed so proofs are not reproducible from the request alone. Note the
+    // vendored `rand` is a non-cryptographic stand-in (see vendor README):
+    // proofs from this reproduction should not be relied on for the hiding
+    // property regardless.
     let t = Instant::now();
-    let mut proof_rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+    let mut proof_rng = StdRng::seed_from_u64(seed ^ ctx.proof_entropy ^ 0x9E37_79B9_7F4A_7C15);
     let proof = compiled
         .prove(&params, &pk, &mut proof_rng)
         .map_err(|e| ServiceError::Prove(e.to_string()))?;
@@ -459,7 +492,7 @@ fn prove_job(
         k: compiled.k,
         proof,
         vk_bytes: pk.vk.to_bytes(),
-        public: compiled.instance()[0].clone(),
+        public: compiled.instance().first().cloned().unwrap_or_default(),
         cache: cache_outcome,
         prove_ms,
     })

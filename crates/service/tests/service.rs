@@ -4,9 +4,14 @@
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
+use zkml::{compile, CircuitConfig, LayoutChoices};
 use zkml_model::{Activation, Graph, GraphBuilder, Op};
 use zkml_pcs::Backend;
-use zkml_service::{CacheOutcome, JobKind, JobSpec, ProvingService, ServiceConfig, ServiceError};
+use zkml_service::{
+    pk_matches_circuit, ArtifactCache, ArtifactKey, CacheOutcome, JobKind, JobSpec, ProvingService,
+    ServiceConfig, ServiceError,
+};
+use zkml_tensor::Tensor;
 
 /// A small but representative model: FC + relu + FC head.
 fn tiny_mlp() -> Graph {
@@ -86,6 +91,73 @@ fn second_job_hits_artifact_cache_and_verifies() {
     assert!(snap.cache_hit_rate > 0.0);
     assert_eq!(snap.proofs_verified, 2);
     assert!(snap.prove_p50_ms <= snap.prove_p95_ms);
+}
+
+/// Two layouts of the same model must never share a cache entry: their
+/// circuit digests (and hence artifact keys and spill files) differ even
+/// when the model hash and backend agree, and a cached key that does not
+/// match the freshly compiled circuit is invalidated and regenerated
+/// rather than used. This is the guard against the optimizer's timing-
+/// dependent layout choice diverging across runs that share a cache dir.
+#[test]
+fn mismatched_layout_never_reuses_cached_key() {
+    let graph = tiny_mlp();
+    let inputs = vec![Tensor::new(vec![1, 6], vec![0i64; 6])];
+    let cfg_a = CircuitConfig::default_with(LayoutChoices::optimized());
+    let cfg_b = CircuitConfig::default_with(LayoutChoices::prior_work());
+    let a = compile(&graph, &inputs, cfg_a, false).unwrap();
+    let b = compile(&graph, &inputs, cfg_b, false).unwrap();
+
+    // The digest is stable across recompilations of the same layout and
+    // distinguishes different layouts.
+    let a2 = compile(&graph, &inputs, cfg_a, false).unwrap();
+    assert_eq!(a.circuit_digest(), a2.circuit_digest());
+    assert_ne!(a.circuit_digest(), b.circuit_digest());
+
+    let hash = graph.content_hash();
+    let key_a = ArtifactKey::for_circuit(hash, Backend::Kzg, &a);
+    let key_b = ArtifactKey::for_circuit(hash, Backend::Kzg, &b);
+    assert_ne!(key_a, key_b);
+    assert_ne!(
+        key_a.file_stem(),
+        key_b.file_stem(),
+        "layouts must spill to distinct files"
+    );
+
+    // Poison the cache: layout A's proving key stored under layout B's
+    // key (what a stale or foreign spill file would look like). The
+    // validation hook must reject it and regenerate.
+    let cache = ArtifactCache::in_memory();
+    let params_a = cache.params(Backend::Kzg, a.k);
+    let pk_a = a.keygen(&params_a).unwrap();
+    assert!(pk_matches_circuit(&pk_a, &a));
+    assert!(!pk_matches_circuit(&pk_a, &b));
+    cache.insert(key_b, pk_a);
+
+    let params_b = cache.params(Backend::Kzg, b.k);
+    let (pk, outcome) = cache
+        .get_or_generate(
+            key_b,
+            |pk| pk_matches_circuit(pk, &b),
+            || b.keygen(&params_b),
+        )
+        .unwrap();
+    assert_eq!(
+        outcome,
+        CacheOutcome::Miss,
+        "a mismatched cached key must fall back to keygen"
+    );
+    assert!(pk_matches_circuit(&pk, &b));
+
+    // The regenerated key is cached and now hits.
+    let (_, outcome) = cache
+        .get_or_generate(
+            key_b,
+            |pk| pk_matches_circuit(pk, &b),
+            || b.keygen(&params_b),
+        )
+        .unwrap();
+    assert!(outcome.is_hit());
 }
 
 /// A service restarted with the same cache directory loads the spilled
