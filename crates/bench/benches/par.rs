@@ -1,0 +1,125 @@
+//! Serial-vs-parallel benchmarks for the `zkml-par` runtime: `par_msm` and
+//! `par_fft` run each kernel once on a 1-thread pool and once on the default
+//! pool, and write the comparison to `BENCH_PAR.json` at the repository root
+//! so the performance trajectory is tracked alongside the paper tables.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+use zkml_curves::{msm, G1Affine, G1Projective};
+use zkml_ff::{Field, Fr};
+use zkml_poly::EvaluationDomain;
+
+fn msm_inputs(k: u32) -> (Vec<G1Affine>, Vec<Fr>) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let n = 1usize << k;
+    let g = G1Projective::generator();
+    // A small pool of distinct points, cycled: cheap to set up, same MSM cost.
+    let uniq: Vec<G1Affine> = (0..64)
+        .map(|_| g.mul_scalar(&Fr::random(&mut rng)).to_affine())
+        .collect();
+    let bases: Vec<G1Affine> = (0..n).map(|i| uniq[i % 64]).collect();
+    let scalars: Vec<Fr> = (0..n).map(|_| Fr::random(&mut rng)).collect();
+    (bases, scalars)
+}
+
+/// Times `f` (median of `reps` runs) under the given pool.
+fn time_with_pool<R>(pool: &zkml_par::Pool, reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut samples = Vec::with_capacity(reps);
+    zkml_par::with_pool(pool, || {
+        let _warmup = f();
+        for _ in 0..reps {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            samples.push(t.elapsed().as_secs_f64() * 1e3);
+        }
+    });
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn bench_par_msm(c: &mut Criterion) {
+    let serial_pool = zkml_par::Pool::new(1);
+    let threads = zkml_par::global().threads();
+    let mut group = c.benchmark_group("par_msm");
+    group.sample_size(10);
+    let mut rows = Vec::new();
+    for k in [12u32, 14] {
+        let (bases, scalars) = msm_inputs(k);
+        group.bench_with_input(BenchmarkId::new("default", k), &k, |bch, _| {
+            bch.iter(|| std::hint::black_box(msm(&bases, &scalars)))
+        });
+        let serial_ms = time_with_pool(&serial_pool, 3, || msm(&bases, &scalars));
+        let parallel_ms = time_with_pool(zkml_par::global(), 3, || msm(&bases, &scalars));
+        println!(
+            "par_msm k={k}: serial {serial_ms:.2} ms, parallel({threads}) {parallel_ms:.2} ms, \
+             speedup {:.2}x",
+            serial_ms / parallel_ms
+        );
+        rows.push(format!(
+            "{{\"bench\":\"par_msm\",\"k\":{k},\"threads\":{threads},\
+             \"serial_ms\":{serial_ms:.3},\"parallel_ms\":{parallel_ms:.3}}}"
+        ));
+    }
+    group.finish();
+    emit_rows(&MSM_ROWS, rows);
+}
+
+fn bench_par_fft(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(8);
+    let serial_pool = zkml_par::Pool::new(1);
+    let threads = zkml_par::global().threads();
+    let mut group = c.benchmark_group("par_fft");
+    group.sample_size(10);
+    let mut rows = Vec::new();
+    for k in [14u32, 16] {
+        let domain = EvaluationDomain::<Fr>::new(k);
+        let vals: Vec<Fr> = (0..domain.n).map(|_| Fr::random(&mut rng)).collect();
+        group.bench_with_input(BenchmarkId::new("default", k), &k, |bch, _| {
+            bch.iter(|| {
+                let mut v = vals.clone();
+                domain.fft(&mut v);
+                std::hint::black_box(v.len())
+            })
+        });
+        let run = |v: &Vec<Fr>| {
+            let mut v = v.clone();
+            domain.fft(&mut v);
+            v.len()
+        };
+        let serial_ms = time_with_pool(&serial_pool, 5, || run(&vals));
+        let parallel_ms = time_with_pool(zkml_par::global(), 5, || run(&vals));
+        println!(
+            "par_fft k={k}: serial {serial_ms:.2} ms, parallel({threads}) {parallel_ms:.2} ms, \
+             speedup {:.2}x",
+            serial_ms / parallel_ms
+        );
+        rows.push(format!(
+            "{{\"bench\":\"par_fft\",\"k\":{k},\"threads\":{threads},\
+             \"serial_ms\":{serial_ms:.3},\"parallel_ms\":{parallel_ms:.3}}}"
+        ));
+    }
+    group.finish();
+    emit_rows(&FFT_ROWS, rows);
+}
+
+static MSM_ROWS: std::sync::Mutex<Vec<String>> = std::sync::Mutex::new(Vec::new());
+static FFT_ROWS: std::sync::Mutex<Vec<String>> = std::sync::Mutex::new(Vec::new());
+
+fn emit_rows(slot: &'static std::sync::Mutex<Vec<String>>, rows: Vec<String>) {
+    *slot.lock().unwrap() = rows;
+    // Rewrite the JSON file whenever a group finishes, so a partial bench
+    // run still leaves a valid file.
+    let msm: Vec<String> = MSM_ROWS.lock().unwrap().clone();
+    let fft: Vec<String> = FFT_ROWS.lock().unwrap().clone();
+    let all: Vec<String> = msm.into_iter().chain(fft).collect();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PAR.json");
+    let body = format!("[\n  {}\n]\n", all.join(",\n  "));
+    if let Err(e) = std::fs::write(path, body) {
+        eprintln!("warning: could not write BENCH_PAR.json: {e}");
+    }
+}
+
+criterion_group!(benches, bench_par_msm, bench_par_fft);
+criterion_main!(benches);

@@ -257,6 +257,11 @@ pub fn freivalds_matmul(
 
 /// Computes all phase-1 column values for the recorded jobs.
 ///
+/// Jobs are independent, so their cell values are evaluated in parallel on
+/// the `zkml-par` pool; the writes are then scattered serially (each job
+/// owns disjoint rows, and every cell value is a pure function of the job
+/// and the challenge, so the result is thread-count independent).
+///
 /// Returns `(cs_column, values)` pairs, each of length `rows`.
 pub fn fill_jobs(
     jobs: &[FreivaldsJob],
@@ -270,7 +275,22 @@ pub fn fill_jobs(
     let col_index: HashMap<usize, usize> =
         p1_cols.iter().enumerate().map(|(i, c)| (*c, i)).collect();
 
-    for job in jobs {
+    let assignments: Vec<Vec<(usize, usize, Fr)>> = zkml_par::par_map(jobs.len(), |job_idx| {
+        let job = &jobs[job_idx];
+        eval_job_cells(job, chi)
+    });
+    for job_cells in assignments {
+        for (col, row, v) in job_cells {
+            columns[col_index[&col]].1[row] = v;
+        }
+    }
+    columns
+}
+
+/// Evaluates every recorded cell of one job against the challenge.
+fn eval_job_cells(job: &FreivaldsJob, chi: Fr) -> Vec<(usize, usize, Fr)> {
+    let mut out = Vec::with_capacity(job.cells.len());
+    {
         let (_, k, t) = job.dims;
         let max_e = job
             .cells
@@ -328,8 +348,8 @@ pub fn fill_jobs(
                     prefixes[idx]
                 }
             };
-            columns[col_index[col]].1[*row] = v;
+            out.push((*col, *row, v));
         }
     }
-    columns
+    out
 }

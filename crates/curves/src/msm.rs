@@ -1,13 +1,19 @@
 //! Multi-scalar multiplication via Pippenger's bucket method.
 
 use crate::g1::{G1Affine, G1Projective};
-use zkml_ff::{par, Fr, PrimeField};
+use zkml_ff::{Fr, PrimeField};
+use zkml_par as par;
+
+/// Points below which the bucket method loses to the naive sum: with `n`
+/// points Pippenger still touches `254/c` windows of `2^c - 1` buckets each,
+/// so for tiny inputs the setup dwarfs the saved additions.
+const NAIVE_CUTOFF: usize = 32;
 
 /// Selects the bucket window width for an MSM of `n` points.
 fn window_bits(n: usize) -> usize {
     match n {
-        0..=15 => 2,
-        16..=127 => 4,
+        0..=63 => 3,
+        64..=127 => 4,
         128..=1023 => 7,
         1024..=8191 => 10,
         8192..=65535 => 12,
@@ -39,6 +45,9 @@ pub fn msm(bases: &[G1Affine], scalars: &[Fr]) -> G1Projective {
     assert_eq!(bases.len(), scalars.len(), "msm length mismatch");
     if bases.is_empty() {
         return G1Projective::identity();
+    }
+    if bases.len() < NAIVE_CUTOFF {
+        return msm_naive(bases, scalars);
     }
     let c = window_bits(bases.len());
     let num_windows = 254usize.div_ceil(c);
@@ -124,6 +133,35 @@ mod tests {
     #[test]
     fn empty_is_identity() {
         assert_eq!(msm(&[], &[]), G1Projective::identity());
+    }
+
+    /// Regression for the tiny-input heuristic: around the naive/bucket
+    /// crossover both paths must agree, including exactly at the cutoff.
+    #[test]
+    fn crossover_sizes_match_naive() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for n in [
+            NAIVE_CUTOFF - 2,
+            NAIVE_CUTOFF - 1,
+            NAIVE_CUTOFF,
+            NAIVE_CUTOFF + 1,
+            2 * NAIVE_CUTOFF,
+        ] {
+            let (pts, scalars) = random_points(n, &mut rng);
+            assert_eq!(msm(&pts, &scalars), msm_naive(&pts, &scalars), "n={n}");
+        }
+    }
+
+    /// The parallel bucket path is bit-identical at any thread count.
+    #[test]
+    fn msm_identical_across_thread_counts() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let (pts, scalars) = random_points(300, &mut rng);
+        let serial = zkml_par::with_pool(&zkml_par::Pool::new(1), || msm(&pts, &scalars));
+        let two = zkml_par::with_pool(&zkml_par::Pool::new(2), || msm(&pts, &scalars));
+        let default = msm(&pts, &scalars);
+        assert_eq!(serial, two);
+        assert_eq!(serial, default);
     }
 
     #[test]

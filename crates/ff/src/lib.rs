@@ -15,7 +15,6 @@ pub mod bigint;
 pub mod field;
 mod fq;
 mod fr;
-pub mod par;
 
 pub use field::{batch_invert, FftField, Field, PrimeField};
 pub use fq::Fq;

@@ -30,7 +30,7 @@ impl IpaParams {
     /// Derives parameters of size `2^k` deterministically (no trusted setup).
     pub fn setup(k: u32) -> Self {
         let n = 1usize << k;
-        let basis = zkml_ff::par::par_map(n, |i| {
+        let basis = zkml_par::par_map(n, |i| {
             let mut seed = b"zkml-ipa-basis-".to_vec();
             seed.extend_from_slice(&(i as u64).to_le_bytes());
             G1Affine::hash_to_curve(&seed)

@@ -41,7 +41,7 @@ fn batch_mul_fixed_base(base: &G1Projective, scalars: &[Fr]) -> Vec<G1Affine> {
         tables.push(table);
         window_base = acc; // acc = 256 * window_base
     }
-    let projective: Vec<G1Projective> = zkml_ff::par::par_map(scalars.len(), |i| {
+    let projective: Vec<G1Projective> = zkml_par::par_map(scalars.len(), |i| {
         let bytes = scalars[i].to_bytes();
         let mut acc = G1Projective::identity();
         for (w, byte) in bytes.iter().enumerate() {

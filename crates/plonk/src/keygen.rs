@@ -114,18 +114,12 @@ fn interpolate_columns(
     domains: &ExtendedDomain,
     values: &[Vec<Fr>],
 ) -> (Vec<Coeffs<Fr>>, Vec<Vec<Fr>>) {
-    let polys: Vec<Coeffs<Fr>> = values
-        .iter()
-        .map(|v| {
-            let mut c = v.clone();
-            domains.domain.ifft(&mut c);
-            Coeffs::new(c)
-        })
-        .collect();
-    let ext = polys
-        .iter()
-        .map(|p| domains.coset_ext(p.values.clone()))
-        .collect();
+    let polys: Vec<Coeffs<Fr>> = zkml_par::par_map(values.len(), |i| {
+        let mut c = values[i].clone();
+        domains.domain.ifft(&mut c);
+        Coeffs::new(c)
+    });
+    let ext = zkml_par::par_map(polys.len(), |i| domains.coset_ext(polys[i].values.clone()));
     (polys, ext)
 }
 
@@ -305,29 +299,40 @@ pub fn keygen(
         v.resize(n, Fr::zero());
         fixed_values.push(v);
     }
-    let (fixed_polys, fixed_ext) = interpolate_columns(&domains, &fixed_values);
-    let fixed_commitments: Vec<G1Affine> = fixed_polys.iter().map(|p| params.commit(p)).collect();
-
-    // Permutation sigmas.
-    let mapping = build_permutation(cs, &pre.copies, n)?;
-    let omega_powers: Vec<Fr> = domains.domain.elements();
-    let delta = Fr::delta();
-    let mut delta_powers = Vec::with_capacity(cs.permutation_columns.len());
-    let mut cur = Fr::one();
-    for _ in 0..cs.permutation_columns.len() {
-        delta_powers.push(cur);
-        cur *= delta;
-    }
-    let sigma_values: Vec<Vec<Fr>> = mapping
-        .iter()
-        .map(|col| {
-            col.iter()
-                .map(|(c, i)| delta_powers[*c] * omega_powers[*i])
-                .collect()
-        })
-        .collect();
-    let (sigma_polys, sigma_ext) = interpolate_columns(&domains, &sigma_values);
-    let sigma_commitments: Vec<G1Affine> = sigma_polys.iter().map(|p| params.commit(p)).collect();
+    // The fixed-column pipeline and the permutation pipeline are
+    // independent; run them as the two arms of a join. Within each arm,
+    // interpolation and commitments fan out per column.
+    let (fixed_out, sigma_out) = zkml_par::join(
+        || {
+            let (fixed_polys, fixed_ext) = interpolate_columns(&domains, &fixed_values);
+            let fixed_commitments: Vec<G1Affine> =
+                zkml_par::par_map(fixed_polys.len(), |i| params.commit(&fixed_polys[i]));
+            (fixed_polys, fixed_ext, fixed_commitments)
+        },
+        || {
+            let mapping = build_permutation(cs, &pre.copies, n)?;
+            let omega_powers: Vec<Fr> = domains.domain.elements();
+            let delta = Fr::delta();
+            let mut delta_powers = Vec::with_capacity(cs.permutation_columns.len());
+            let mut cur = Fr::one();
+            for _ in 0..cs.permutation_columns.len() {
+                delta_powers.push(cur);
+                cur *= delta;
+            }
+            let sigma_values: Vec<Vec<Fr>> = zkml_par::par_map(mapping.len(), |m| {
+                mapping[m]
+                    .iter()
+                    .map(|(c, i)| delta_powers[*c] * omega_powers[*i])
+                    .collect()
+            });
+            let (sigma_polys, sigma_ext) = interpolate_columns(&domains, &sigma_values);
+            let sigma_commitments: Vec<G1Affine> =
+                zkml_par::par_map(sigma_polys.len(), |i| params.commit(&sigma_polys[i]));
+            Ok::<_, PlonkError>((sigma_values, sigma_polys, sigma_ext, sigma_commitments))
+        },
+    );
+    let (fixed_polys, fixed_ext, fixed_commitments) = fixed_out;
+    let (sigma_values, sigma_polys, sigma_ext, sigma_commitments) = sigma_out?;
 
     // Lagrange selectors.
     let (l0_ext, l_last_ext, l_active_ext) = lagrange_selectors(&domains, cs);

@@ -12,6 +12,42 @@ use zkml_pcs::{Params, Writer};
 use zkml_poly::Coeffs;
 use zkml_transcript::Transcript;
 
+/// Minimum rows per parallel task in the row-indexed loops below.
+const ROW_CHUNK: usize = 1024;
+
+/// Fills `out[0] = seed`, `out[i+1] = out[i] * factors[i]` with a parallel
+/// chunk-product scan: per-chunk products in parallel, a serial exclusive
+/// prefix over the (few) chunk products, then a parallel fill seeded by the
+/// prefix. Field multiplication is exact and associative, so the result is
+/// bit-identical to the serial running product at any thread count.
+fn scan_products(seed: Fr, factors: &[Fr], out: &mut [Fr]) {
+    let m = factors.len();
+    debug_assert!(out.len() > m);
+    out[0] = seed;
+    if m == 0 {
+        return;
+    }
+    let nchunks = m.div_ceil(ROW_CHUNK);
+    let prods = zkml_par::par_map(nchunks, |c| {
+        factors[c * ROW_CHUNK..((c + 1) * ROW_CHUNK).min(m)]
+            .iter()
+            .fold(Fr::one(), |acc, f| acc * *f)
+    });
+    let mut prefix = Vec::with_capacity(nchunks);
+    let mut acc = seed;
+    for p in &prods {
+        prefix.push(acc);
+        acc *= *p;
+    }
+    zkml_par::for_each_chunk_exact(&mut out[1..=m], ROW_CHUNK, |c, start, slice| {
+        let mut acc = prefix[c];
+        for (i, slot) in slice.iter_mut().enumerate() {
+            acc *= factors[start + i];
+            *slot = acc;
+        }
+    });
+}
+
 /// Evaluates an expression on row `i` against value tables (wrapping rows).
 fn eval_on_row(
     e: &Expression,
@@ -81,14 +117,11 @@ pub fn create_proof_with_rng(
         }
         transcript.absorb(b"instance", &bytes);
     }
-    let instance_polys: Vec<Coeffs<Fr>> = instance
-        .iter()
-        .map(|v| {
-            let mut c = v.clone();
-            domain.ifft(&mut c);
-            Coeffs::new(c)
-        })
-        .collect();
+    let instance_polys: Vec<Coeffs<Fr>> = zkml_par::par_map(instance.len(), |c| {
+        let mut v = instance[c].clone();
+        domain.ifft(&mut v);
+        Coeffs::new(v)
+    });
 
     // --- Advice columns (two phases) --------------------------------------
     let mut advice_values: Vec<Option<Vec<Fr>>> = vec![None; cs.num_advice];
@@ -178,8 +211,8 @@ pub fn create_proof_with_rng(
 
     let mut lookups = Vec::with_capacity(cs.lookups.len());
     for lk in &cs.lookups {
-        let a_compressed: Vec<Fr> = (0..n).map(|i| compress(&lk.inputs, i)).collect();
-        let t_compressed: Vec<Fr> = (0..n).map(|i| compress(&lk.table, i)).collect();
+        let a_compressed: Vec<Fr> = zkml_par::par_map(n, |i| compress(&lk.inputs, i));
+        let t_compressed: Vec<Fr> = zkml_par::par_map(n, |i| compress(&lk.table, i));
 
         // Sort the active-row inputs; lay the table out so each first
         // occurrence matches, filling repeats with leftover table values.
@@ -274,22 +307,25 @@ pub fn create_proof_with_rng(
     let mut carry = Fr::one();
     for (chunk_idx, cols) in cs.permutation_columns.chunks(chunk_size).enumerate() {
         let base = chunk_idx * chunk_size;
-        let mut num = vec![Fr::one(); usable];
-        let mut den = vec![Fr::one(); usable];
-        for (j, col) in cols.iter().enumerate() {
-            let global = base + j;
-            for i in 0..usable {
+        // Each row's numerator/denominator multiplies column terms in the
+        // same (ascending `j`) order as the serial loop, so the products are
+        // bit-identical.
+        let mut nd: Vec<(Fr, Fr)> = vec![(Fr::one(), Fr::one()); usable];
+        zkml_par::par_for_each_mut(&mut nd, |i, pair| {
+            for (j, col) in cols.iter().enumerate() {
+                let global = base + j;
                 let v = perm_col_value(*col, i);
-                num[i] *= v + beta * delta_powers[global] * omega_powers[i] + gamma;
-                den[i] *= v + beta * pk.sigma_values[global][i] + gamma;
+                pair.0 *= v + beta * delta_powers[global] * omega_powers[i] + gamma;
+                pair.1 *= v + beta * pk.sigma_values[global][i] + gamma;
             }
-        }
-        batch_invert(&mut den);
+        });
+        let (num, mut den): (Vec<Fr>, Vec<Fr>) = nd.into_iter().unzip();
+        // Chunked batch inversion: every element's inverse is exact, so the
+        // chunking cannot change any value.
+        zkml_par::par_chunks_mut(&mut den, ROW_CHUNK, |_, _, chunk| batch_invert(chunk));
+        let factors: Vec<Fr> = zkml_par::par_map(usable, |i| num[i] * den[i]);
         let mut z = vec![Fr::zero(); n];
-        z[0] = carry;
-        for i in 0..usable {
-            z[i + 1] = z[i] * num[i] * den[i];
-        }
+        scan_products(carry, &factors, &mut z);
         carry = z[usable];
         for v in z[usable + 1..].iter_mut() {
             *v = Fr::random(rng);
@@ -315,15 +351,15 @@ pub fn create_proof_with_rng(
     let mut lookup_z_values: Vec<Vec<Fr>> = Vec::new();
     let mut lookup_z_polys: Vec<Coeffs<Fr>> = Vec::new();
     for (lk, w) in cs.lookups.iter().zip(&lookups) {
-        let mut den: Vec<Fr> = (0..usable)
-            .map(|i| (w.a_permuted[i] + beta) * (w.s_permuted[i] + gamma))
-            .collect();
-        batch_invert(&mut den);
+        let mut den: Vec<Fr> = zkml_par::par_map(usable, |i| {
+            (w.a_permuted[i] + beta) * (w.s_permuted[i] + gamma)
+        });
+        zkml_par::par_chunks_mut(&mut den, ROW_CHUNK, |_, _, chunk| batch_invert(chunk));
+        let factors: Vec<Fr> = zkml_par::par_map(usable, |i| {
+            (w.a_compressed[i] + beta) * (w.t_compressed[i] + gamma) * den[i]
+        });
         let mut z = vec![Fr::zero(); n];
-        z[0] = Fr::one();
-        for i in 0..usable {
-            z[i + 1] = z[i] * (w.a_compressed[i] + beta) * (w.t_compressed[i] + gamma) * den[i];
-        }
+        scan_products(Fr::one(), &factors, &mut z);
         if z[usable] != Fr::one() {
             return Err(PlonkError::Synthesis(format!(
                 "lookup '{}' unsatisfied (product != 1)",
@@ -355,12 +391,18 @@ pub fn create_proof_with_rng(
     };
     let poly_to_ext = |p: &Coeffs<Fr>| ext.coset_ext(p.values.clone());
 
-    let instance_ext: Vec<Vec<Fr>> = instance_polys.iter().map(poly_to_ext).collect();
-    let advice_ext: Vec<Vec<Fr>> = advice_polys.iter().map(poly_to_ext).collect();
-    let perm_z_ext: Vec<Vec<Fr>> = perm_z_values.iter().map(|v| to_ext(v)).collect();
-    let lookup_a_ext: Vec<Vec<Fr>> = lookups.iter().map(|w| poly_to_ext(&w.a_poly)).collect();
-    let lookup_s_ext: Vec<Vec<Fr>> = lookups.iter().map(|w| poly_to_ext(&w.s_poly)).collect();
-    let lookup_z_ext: Vec<Vec<Fr>> = lookup_z_values.iter().map(|v| to_ext(v)).collect();
+    let instance_ext: Vec<Vec<Fr>> =
+        zkml_par::par_map(instance_polys.len(), |i| poly_to_ext(&instance_polys[i]));
+    let advice_ext: Vec<Vec<Fr>> =
+        zkml_par::par_map(advice_polys.len(), |i| poly_to_ext(&advice_polys[i]));
+    let perm_z_ext: Vec<Vec<Fr>> =
+        zkml_par::par_map(perm_z_values.len(), |i| to_ext(&perm_z_values[i]));
+    let lookup_a_ext: Vec<Vec<Fr>> =
+        zkml_par::par_map(lookups.len(), |i| poly_to_ext(&lookups[i].a_poly));
+    let lookup_s_ext: Vec<Vec<Fr>> =
+        zkml_par::par_map(lookups.len(), |i| poly_to_ext(&lookups[i].s_poly));
+    let lookup_z_ext: Vec<Vec<Fr>> =
+        zkml_par::par_map(lookup_z_values.len(), |i| to_ext(&lookup_z_values[i]));
 
     // Compressed lookup input/table on the extended coset.
     let eval_expr_ext = |e: &Expression, i: usize| -> Fr {
@@ -383,18 +425,18 @@ pub fn create_proof_with_rng(
     };
 
     // Coset point values for the permutation "identity" side.
-    let mut coset_points = Vec::with_capacity(ext_n);
-    {
-        let mut cur = ext.ext.coset_gen;
-        for _ in 0..ext_n {
-            coset_points.push(cur);
+    let mut coset_points = vec![Fr::zero(); ext_n];
+    zkml_par::par_chunks_mut(&mut coset_points, ROW_CHUNK, |_, start, chunk| {
+        let mut cur = ext.ext.coset_gen * ext.ext.omega.pow(&[start as u64]);
+        for slot in chunk.iter_mut() {
+            *slot = cur;
             cur *= ext.ext.omega;
         }
-    }
+    });
 
     let mut combined = vec![Fr::zero(); ext_n];
     let add_term = |term: &(dyn Fn(usize) -> Fr + Sync), combined: &mut Vec<Fr>| {
-        zkml_ff::par::par_for_each_mut(combined, |i, c| {
+        zkml_par::par_for_each_mut(combined, |i, c| {
             *c = *c * y + term(i);
         });
     };
@@ -494,9 +536,11 @@ pub fn create_proof_with_rng(
     }
 
     // Divide by the vanishing polynomial and interpolate.
-    for (i, c) in combined.iter_mut().enumerate() {
-        *c *= ext.zh_inv[i % ext.factor];
-    }
+    zkml_par::par_chunks_mut(&mut combined, ROW_CHUNK, |_, start, chunk| {
+        for (i, c) in chunk.iter_mut().enumerate() {
+            *c *= ext.zh_inv[(start + i) % ext.factor];
+        }
+    });
     ext.ext.coset_ifft(&mut combined);
     let pieces: Vec<Coeffs<Fr>> = combined
         .chunks(n)
@@ -527,13 +571,18 @@ pub fn create_proof_with_rng(
             PolyId::Quotient(i) => &quotient_polys[i],
         }
     };
-    let mut eval_points = Vec::with_capacity(plan.len());
-    for entry in &plan {
+    // Evaluate in parallel (Horner per opening), then absorb serially so the
+    // transcript order is unchanged.
+    let evals: Vec<(Fr, Fr)> = zkml_par::par_map(plan.len(), |idx| {
+        let entry = &plan[idx];
         let point = domain.rotate(x, entry.rotation);
-        let eval = poly_for(entry.poly).evaluate(point);
-        transcript.absorb_scalar(b"eval", &eval);
-        proof.scalar(&eval);
-        eval_points.push(point);
+        (point, poly_for(entry.poly).evaluate(point))
+    });
+    let mut eval_points = Vec::with_capacity(plan.len());
+    for (point, eval) in &evals {
+        transcript.absorb_scalar(b"eval", eval);
+        proof.scalar(eval);
+        eval_points.push(*point);
     }
 
     // --- Multi-open -----------------------------------------------------------

@@ -3,6 +3,22 @@
 use crate::fft::{fft_in_place, ifft_in_place};
 use zkml_ff::{batch_invert, FftField};
 
+/// Minimum chunk for parallel coset scaling; each chunk re-seeds with one
+/// `pow`, so tiny chunks would spend more on seeding than scaling.
+const SCALE_CHUNK_MIN: usize = 1024;
+
+/// Multiplies `a[i] *= g^i` in place, chunked across the pool. Each chunk
+/// seeds with `g^start`, so the products match the serial loop bit for bit.
+fn scale_by_powers<F: FftField>(a: &mut [F], g: F) {
+    zkml_par::par_chunks_mut(a, SCALE_CHUNK_MIN, |_, start, chunk| {
+        let mut cur = g.pow(&[start as u64]);
+        for v in chunk.iter_mut() {
+            *v *= cur;
+            cur *= g;
+        }
+    });
+}
+
 /// A multiplicative subgroup of order `2^k`, plus precomputed constants for
 /// (coset) FFTs over it.
 #[derive(Clone, Debug)]
@@ -54,12 +70,8 @@ impl<F: FftField> EvaluationDomain<F> {
 
     /// Returns the domain elements `omega^0, ..., omega^{n-1}`.
     pub fn elements(&self) -> Vec<F> {
-        let mut out = Vec::with_capacity(self.n);
-        let mut cur = F::one();
-        for _ in 0..self.n {
-            out.push(cur);
-            cur *= self.omega;
-        }
+        let mut out = vec![F::one(); self.n];
+        scale_by_powers(&mut out, self.omega);
         out
     }
 
@@ -82,11 +94,7 @@ impl<F: FftField> EvaluationDomain<F> {
     pub fn coset_fft(&self, a: &mut Vec<F>) {
         assert!(a.len() <= self.n, "too many coefficients for domain");
         a.resize(self.n, F::zero());
-        let mut cur = F::one();
-        for v in a.iter_mut() {
-            *v *= cur;
-            cur *= self.coset_gen;
-        }
+        scale_by_powers(a, self.coset_gen);
         fft_in_place(a, self.omega, self.k);
     }
 
@@ -94,11 +102,7 @@ impl<F: FftField> EvaluationDomain<F> {
     pub fn coset_ifft(&self, a: &mut [F]) {
         assert_eq!(a.len(), self.n, "evaluations must cover the domain");
         ifft_in_place(a, self.omega_inv, self.n_inv, self.k);
-        let mut cur = F::one();
-        for v in a.iter_mut() {
-            *v *= cur;
-            cur *= self.coset_gen_inv;
-        }
+        scale_by_powers(a, self.coset_gen_inv);
     }
 
     /// Evaluates the vanishing polynomial `X^n - 1` at `x`.

@@ -1,11 +1,54 @@
 //! In-place radix-2 decimation-in-time NTT.
+//!
+//! Butterfly stages run in parallel on the `zkml-par` pool: early stages
+//! (many independent blocks) split across blocks, late stages (few, wide
+//! blocks) split the lo/hi halves of each block into paired chunks. Every
+//! butterfly computes the same exact field values regardless of which thread
+//! runs it, so results are bit-identical at any thread count.
 
 use zkml_ff::FftField;
+
+/// Minimum transform size worth scheduling on the pool; below this the
+/// butterflies are cheaper than task dispatch.
+const PAR_FFT_MIN: usize = 4096;
+
+/// Minimum elements per parallel chunk inside a stage.
+const PAR_CHUNK_MIN: usize = 1024;
 
 /// Reverses the low `bits` bits of `n`.
 #[inline]
 pub fn bitreverse(n: usize, bits: u32) -> usize {
     n.reverse_bits() >> (usize::BITS - bits)
+}
+
+/// Fills `out` with `1, w, w^2, ...`, chunked across the pool. Each chunk
+/// seeds itself with `w^start`, so the table is identical to the serial one.
+fn powers_into<F: FftField>(out: &mut [F], w: F) {
+    zkml_par::par_chunks_mut(out, PAR_CHUNK_MIN, |_, start, chunk| {
+        let mut acc = w.pow(&[start as u64]);
+        for slot in chunk.iter_mut() {
+            *slot = acc;
+            acc *= w;
+        }
+    });
+}
+
+/// One butterfly over paired `lo`/`hi` halves of a block, using twiddles
+/// `twiddles[(offset + i) * stride]`.
+#[inline]
+fn butterfly<F: FftField>(
+    lo: &mut [F],
+    hi: &mut [F],
+    twiddles: &[F],
+    offset: usize,
+    stride: usize,
+) {
+    for i in 0..lo.len() {
+        let t = hi[i] * twiddles[(offset + i) * stride];
+        let u = lo[i];
+        lo[i] = u + t;
+        hi[i] = u - t;
+    }
 }
 
 /// Performs an in-place FFT of `a` (length `2^k`) using `omega` as the
@@ -31,23 +74,64 @@ pub fn fft_in_place<F: FftField>(a: &mut [F], omega: F, k: u32) {
     // Precompute twiddles for the largest stage once; smaller stages stride
     // through the same table.
     let half = n / 2;
-    let mut twiddles = Vec::with_capacity(half);
-    let mut w = F::one();
-    for _ in 0..half {
-        twiddles.push(w);
-        w *= omega;
+    let mut twiddles = vec![F::one(); half];
+    if n >= PAR_FFT_MIN && zkml_par::current_threads() > 1 {
+        powers_into(&mut twiddles, omega);
+    } else {
+        let mut w = F::one();
+        for slot in twiddles.iter_mut() {
+            *slot = w;
+            w *= omega;
+        }
     }
 
+    let parallel = n >= PAR_FFT_MIN && zkml_par::current_threads() > 1;
     let mut m = 1;
     while m < n {
         let stride = half / m;
-        for start in (0..n).step_by(2 * m) {
-            for i in 0..m {
-                let t = a[start + m + i] * twiddles[i * stride];
-                let u = a[start + i];
-                a[start + i] = u + t;
-                a[start + m + i] = u - t;
+        if !parallel {
+            for start in (0..n).step_by(2 * m) {
+                let (lo, hi) = a[start..start + 2 * m].split_at_mut(m);
+                butterfly(lo, hi, &twiddles, 0, stride);
             }
+        } else if m <= n / 4 {
+            // Many independent blocks: one task per group of blocks.
+            let blocks: Vec<&mut [F]> = a.chunks_mut(2 * m).collect();
+            let blocks_per_task = (PAR_CHUNK_MIN / (2 * m)).max(1);
+            let mut grouped: Vec<Vec<&mut [F]>> = Vec::new();
+            let mut iter = blocks.into_iter();
+            loop {
+                let group: Vec<&mut [F]> = iter.by_ref().take(blocks_per_task).collect();
+                if group.is_empty() {
+                    break;
+                }
+                grouped.push(group);
+            }
+            let tw = &twiddles;
+            zkml_par::par_for_each_mut(&mut grouped, |_, group| {
+                for block in group.iter_mut() {
+                    let (lo, hi) = block.split_at_mut(m);
+                    butterfly(lo, hi, tw, 0, stride);
+                }
+            });
+        } else {
+            // Few wide blocks (final stages): split each block's halves into
+            // paired chunks and process the pairs in parallel.
+            let tw = &twiddles;
+            let mut pairs: Vec<(usize, &mut [F], &mut [F])> = Vec::new();
+            for block in a.chunks_mut(2 * m) {
+                let (lo, hi) = block.split_at_mut(m);
+                for (off, (lc, hc)) in lo
+                    .chunks_mut(PAR_CHUNK_MIN)
+                    .zip(hi.chunks_mut(PAR_CHUNK_MIN))
+                    .enumerate()
+                {
+                    pairs.push((off * PAR_CHUNK_MIN, lc, hc));
+                }
+            }
+            zkml_par::par_for_each_mut(&mut pairs, |_, (offset, lc, hc)| {
+                butterfly(lc, hc, tw, *offset, stride);
+            });
         }
         m *= 2;
     }
@@ -56,8 +140,16 @@ pub fn fft_in_place<F: FftField>(a: &mut [F], omega: F, k: u32) {
 /// Performs an in-place inverse FFT (includes the `1/n` scaling).
 pub fn ifft_in_place<F: FftField>(a: &mut [F], omega_inv: F, n_inv: F, k: u32) {
     fft_in_place(a, omega_inv, k);
-    for v in a.iter_mut() {
-        *v *= n_inv;
+    if a.len() >= PAR_FFT_MIN && zkml_par::current_threads() > 1 {
+        zkml_par::par_chunks_mut(a, PAR_CHUNK_MIN, |_, _, chunk| {
+            for v in chunk.iter_mut() {
+                *v *= n_inv;
+            }
+        });
+    } else {
+        for v in a.iter_mut() {
+            *v *= n_inv;
+        }
     }
 }
 
@@ -110,6 +202,33 @@ mod tests {
             fft_in_place(&mut work, omega, k);
             ifft_in_place(&mut work, omega_inv, n_inv, k);
             assert_eq!(work, coeffs);
+        }
+    }
+
+    /// Large-enough transforms take the parallel path; the result must be
+    /// bit-identical to the serial pool at every stage shape.
+    #[test]
+    fn parallel_path_identical_to_serial() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for k in [12u32, 13] {
+            let n = 1usize << k;
+            let coeffs: Vec<Fr> = (0..n).map(|_| Fr::random(&mut rng)).collect();
+            let omega = omega_for(k);
+
+            let serial = zkml_par::with_pool(&zkml_par::Pool::new(1), || {
+                let mut v = coeffs.clone();
+                fft_in_place(&mut v, omega, k);
+                v
+            });
+            for threads in [2usize, 4] {
+                let pool = zkml_par::Pool::new(threads);
+                let par = zkml_par::with_pool(&pool, || {
+                    let mut v = coeffs.clone();
+                    fft_in_place(&mut v, omega, k);
+                    v
+                });
+                assert_eq!(serial, par, "k={k} threads={threads}");
+            }
         }
     }
 }

@@ -432,7 +432,7 @@ fn serve_flow(args: &[String]) -> Result<(), CliError> {
     println!(
         "serving spool {} ({} workers, queue {}){}",
         spool.display(),
-        parsed_flag(args, "--workers", 2usize)?,
+        service.worker_count(),
         parsed_flag(args, "--queue", 16usize)?,
         if once { ", one-shot" } else { "" }
     );

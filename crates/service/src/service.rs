@@ -218,7 +218,12 @@ impl ProvingService {
             proof_entropy: process_entropy(),
         });
         let (tx, rx) = channel::bounded::<Job>(cfg.queue_capacity);
-        let workers = (0..cfg.workers.max(1))
+        // Share the core budget with the intra-proof runtime: each worker
+        // drives prover kernels that already fan out across the global
+        // zkml-par pool, so spawning more workers than pool threads would
+        // oversubscribe cores without adding throughput.
+        let worker_count = cfg.workers.max(1).min(zkml_par::global().threads());
+        let workers = (0..worker_count)
             .map(|i| {
                 let rx = rx.clone();
                 let ctx = Arc::clone(&ctx);
@@ -236,6 +241,13 @@ impl ProvingService {
             queue_capacity: cfg.queue_capacity,
             default_deadline: cfg.default_deadline,
         })
+    }
+
+    /// Number of worker threads actually running. May be lower than the
+    /// configured count: workers are capped at the global `zkml-par` pool
+    /// size so prover-internal parallelism never oversubscribes cores.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
     }
 
     /// Submits a job. Never blocks: a full queue rejects immediately with

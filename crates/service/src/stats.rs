@@ -76,7 +76,12 @@ impl ServiceStats {
         let hits = self.cache_hits.load(Ordering::Relaxed);
         let misses = self.cache_misses.load(Ordering::Relaxed);
         let lat = self.prove_latencies_ms.lock().clone();
+        let par = zkml_par::global().metrics();
         StatsSnapshot {
+            threads: par.threads as u64,
+            par_tasks_executed: par.tasks_executed,
+            par_steals: par.steals,
+            par_busy_fraction: par.busy_fraction(),
             jobs_submitted: self.jobs_submitted.load(Ordering::Relaxed),
             jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
             jobs_failed: self.jobs_failed.load(Ordering::Relaxed),
@@ -113,6 +118,16 @@ fn percentile(samples: &[u64], pct: u32) -> u64 {
 /// A point-in-time view of [`ServiceStats`], serializable for operators.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StatsSnapshot {
+    /// Threads in the shared `zkml-par` pool (the intra-proof parallelism
+    /// budget; also caps the number of service workers).
+    pub threads: u64,
+    /// Tasks executed on the shared pool since startup.
+    pub par_tasks_executed: u64,
+    /// Successful work steals between pool workers.
+    pub par_steals: u64,
+    /// Fraction of pool thread-time spent inside tasks (may slightly exceed
+    /// 1.0 because blocked callers help execute tasks).
+    pub par_busy_fraction: f64,
     /// Jobs accepted into the queue.
     pub jobs_submitted: u64,
     /// Jobs that finished successfully.
@@ -149,12 +164,18 @@ impl StatsSnapshot {
     pub fn to_json(&self) -> String {
         format!(
             concat!(
-                "{{\"jobs_submitted\":{},\"jobs_completed\":{},\"jobs_failed\":{},",
+                "{{\"threads\":{},\"par_tasks_executed\":{},\"par_steals\":{},",
+                "\"par_busy_fraction\":{:.4},",
+                "\"jobs_submitted\":{},\"jobs_completed\":{},\"jobs_failed\":{},",
                 "\"jobs_rejected_busy\":{},\"jobs_timed_out\":{},\"worker_panics\":{},",
                 "\"cache_hits\":{},\"cache_misses\":{},\"cache_hit_rate\":{:.4},",
                 "\"proofs_verified\":{},\"verify_failures\":{},\"queue_depth\":{},",
                 "\"prove_p50_ms\":{},\"prove_p95_ms\":{}}}"
             ),
+            self.threads,
+            self.par_tasks_executed,
+            self.par_steals,
+            self.par_busy_fraction,
             self.jobs_submitted,
             self.jobs_completed,
             self.jobs_failed,
@@ -221,6 +242,10 @@ mod tests {
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert_eq!(json.matches('{').count(), 1);
         for key in [
+            "threads",
+            "par_tasks_executed",
+            "par_steals",
+            "par_busy_fraction",
             "jobs_submitted",
             "cache_hit_rate",
             "prove_p50_ms",
@@ -229,5 +254,12 @@ mod tests {
         ] {
             assert!(json.contains(&format!("\"{key}\":")), "missing {key}");
         }
+    }
+
+    #[test]
+    fn snapshot_reports_pool_threads() {
+        let snap = ServiceStats::new().snapshot();
+        assert!(snap.threads >= 1);
+        assert!(snap.par_busy_fraction >= 0.0);
     }
 }

@@ -7,8 +7,11 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> cargo test -q (workspace)"
+echo "==> cargo test -q (workspace, default ZKML_THREADS)"
 cargo test --workspace -q
+
+echo "==> cargo test -q (workspace, ZKML_THREADS=1)"
+ZKML_THREADS=1 cargo test --workspace -q
 
 echo "==> cargo fmt --check"
 cargo fmt --check

@@ -1,9 +1,206 @@
-//! Offline stand-in for `crossbeam`, providing the `channel` module the
-//! workspace uses: multi-producer multi-consumer channels with optional
-//! bounded capacity, non-blocking `try_send` (backpressure), and
-//! timeout-aware receives. Implemented over `std::sync::{Mutex, Condvar}`;
-//! semantics (clone-able receivers, disconnect on last-handle drop) follow
-//! crossbeam-channel.
+//! Offline stand-in for `crossbeam`, providing the two modules the
+//! workspace uses:
+//!
+//! * `channel` — multi-producer multi-consumer channels with optional
+//!   bounded capacity, non-blocking `try_send` (backpressure), and
+//!   timeout-aware receives. Implemented over `std::sync::{Mutex, Condvar}`;
+//!   semantics (clone-able receivers, disconnect on last-handle drop) follow
+//!   crossbeam-channel.
+//! * `deque` — work-stealing deques (`Worker`/`Stealer`) and a global FIFO
+//!   `Injector`, following the crossbeam-deque API. Implemented with a
+//!   mutex-guarded `VecDeque` rather than the lock-free Chase-Lev
+//!   algorithm; the consumers in this workspace schedule coarse tasks
+//!   (thousands of field operations each), so per-operation locking is not
+//!   on the critical path.
+
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex, PoisonError};
+
+    fn lock<T>(m: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        m.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Outcome of a steal attempt.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// A task was stolen.
+        Success(T),
+        /// The operation lost a race and may be retried.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// Returns the stolen task, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+    }
+
+    /// The owner's end of a work-stealing deque. The owner pushes and pops
+    /// at the back (LIFO, for locality); stealers take from the front.
+    pub struct Worker<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// Creates a LIFO worker queue.
+        pub fn new_lifo() -> Self {
+            Worker {
+                inner: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Pushes a task onto the owner's end.
+        pub fn push(&self, task: T) {
+            lock(&self.inner).push_back(task);
+        }
+
+        /// Pops the most recently pushed task.
+        pub fn pop(&self) -> Option<T> {
+            lock(&self.inner).pop_back()
+        }
+
+        /// Whether the deque is currently empty.
+        pub fn is_empty(&self) -> bool {
+            lock(&self.inner).is_empty()
+        }
+
+        /// Creates a stealer handle for other threads.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    /// A handle other threads use to steal from a [`Worker`]'s deque.
+    pub struct Stealer<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals the oldest task from the deque.
+        pub fn steal(&self) -> Steal<T> {
+            match lock(&self.inner).pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the deque is currently empty.
+        pub fn is_empty(&self) -> bool {
+            lock(&self.inner).is_empty()
+        }
+    }
+
+    /// A global FIFO queue tasks can be injected into from any thread.
+    pub struct Injector<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty injector.
+        pub fn new() -> Self {
+            Injector {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Pushes a task onto the queue.
+        pub fn push(&self, task: T) {
+            lock(&self.inner).push_back(task);
+        }
+
+        /// Steals the oldest task from the queue.
+        pub fn steal(&self) -> Steal<T> {
+            match lock(&self.inner).pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            lock(&self.inner).is_empty()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn worker_is_lifo_stealer_is_fifo() {
+            let w = Worker::new_lifo();
+            let s = w.stealer();
+            w.push(1);
+            w.push(2);
+            w.push(3);
+            assert_eq!(w.pop(), Some(3));
+            assert_eq!(s.steal(), Steal::Success(1));
+            assert_eq!(w.pop(), Some(2));
+            assert_eq!(s.steal(), Steal::Empty);
+        }
+
+        #[test]
+        fn injector_is_fifo() {
+            let inj = Injector::new();
+            inj.push("a");
+            inj.push("b");
+            assert_eq!(inj.steal(), Steal::Success("a"));
+            assert_eq!(inj.steal(), Steal::Success("b"));
+            assert_eq!(inj.steal(), Steal::Empty);
+            assert!(inj.is_empty());
+        }
+
+        #[test]
+        fn steal_across_threads() {
+            let w = Worker::new_lifo();
+            for i in 0..100 {
+                w.push(i);
+            }
+            let stealers: Vec<_> = (0..4).map(|_| w.stealer()).collect();
+            let handles: Vec<_> = stealers
+                .into_iter()
+                .map(|s| {
+                    std::thread::spawn(move || {
+                        let mut got = 0usize;
+                        while s.steal().success().is_some() {
+                            got += 1;
+                        }
+                        got
+                    })
+                })
+                .collect();
+            let stolen: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+            let mut remaining = 0usize;
+            while w.pop().is_some() {
+                remaining += 1;
+            }
+            assert_eq!(stolen + remaining, 100);
+        }
+    }
+}
 
 pub mod channel {
     use std::collections::VecDeque;
