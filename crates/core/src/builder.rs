@@ -132,6 +132,9 @@ pub struct CircuitBuilder {
     pub challenge: Option<usize>,
     max_table_len: usize,
     freivalds_jobs: Vec<crate::freivalds::FreivaldsJob>,
+    /// Every advice/instance cell written during real synthesis, in write
+    /// order — the mutation surface for the adversarial soundness harness.
+    assigned: Vec<CellRef>,
 }
 
 impl CircuitBuilder {
@@ -173,6 +176,7 @@ impl CircuitBuilder {
             challenge: None,
             max_table_len: 0,
             freivalds_jobs: Vec::new(),
+            assigned: Vec::new(),
         }
     }
 
@@ -197,6 +201,10 @@ impl CircuitBuilder {
         if self.count_only {
             return;
         }
+        self.assigned.push(CellRef {
+            column: Column::Advice(cs_col),
+            row,
+        });
         if self.advice_vals.len() <= cs_col {
             self.advice_vals.resize(cs_col + 1, Vec::new());
         }
@@ -307,13 +315,14 @@ impl CircuitBuilder {
     pub fn expose(&mut self, values: &[AValue]) {
         for v in values {
             let row = self.instance_vals.len();
-            if !self.count_only {
-                self.instance_vals.push(Fr::from_i64(v.v));
-            }
             let inst = CellRef {
                 column: Column::Instance(self.instance_col),
                 row,
             };
+            if !self.count_only {
+                self.instance_vals.push(Fr::from_i64(v.v));
+                self.assigned.push(inst);
+            }
             self.copy(v.cell, inst);
         }
         if self.count_only {
@@ -1088,6 +1097,9 @@ impl CircuitBuilder {
             self.copies,
             self.instance_vals,
         )
+    }
+    pub(crate) fn take_assigned(&mut self) -> Vec<CellRef> {
+        std::mem::take(&mut self.assigned)
     }
     pub(crate) fn push_freivalds_job(&mut self, job: crate::freivalds::FreivaldsJob) {
         self.freivalds_jobs.push(job);

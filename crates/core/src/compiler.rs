@@ -62,6 +62,7 @@ pub struct CompiledCircuit {
     p1_cols: Vec<usize>,
     p1_rows: usize,
     jobs: Vec<FreivaldsJob>,
+    assigned: Vec<zkml_plonk::CellRef>,
 }
 
 struct ZkmlWitness<'a> {
@@ -94,6 +95,37 @@ pub fn compile(
 ) -> Result<CompiledCircuit, ZkmlError> {
     let mut bld = CircuitBuilder::new(cfg, count_only);
     let outs = lower_graph(&mut bld, graph, inputs)?;
+    finalize(bld, outs, count_only)
+}
+
+/// Compiles a hand-written synthesis closure instead of a model graph.
+///
+/// The closure builds any circuit it likes against the gadget API and
+/// returns the values to expose as public outputs. This is how the testkit
+/// drives individual gadgets through the mock checker without constructing
+/// a model around each one.
+pub fn compile_with<F>(
+    cfg: CircuitConfig,
+    count_only: bool,
+    synthesize: F,
+) -> Result<CompiledCircuit, ZkmlError>
+where
+    F: FnOnce(&mut CircuitBuilder) -> Result<Vec<AValue>, BuildError>,
+{
+    let mut bld = CircuitBuilder::new(cfg, count_only);
+    let vals = synthesize(&mut bld)?;
+    let outs = vec![Tensor::new(vec![vals.len()], vals)];
+    finalize(bld, outs, count_only)
+}
+
+/// Shared back half of compilation: expose outputs, pad tables, and pack
+/// the builder state into a [`CompiledCircuit`].
+fn finalize(
+    mut bld: CircuitBuilder,
+    outs: Vec<Tensor<AValue>>,
+    count_only: bool,
+) -> Result<CompiledCircuit, ZkmlError> {
+    let cfg = bld.cfg;
     let flat: Vec<AValue> = outs.iter().flat_map(|t| t.data().iter().copied()).collect();
     bld.expose(&flat);
 
@@ -117,6 +149,7 @@ pub fn compile(
     }
 
     let p1_rows = bld.p1_rows_used();
+    let assigned = bld.take_assigned();
     let jobs = bld.take_freivalds_jobs();
     let grid: Vec<usize> = bld.grid_cols().to_vec();
     let p1_cols: Vec<usize> = bld.p1_cols().to_vec();
@@ -145,6 +178,7 @@ pub fn compile(
         p1_cols,
         p1_rows,
         jobs,
+        assigned,
     })
 }
 
@@ -213,5 +247,35 @@ impl CompiledCircuit {
     /// The public-input columns (model outputs as field elements).
     pub fn instance(&self) -> &[Vec<Fr>] {
         &self.instance
+    }
+
+    /// Synthesizes this circuit's witness into a [`zkml_plonk::MockProver`]
+    /// for row-exact constraint checking (no commitments, no keys).
+    ///
+    /// Meaningless for `count_only` compilations, which carry no witness.
+    pub fn mock(&self) -> Result<zkml_plonk::MockProver, ZkmlError> {
+        let witness = ZkmlWitness { c: self };
+        Ok(zkml_plonk::MockProver::run(
+            self.k, &self.cs, &self.pre, &witness,
+        )?)
+    }
+
+    /// Every witness cell assigned during synthesis: the phase-0 cells the
+    /// builder wrote (advice home/gadget cells plus exposed instance cells)
+    /// and the phase-1 cells the Freivalds jobs fill at proving time. This
+    /// is the mutation surface for the adversarial soundness harness.
+    pub fn assigned_cells(&self) -> Vec<zkml_plonk::CellRef> {
+        let mut out = self.assigned.clone();
+        for job in &self.jobs {
+            for (col, row, _) in &job.cells {
+                out.push(zkml_plonk::CellRef {
+                    column: zkml_plonk::Column::Advice(*col),
+                    row: *row,
+                });
+            }
+        }
+        out.sort_by_key(|c| (c.column, c.row));
+        out.dedup();
+        out
     }
 }

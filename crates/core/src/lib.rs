@@ -28,7 +28,7 @@ pub mod optimizer;
 pub mod tables;
 
 pub use builder::{AValue, BuildError, CircuitBuilder, Gadget, LayoutStats};
-pub use compiler::{compile, CompiledCircuit, ZkmlError};
+pub use compiler::{compile, compile_with, CompiledCircuit, ZkmlError};
 pub use config::{
     ArithImpl, CircuitConfig, DotImpl, LayoutChoices, MatmulImpl, NumericConfig, Objective,
     ReluImpl, Target,

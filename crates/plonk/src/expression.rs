@@ -105,6 +105,31 @@ impl Expression {
         }
     }
 
+    /// Evaluates the expression at `row` of concrete column grids, each of
+    /// length `n`, wrapping rotations around the domain (matching the
+    /// cyclic evaluation domain of the prover).
+    pub fn evaluate_on_grid(
+        &self,
+        row: usize,
+        n: usize,
+        instance: &[Vec<Fr>],
+        advice: &[Vec<Fr>],
+        fixed: &[Vec<Fr>],
+        challenges: &[Fr],
+    ) -> Fr {
+        let at = |col: &Vec<Fr>, rot: Rotation| -> Fr {
+            let idx = (row as i64 + rot.0 as i64).rem_euclid(n as i64) as usize;
+            col[idx]
+        };
+        self.evaluate(
+            &|c| c,
+            &|c, r| at(&instance[c], r),
+            &|c, r| at(&advice[c], r),
+            &|c, r| at(&fixed[c], r),
+            &|c| challenges[c],
+        )
+    }
+
     /// Collects every `(column, rotation)` query in the expression.
     pub fn collect_queries(&self, out: &mut Vec<(Column, Rotation)>) {
         match self {

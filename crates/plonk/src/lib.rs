@@ -20,6 +20,7 @@
 pub mod circuit;
 pub mod expression;
 pub mod keygen;
+pub mod mock;
 pub mod protocol;
 pub mod prover;
 pub mod serialize;
@@ -30,6 +31,7 @@ pub use circuit::{
 };
 pub use expression::{Column, Expression, Rotation};
 pub use keygen::{keygen, ExtendedDomain, ProvingKey, VerifyingKey};
+pub use mock::{GridWitness, MockProver, VerifyFailure};
 pub use prover::{create_proof, create_proof_with_rng};
 pub use verifier::verify_proof;
 

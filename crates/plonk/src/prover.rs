@@ -1,7 +1,7 @@
 //! Proof creation.
 
 use crate::circuit::WitnessSource;
-use crate::expression::{Column, Expression, Rotation};
+use crate::expression::{Column, Expression};
 use crate::keygen::ProvingKey;
 use crate::protocol::{opening_plan, PolyId};
 use crate::PlonkError;
@@ -58,17 +58,7 @@ fn eval_on_row(
     fixed: &[Vec<Fr>],
     challenges: &[Fr],
 ) -> Fr {
-    let at = |col: &Vec<Fr>, rot: Rotation| -> Fr {
-        let idx = (i as i64 + rot.0 as i64).rem_euclid(n as i64) as usize;
-        col[idx]
-    };
-    e.evaluate(
-        &|c| c,
-        &|c, r| at(&instance[c], r),
-        &|c, r| at(&advice[c], r),
-        &|c, r| at(&fixed[c], r),
-        &|c| challenges[c],
-    )
+    e.evaluate_on_grid(i, n, instance, advice, fixed, challenges)
 }
 
 /// Creates a proof for the given witness, using OS randomness for blinding.

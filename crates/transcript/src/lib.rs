@@ -120,6 +120,32 @@ mod tests {
     }
 
     #[test]
+    fn reordered_absorptions_change_every_challenge() {
+        // Same absorptions in the same order reproduce the same challenge
+        // stream; ANY reordering must change it (Fiat-Shamir soundness).
+        let run = |order: &[(&'static [u8], &'static [u8])]| -> Vec<Fr> {
+            let mut t = Transcript::new(b"test");
+            for (label, data) in order {
+                t.absorb(label, data);
+            }
+            (0..3).map(|_| t.challenge(b"c")).collect()
+        };
+        let a: (&'static [u8], &'static [u8]) = (b"a", b"first");
+        let b: (&'static [u8], &'static [u8]) = (b"b", b"second");
+        let c: (&'static [u8], &'static [u8]) = (b"c", b"third");
+        let base = run(&[a, b, c]);
+        assert_eq!(base, run(&[a, b, c]), "same absorptions, same challenges");
+        for reordered in [[a, c, b], [b, a, c], [b, c, a], [c, a, b], [c, b, a]] {
+            let other = run(&reordered);
+            assert_ne!(base, other, "reordering went unnoticed: {reordered:?}");
+            // Not just the stream as a whole: every challenge must differ.
+            for (x, y) in base.iter().zip(&other) {
+                assert_ne!(x, y);
+            }
+        }
+    }
+
+    #[test]
     fn length_prefixing_prevents_concatenation_ambiguity() {
         // ("ab", "c") must differ from ("a", "bc").
         let mut t1 = Transcript::new(b"test");

@@ -13,6 +13,10 @@ cargo test --workspace -q
 echo "==> cargo test -q (workspace, ZKML_THREADS=1)"
 ZKML_THREADS=1 cargo test --workspace -q
 
+echo "==> soundness suite (mock checker conformance + adversarial mutations)"
+cargo test -p zkml-testkit --test soundness -q
+cargo test -p zkml-plonk --test negative_path -q
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
