@@ -32,7 +32,7 @@ fn bench_prove_verify(c: &mut Criterion) {
     let cfg = CircuitConfig::default_with(LayoutChoices::optimized());
     let fp = FixedPoint::new(cfg.numeric.scale_bits);
     let inputs = random_inputs(&g, 5, fp);
-    let compiled = compile(&g, &inputs, cfg, false).expect("compile");
+    let compiled = compile(&g, &inputs, cfg).expect("compile");
     let mut rng = StdRng::seed_from_u64(6);
     let params = Params::setup(Backend::Kzg, compiled.k, &mut rng);
     let pk = compiled.keygen(&params).expect("keygen");
@@ -50,7 +50,7 @@ fn bench_prove_verify(c: &mut Criterion) {
         b.iter(|| compiled.verify(&params, &pk.vk, &proof).expect("verify"))
     });
     group.bench_function("compile_tiny_mlp", |b| {
-        b.iter(|| std::hint::black_box(compile(&g, &inputs, cfg, false).expect("compile")).k)
+        b.iter(|| std::hint::black_box(compile(&g, &inputs, cfg).expect("compile")).k)
     });
     group.finish();
 }

@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use zkml::{compile, optimizer, OptimizerOptions};
+use zkml::{optimizer, OptimizerOptions};
 use zkml_bench::random_inputs;
 use zkml_model::{Activation, GraphBuilder, Op};
 use zkml_pcs::Backend;
@@ -34,10 +34,11 @@ fn bench_cache(c: &mut Criterion) {
     let g = tiny_model();
     let backend = Backend::Kzg;
     let hw = zkml::cost::HardwareStats::cached();
-    let report = optimizer::optimize(&g, &OptimizerOptions::new(backend, 15), hw);
-    let fp = FixedPoint::new(report.best.numeric.scale_bits);
+    let opts = OptimizerOptions::new(backend, 15);
+    let fp = FixedPoint::new(opts.numeric.scale_bits);
     let inputs = random_inputs(&g, 1, fp);
-    let compiled = compile(&g, &inputs, report.best, false).unwrap();
+    let report = optimizer::optimize(&g, &inputs, &opts, hw).unwrap();
+    let compiled = report.synthesize_best().unwrap();
     let key = ArtifactKey::for_circuit(g.content_hash(), backend, &compiled);
 
     let mut group = c.benchmark_group("service_cache");

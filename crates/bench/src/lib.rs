@@ -64,8 +64,8 @@ pub fn shared_params(backend: Backend, k: u32) -> Params {
 pub fn measure(g: &Graph, cfg: CircuitConfig, backend: Backend, params: &Params) -> EndToEnd {
     let fp = FixedPoint::new(cfg.numeric.scale_bits);
     let inputs = random_inputs(g, 0xBEEF, fp);
-    let compiled = compile(g, &inputs, cfg, false)
-        .unwrap_or_else(|e| panic!("{}: compile failed: {e}", g.name));
+    let compiled =
+        compile(g, &inputs, cfg).unwrap_or_else(|e| panic!("{}: compile failed: {e}", g.name));
     assert!(
         compiled.k <= params.k(),
         "{}: k={} exceeds params k={} — raise the harness SRS size",
@@ -121,12 +121,14 @@ pub fn optimize_for(
         let mut opts = OptimizerOptions::new(backend, max_k);
         opts.candidates = Some(vec![cfg.choices]);
         opts.n_cols_range = (cfg.num_cols, cfg.num_cols);
-        let report = optimizer::optimize(g, &opts, hw);
+        let report = optimizer::optimize(g, &optimizer::zero_inputs(g), &opts, hw)
+            .expect("cached layout became infeasible");
         return (*cfg, report);
     }
     let opts = OptimizerOptions::new(backend, max_k);
     let hw = zkml::cost::HardwareStats::cached();
-    let report = optimizer::optimize(g, &opts, hw);
+    let report = optimizer::optimize(g, &optimizer::zero_inputs(g), &opts, hw)
+        .expect("no feasible layout for benchmark model");
     CACHE
         .lock()
         .expect("cache lock")

@@ -1,11 +1,15 @@
 //! The circuit builder: gadget registry, row-exact layout, and witness
 //! assignment.
 //!
-//! One code path serves both real synthesis and the optimizer's circuit
-//! simulator (§7.3): in count-only mode the builder creates the identical
-//! constraint-system structure and advances the identical row cursors but
-//! skips witness/fixed-value writes, which is what makes the simulator
-//! row-exact by construction.
+//! One code path serves stages 2 and 3 of the compile pipeline. A
+//! *placer* builder ([`CircuitBuilder::placer`], the paper's circuit
+//! simulator, §7.3) creates the identical constraint-system structure and
+//! advances the identical row and copy cursors as real synthesis
+//! ([`CircuitBuilder::new`]) but skips witness/fixed-value writes, which
+//! is what makes the optimizer's placement pass row-exact by
+//! construction. Both modes are driven by replaying an
+//! [`crate::schedule::OpSchedule`] (or a hand-written closure in the
+//! testkit) over the gadget methods below.
 
 use crate::config::CircuitConfig;
 use crate::tables::{nonlin_entries, TableFn};
@@ -82,7 +86,10 @@ struct TableCols {
 }
 
 /// Aggregate structure statistics used by the cost model.
-#[derive(Clone, Debug, Default)]
+///
+/// Derives equality so a [`crate::compiler::LayoutPlan`]'s statistics can
+/// be checked against what synthesis actually produced.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct LayoutStats {
     /// Rows consumed (max over planes, tables and constants).
     pub rows: usize,
@@ -100,7 +107,7 @@ pub struct LayoutStats {
     pub degree: usize,
     /// Total polynomial constraints.
     pub num_constraints: usize,
-    /// Copy constraints recorded (0 in count mode).
+    /// Copy constraints recorded (counted identically in placement mode).
     pub num_copies: usize,
 }
 
@@ -131,6 +138,7 @@ pub struct CircuitBuilder {
     /// Challenge index, once phase-1 machinery is instantiated.
     pub challenge: Option<usize>,
     max_table_len: usize,
+    copy_count: usize,
     freivalds_jobs: Vec<crate::freivalds::FreivaldsJob>,
     /// Every advice/instance cell written during real synthesis, in write
     /// order — the mutation surface for the adversarial soundness harness.
@@ -138,8 +146,22 @@ pub struct CircuitBuilder {
 }
 
 impl CircuitBuilder {
-    /// Creates a builder; `count_only` enables simulator mode.
-    pub fn new(cfg: CircuitConfig, count_only: bool) -> Self {
+    /// Creates a synthesis builder: gadget calls assign real witness and
+    /// fixed values.
+    pub fn new(cfg: CircuitConfig) -> Self {
+        Self::with_mode(cfg, false)
+    }
+
+    /// Creates a placement builder (the paper's circuit simulator, §7.3):
+    /// gadget calls create the full constraint-system structure and
+    /// advance every row/copy cursor, but skip value writes and
+    /// value-dependent range checks. This is stage 2's engine — the
+    /// optimizer sweeps candidate layouts with placer builders only.
+    pub fn placer(cfg: CircuitConfig) -> Self {
+        Self::with_mode(cfg, true)
+    }
+
+    fn with_mode(cfg: CircuitConfig, count_only: bool) -> Self {
         let mut cs = ConstraintSystem::new();
         let instance_col = cs.instance_column();
         cs.enable_equality(Column::Instance(instance_col));
@@ -175,6 +197,7 @@ impl CircuitBuilder {
             range_needed: 0,
             challenge: None,
             max_table_len: 0,
+            copy_count: 0,
             freivalds_jobs: Vec::new(),
             assigned: Vec::new(),
         }
@@ -230,6 +253,8 @@ impl CircuitBuilder {
     }
 
     fn copy(&mut self, a: CellRef, b: CellRef) {
+        // Counted in both modes so placement statistics are copy-exact.
+        self.copy_count += 1;
         if self.count_only {
             return;
         }
@@ -1056,7 +1081,7 @@ impl CircuitBuilder {
             num_perm_columns: self.cs.permutation_columns.len(),
             degree: self.cs.degree(),
             num_constraints: self.cs.gates.iter().map(|g| g.polys.len()).sum(),
-            num_copies: self.copies.len(),
+            num_copies: self.copy_count,
         }
     }
 
@@ -1129,7 +1154,7 @@ mod tests {
     fn builder(n_cols: usize) -> CircuitBuilder {
         let mut cfg = CircuitConfig::default_with(LayoutChoices::optimized());
         cfg.num_cols = n_cols;
-        CircuitBuilder::new(cfg, false)
+        CircuitBuilder::new(cfg)
     }
 
     #[test]
@@ -1181,7 +1206,7 @@ mod tests {
             choices.relu = relu;
             let mut cfg = CircuitConfig::default_with(choices);
             cfg.num_cols = 16;
-            let mut b = CircuitBuilder::new(cfg, false);
+            let mut b = CircuitBuilder::new(cfg);
             let xs = b.load_values(&[-5, 0, 7, -128, 127]);
             let ys = b.relu(&xs).unwrap();
             let got: Vec<i64> = ys.iter().map(|y| y.v).collect();
@@ -1210,18 +1235,21 @@ mod tests {
     }
 
     #[test]
-    fn count_mode_matches_real_mode_rows() {
-        let build = |count: bool| -> (usize, usize, usize) {
+    fn placer_matches_synthesis_structure() {
+        let build = |count: bool| -> LayoutStats {
             let mut cfg = CircuitConfig::default_with(LayoutChoices::optimized());
             cfg.num_cols = 10;
-            let mut b = CircuitBuilder::new(cfg, count);
+            let mut b = if count {
+                CircuitBuilder::placer(cfg)
+            } else {
+                CircuitBuilder::new(cfg)
+            };
             let xs = b.load_values(&(0..50).collect::<Vec<i64>>());
             let ys = b.load_values(&vec![3; 50]);
             let d = b.dot(&xs, &ys, None).unwrap();
             let r = b.rescale(&[d]).unwrap();
             let _ = b.relu(&r).unwrap();
-            let stats = b.stats();
-            (stats.rows, stats.num_fixed, stats.num_lookups)
+            b.stats()
         };
         assert_eq!(build(false), build(true));
     }
@@ -1236,7 +1264,7 @@ mod tests {
             choices.arith = arith;
             let mut cfg = CircuitConfig::default_with(choices);
             cfg.num_cols = 12;
-            let mut b = CircuitBuilder::new(cfg, false);
+            let mut b = CircuitBuilder::new(cfg);
             let xs = b.load_values(&[5, -3]);
             let ys = b.load_values(&[2, 8]);
             let pairs = vec![(xs[0], ys[0]), (xs[1], ys[1])];

@@ -1,9 +1,23 @@
-//! The end-to-end compiler: graph -> circuit -> keys -> proof.
+//! Stages 2 and 3 of the compile pipeline, plus keygen/prove/verify.
+//!
+//! Stage 2 — **placement** ([`place`]) — replays an
+//! [`crate::schedule::OpSchedule`] through a placer builder
+//! and captures the result as a [`LayoutPlan`]: the row count, layout
+//! statistics, and constraint-system skeleton of one candidate
+//! configuration, with no witness attached. Plans are what the optimizer
+//! sweeps and compares.
+//!
+//! Stage 3 — **synthesis** ([`synthesize`], [`compile`]) — replays the
+//! same schedule through a real builder to assign the witness. When a
+//! plan is supplied, synthesis cross-checks that it reproduced exactly
+//! the structure the plan promised (same `k`, statistics, and constraint
+//! system), so a stale or mismatched plan surfaces as
+//! [`ZkmlError::PlanMismatch`] instead of an unsound circuit.
 
 use crate::builder::{AValue, BuildError, CircuitBuilder, LayoutStats};
 use crate::config::CircuitConfig;
 use crate::freivalds::{fill_jobs, FreivaldsJob};
-use crate::layers::lower_graph;
+use crate::schedule::{run_schedule, OpSchedule};
 use rand::RngCore;
 use zkml_ff::Fr;
 use zkml_model::Graph;
@@ -14,13 +28,20 @@ use zkml_plonk::{
 };
 use zkml_tensor::Tensor;
 
-/// Errors from compilation or proving.
+/// Errors from compilation, planning, or proving.
 #[derive(Debug)]
 pub enum ZkmlError {
     /// Circuit construction failed.
     Build(BuildError),
     /// Proving-system failure.
     Plonk(PlonkError),
+    /// The optimizer found no layout that fits within the row budget.
+    NoFeasibleLayout {
+        /// The largest `k` the sweep was allowed to consider.
+        max_k: u32,
+    },
+    /// Synthesis produced a different circuit than the supplied plan.
+    PlanMismatch(String),
 }
 
 impl std::fmt::Display for ZkmlError {
@@ -28,6 +49,10 @@ impl std::fmt::Display for ZkmlError {
         match self {
             ZkmlError::Build(e) => write!(f, "{e}"),
             ZkmlError::Plonk(e) => write!(f, "{e}"),
+            ZkmlError::NoFeasibleLayout { max_k } => {
+                write!(f, "no feasible layout found within max_k = {max_k}")
+            }
+            ZkmlError::PlanMismatch(s) => write!(f, "plan mismatch: {s}"),
         }
     }
 }
@@ -41,6 +66,67 @@ impl From<PlonkError> for ZkmlError {
     fn from(e: PlonkError) -> Self {
         ZkmlError::Plonk(e)
     }
+}
+
+/// Stage 2's output: the complete physical layout of one candidate
+/// configuration, without a witness.
+///
+/// A plan is cheap to hold (the constraint system plus a handful of
+/// numbers) and is the unit the optimizer ranks, caches, and finally
+/// hands to [`synthesize`]. Its [`digest`](LayoutPlan::digest) is
+/// byte-identical to [`CompiledCircuit::circuit_digest`] for the circuit
+/// synthesis will produce, so artifact caches can be keyed before any
+/// witness exists.
+#[derive(Clone, Debug)]
+pub struct LayoutPlan {
+    /// The configuration the plan was placed under.
+    pub cfg: CircuitConfig,
+    /// Rows: log2 of the grid height.
+    pub k: u32,
+    /// Structure statistics (for the cost model and reports).
+    pub stats: LayoutStats,
+    /// The constraint-system skeleton synthesis must reproduce.
+    pub cs: ConstraintSystem,
+}
+
+impl LayoutPlan {
+    /// Digest pinning the exact circuit identity this plan describes.
+    ///
+    /// Byte-identical to [`CompiledCircuit::circuit_digest`] of the
+    /// synthesized circuit; anything caching proving keys can key on the
+    /// plan alone.
+    pub fn digest(&self) -> [u8; 32] {
+        identity_digest(&self.cfg, self.k, &self.cs)
+    }
+}
+
+/// Shared digest over (configuration, k, constraint system) — the circuit
+/// identity. Used by both [`LayoutPlan::digest`] and
+/// [`CompiledCircuit::circuit_digest`] so the two always agree.
+fn identity_digest(cfg: &CircuitConfig, k: u32, cs: &ConstraintSystem) -> [u8; 32] {
+    let mut w = zkml_pcs::Writer::new();
+    w.u32(k);
+    let c = &cfg.choices;
+    for v in [
+        c.relu as u64,
+        c.matmul as u64,
+        c.dot as u64,
+        c.arith as u64,
+        c.lookup_packs as u64,
+        cfg.num_cols as u64,
+        cfg.numeric.scale_bits as u64,
+        cfg.numeric.clip_bits as u64,
+    ] {
+        w.u64(v);
+    }
+    zkml_plonk::serialize::write_cs(&mut w, cs);
+    let mut h = zkml_transcript::Blake2b::new();
+    h.update(b"zkml-circuit-digest-v1");
+    h.update(&w.finish());
+    let digest = h.finalize();
+    let mut out = [0u8; 32];
+    out.copy_from_slice(&digest[..32]);
+    out
 }
 
 /// A compiled circuit with its witness, ready for keygen/prove/verify.
@@ -82,20 +168,79 @@ impl WitnessSource for ZkmlWitness<'_> {
     }
 }
 
-/// Compiles a graph (with quantized inputs) into a circuit + witness.
+fn check_numeric(sched: &OpSchedule, cfg: &CircuitConfig) -> Result<(), ZkmlError> {
+    if sched.numeric != cfg.numeric {
+        return Err(ZkmlError::PlanMismatch(format!(
+            "schedule numeric config {:?} != circuit config {:?}",
+            sched.numeric, cfg.numeric
+        )));
+    }
+    Ok(())
+}
+
+/// Stage 2: places a schedule under one candidate configuration, producing
+/// its [`LayoutPlan`] row-exactly without assigning a witness
+/// (GeneratePhysicalLayout, §7.3).
+pub fn place(sched: &OpSchedule, cfg: CircuitConfig) -> Result<LayoutPlan, ZkmlError> {
+    check_numeric(sched, &cfg)?;
+    let mut bld = CircuitBuilder::placer(cfg);
+    let outs = run_schedule(&mut bld, sched)?;
+    let flat: Vec<AValue> = outs.iter().flat_map(|t| t.data().iter().copied()).collect();
+    bld.expose(&flat);
+    let k = bld.min_k();
+    let stats = bld.stats();
+    let (cs, ..) = bld.take_parts();
+    Ok(LayoutPlan { cfg, k, stats, cs })
+}
+
+/// Stage 3: synthesizes the witness for a schedule under a chosen plan.
 ///
-/// In `count_only` mode the returned circuit has no witness values — it is
-/// the optimizer's row-exact simulator output (GeneratePhysicalLayout, §7.3)
-/// and must not be proven.
+/// The schedule is replayed exactly once through a real builder; the
+/// resulting structure is checked against the plan and any drift is a
+/// [`ZkmlError::PlanMismatch`].
+pub fn synthesize(sched: &OpSchedule, plan: &LayoutPlan) -> Result<CompiledCircuit, ZkmlError> {
+    let c = synthesize_schedule(sched, plan.cfg)?;
+    if c.k != plan.k {
+        return Err(ZkmlError::PlanMismatch(format!(
+            "planned k = {} but synthesis needed k = {}",
+            plan.k, c.k
+        )));
+    }
+    if c.stats != plan.stats {
+        return Err(ZkmlError::PlanMismatch(format!(
+            "planned stats {:?} != synthesized stats {:?}",
+            plan.stats, c.stats
+        )));
+    }
+    if c.cs != plan.cs {
+        return Err(ZkmlError::PlanMismatch(
+            "synthesized constraint system differs from plan".into(),
+        ));
+    }
+    Ok(c)
+}
+
+/// Compiles a graph (with quantized inputs) straight through: lower once,
+/// synthesize under `cfg`. Convenience path for callers that don't sweep
+/// layouts; the optimizer uses [`place`] + [`synthesize`] instead.
 pub fn compile(
     graph: &Graph,
     inputs: &[Tensor<i64>],
     cfg: CircuitConfig,
-    count_only: bool,
 ) -> Result<CompiledCircuit, ZkmlError> {
-    let mut bld = CircuitBuilder::new(cfg, count_only);
-    let outs = lower_graph(&mut bld, graph, inputs)?;
-    finalize(bld, outs, count_only)
+    let sched = crate::layers::lower_graph(graph, inputs, cfg.numeric);
+    synthesize_schedule(&sched, cfg)
+}
+
+/// Single-pass synthesis of a schedule (no plan cross-check).
+fn synthesize_schedule(
+    sched: &OpSchedule,
+    cfg: CircuitConfig,
+) -> Result<CompiledCircuit, ZkmlError> {
+    check_numeric(sched, &cfg)?;
+    let mut bld = CircuitBuilder::new(cfg);
+    let outs = run_schedule(&mut bld, sched)?;
+    finalize(bld, outs)
 }
 
 /// Compiles a hand-written synthesis closure instead of a model graph.
@@ -103,27 +248,48 @@ pub fn compile(
 /// The closure builds any circuit it likes against the gadget API and
 /// returns the values to expose as public outputs. This is how the testkit
 /// drives individual gadgets through the mock checker without constructing
-/// a model around each one.
-pub fn compile_with<F>(
-    cfg: CircuitConfig,
-    count_only: bool,
-    synthesize: F,
-) -> Result<CompiledCircuit, ZkmlError>
+/// a model around each one. The closure runs twice — once through a placer
+/// builder and once for real — which exercises the same
+/// placement/synthesis consistency invariant the optimizer relies on, for
+/// every gadget case in the suite.
+pub fn compile_with<F>(cfg: CircuitConfig, synthesize: F) -> Result<CompiledCircuit, ZkmlError>
 where
-    F: FnOnce(&mut CircuitBuilder) -> Result<Vec<AValue>, BuildError>,
+    F: Fn(&mut CircuitBuilder) -> Result<Vec<AValue>, BuildError>,
 {
-    let mut bld = CircuitBuilder::new(cfg, count_only);
+    // Placement pass. Value-dependent range checks are placer-skipped, so
+    // a closure that fails only on witness values errors in the second
+    // pass instead — same error either way.
+    let mut p = CircuitBuilder::placer(cfg);
+    let vals = synthesize(&mut p)?;
+    p.expose(&vals);
+    let plan = LayoutPlan {
+        cfg,
+        k: p.min_k(),
+        stats: p.stats(),
+        cs: {
+            let (cs, ..) = p.take_parts();
+            cs
+        },
+    };
+
+    // Synthesis pass.
+    let mut bld = CircuitBuilder::new(cfg);
     let vals = synthesize(&mut bld)?;
     let outs = vec![Tensor::new(vec![vals.len()], vals)];
-    finalize(bld, outs, count_only)
+    let c = finalize(bld, outs)?;
+    if c.k != plan.k || c.stats != plan.stats || c.cs != plan.cs {
+        return Err(ZkmlError::PlanMismatch(
+            "placer and synthesis disagree on closure circuit".into(),
+        ));
+    }
+    Ok(c)
 }
 
-/// Shared back half of compilation: expose outputs, pad tables, and pack
-/// the builder state into a [`CompiledCircuit`].
+/// Shared back half of synthesis: expose outputs, pad tables, and pack the
+/// builder state into a [`CompiledCircuit`].
 fn finalize(
     mut bld: CircuitBuilder,
     outs: Vec<Tensor<AValue>>,
-    count_only: bool,
 ) -> Result<CompiledCircuit, ZkmlError> {
     let cfg = bld.cfg;
     let flat: Vec<AValue> = outs.iter().flat_map(|t| t.data().iter().copied()).collect();
@@ -138,12 +304,10 @@ fn finalize(
     // the padding rows do not weaken the table (see builder docs).
     bld.write_range_table();
     let pads = bld.table_pad_info();
-    if !count_only {
-        for (cols, len, defaults) in &pads {
-            for (col, default) in cols.iter().zip(defaults) {
-                for row in *len..usable {
-                    bld.set_fixed_pub(*col, row, zkml_ff::PrimeField::from_i64(*default));
-                }
+    for (cols, len, defaults) in &pads {
+        for (col, default) in cols.iter().zip(defaults) {
+            for row in *len..usable {
+                bld.set_fixed_pub(*col, row, zkml_ff::PrimeField::from_i64(*default));
             }
         }
     }
@@ -192,30 +356,10 @@ impl CompiledCircuit {
     /// model can legitimately produce different circuits that share a `k`.
     /// Anything caching keys derived from a compiled circuit must key on
     /// this digest (in addition to the model hash), not on `k` alone.
+    /// Byte-identical to [`LayoutPlan::digest`] for the plan this circuit
+    /// was synthesized from.
     pub fn circuit_digest(&self) -> [u8; 32] {
-        let mut w = zkml_pcs::Writer::new();
-        w.u32(self.k);
-        let c = &self.cfg.choices;
-        for v in [
-            c.relu as u64,
-            c.matmul as u64,
-            c.dot as u64,
-            c.arith as u64,
-            c.lookup_packs as u64,
-            self.cfg.num_cols as u64,
-            self.cfg.numeric.scale_bits as u64,
-            self.cfg.numeric.clip_bits as u64,
-        ] {
-            w.u64(v);
-        }
-        zkml_plonk::serialize::write_cs(&mut w, &self.cs);
-        let mut h = zkml_transcript::Blake2b::new();
-        h.update(b"zkml-circuit-digest-v1");
-        h.update(&w.finish());
-        let digest = h.finalize();
-        let mut out = [0u8; 32];
-        out.copy_from_slice(&digest[..32]);
-        out
+        identity_digest(&self.cfg, self.k, &self.cs)
     }
 
     /// Generates proving and verifying keys.
@@ -251,8 +395,6 @@ impl CompiledCircuit {
 
     /// Synthesizes this circuit's witness into a [`zkml_plonk::MockProver`]
     /// for row-exact constraint checking (no commitments, no keys).
-    ///
-    /// Meaningless for `count_only` compilations, which carry no witness.
     pub fn mock(&self) -> Result<zkml_plonk::MockProver, ZkmlError> {
         let witness = ZkmlWitness { c: self };
         Ok(zkml_plonk::MockProver::run(

@@ -1,6 +1,13 @@
 //! The cost model (§7.4, Eq. 1–2) and hardware calibration.
+//!
+//! Calibration takes several seconds, so [`HardwareStats::cached`]
+//! persists the table to disk (see [`HardwareStats::save`]) and later
+//! processes load it instead of re-benchmarking. Set `ZKML_HW_CACHE` to
+//! choose the file, or to the empty string to disable persistence.
 
 use crate::builder::LayoutStats;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 use zkml_ff::{Field, Fr, PrimeField};
 use zkml_pcs::Backend;
@@ -110,10 +117,102 @@ impl HardwareStats {
         }
     }
 
-    /// Returns the cached stats, measuring on first use.
+    /// A deterministic calibration table for tests and examples: smooth
+    /// synthetic timings with the right growth shape, identical on every
+    /// machine and run. Never measured, never persisted.
+    pub fn fixture() -> Self {
+        Self {
+            t_fft: (0..=MAX_K).map(|k| 1e-6 * (1u64 << k) as f64).collect(),
+            t_msm: (0..=MAX_K).map(|k| 4e-6 * (1u64 << k) as f64).collect(),
+            t_lookup: (0..=MAX_K).map(|k| 5e-7 * (1u64 << k) as f64).collect(),
+            t_field: 3e-8,
+        }
+    }
+
+    /// Serializes the table to a text file, atomically (write to a
+    /// temporary sibling, then rename). Floats are stored as `to_bits`
+    /// hex so the round-trip is exact.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let mut body = String::from("zkml-hw-cache-v1\n");
+        for row in [&self.t_fft, &self.t_msm, &self.t_lookup] {
+            let line: Vec<String> = row
+                .iter()
+                .map(|v| format!("{:016x}", v.to_bits()))
+                .collect();
+            body.push_str(&line.join(" "));
+            body.push('\n');
+        }
+        body.push_str(&format!("{:016x}\n", self.t_field.to_bits()));
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(body.as_bytes())?;
+        }
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Loads a table previously written by [`save`](Self::save). Returns
+    /// `None` on any anomaly (missing file, wrong header, wrong arity) so
+    /// callers fall back to benchmarking.
+    pub fn load(path: &Path) -> Option<Self> {
+        let text = std::fs::read_to_string(path).ok()?;
+        let mut lines = text.lines();
+        if lines.next()? != "zkml-hw-cache-v1" {
+            return None;
+        }
+        let parse_row = |line: &str| -> Option<Vec<f64>> {
+            let vals: Vec<f64> = line
+                .split_whitespace()
+                .map(|tok| u64::from_str_radix(tok, 16).ok().map(f64::from_bits))
+                .collect::<Option<Vec<f64>>>()?;
+            (vals.len() == MAX_K + 1).then_some(vals)
+        };
+        let t_fft = parse_row(lines.next()?)?;
+        let t_msm = parse_row(lines.next()?)?;
+        let t_lookup = parse_row(lines.next()?)?;
+        let t_field = f64::from_bits(u64::from_str_radix(lines.next()?.trim(), 16).ok()?);
+        Some(Self {
+            t_fft,
+            t_msm,
+            t_lookup,
+            t_field,
+        })
+    }
+
+    /// The on-disk cache location: `ZKML_HW_CACHE` if set (empty disables
+    /// persistence entirely), else a fixed file under the workspace
+    /// `target/` directory.
+    fn cache_path() -> Option<PathBuf> {
+        match std::env::var("ZKML_HW_CACHE") {
+            Ok(s) if s.is_empty() => None,
+            Ok(s) => Some(PathBuf::from(s)),
+            Err(_) => Some(
+                Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/zkml-hw-cache-v1.txt"),
+            ),
+        }
+    }
+
+    /// Returns the cached stats: the disk cache if present, otherwise one
+    /// in-process measurement (persisted best-effort for the next
+    /// process).
     pub fn cached() -> &'static HardwareStats {
         static STATS: std::sync::OnceLock<HardwareStats> = std::sync::OnceLock::new();
-        STATS.get_or_init(HardwareStats::benchmark)
+        STATS.get_or_init(|| {
+            let path = Self::cache_path();
+            if let Some(p) = &path {
+                if let Some(stats) = Self::load(p) {
+                    return stats;
+                }
+            }
+            let stats = Self::benchmark();
+            if let Some(p) = &path {
+                let _ = stats.save(p);
+            }
+            stats
+        })
     }
 }
 
@@ -241,12 +340,33 @@ mod tests {
     }
 
     fn fake_hw() -> HardwareStats {
-        HardwareStats {
-            t_fft: (0..=MAX_K).map(|k| 1e-6 * (1u64 << k) as f64).collect(),
-            t_msm: (0..=MAX_K).map(|k| 4e-6 * (1u64 << k) as f64).collect(),
-            t_lookup: (0..=MAX_K).map(|k| 5e-7 * (1u64 << k) as f64).collect(),
-            t_field: 3e-8,
-        }
+        HardwareStats::fixture()
+    }
+
+    #[test]
+    fn save_load_round_trips_exactly() {
+        let stats = HardwareStats::fixture();
+        let path = std::env::temp_dir().join(format!("zkml-hw-rt-{}.txt", std::process::id()));
+        stats.save(&path).unwrap();
+        let back = HardwareStats::load(&path).expect("load saved table");
+        assert_eq!(stats.t_fft, back.t_fft);
+        assert_eq!(stats.t_msm, back.t_msm);
+        assert_eq!(stats.t_lookup, back.t_lookup);
+        assert_eq!(stats.t_field.to_bits(), back.t_field.to_bits());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn load_rejects_corrupt_files() {
+        let dir = std::env::temp_dir();
+        let missing = dir.join(format!("zkml-hw-missing-{}.txt", std::process::id()));
+        assert!(HardwareStats::load(&missing).is_none());
+        let bad = dir.join(format!("zkml-hw-bad-{}.txt", std::process::id()));
+        std::fs::write(&bad, "zkml-hw-cache-v1\n12 34\n").unwrap();
+        assert!(HardwareStats::load(&bad).is_none());
+        std::fs::write(&bad, "not-a-cache\n").unwrap();
+        assert!(HardwareStats::load(&bad).is_none());
+        let _ = std::fs::remove_file(&bad);
     }
 
     #[test]

@@ -9,14 +9,24 @@
 //!   bit-decomposition ReLU, and Freivalds-checked matrix multiplication
 //!   using multi-phase challenges ([`freivalds`]).
 //! * **Optimizer** ([`optimizer`]): generates logical layouts (gadget
-//!   choices), simulates physical layouts row-exactly at each column count
-//!   (the builder doubles as the simulator), and picks the cheapest layout
-//!   under a hardware-calibrated cost model ([`cost`]) following Eq. (1)–(2)
-//!   of the paper.
+//!   choices), places each candidate row-exactly at each column count, and
+//!   picks the cheapest layout under a hardware-calibrated cost model
+//!   ([`cost`]) following Eq. (1)–(2) of the paper.
 //!
-//! [`compiler`] ties everything together: it lowers a [`zkml_model::Graph`]
-//! to a circuit, produces keys, proofs (KZG or IPA backend) and verifies
-//! them.
+//! Compilation is a three-stage pipeline:
+//!
+//! 1. **Schedule** ([`schedule`], built by [`layers::lower_graph`]): the
+//!    model is lowered **once** into an [`OpSchedule`] — the ordered,
+//!    backend-independent gadget invocations, with no rows or columns
+//!    chosen.
+//! 2. **Placement** ([`compiler::place`]): the schedule is replayed
+//!    through a placer [`CircuitBuilder`] per candidate configuration,
+//!    producing a [`LayoutPlan`] (row count, statistics, constraint-system
+//!    skeleton) without a witness. The optimizer sweeps plans in parallel.
+//! 3. **Synthesis** ([`compiler::synthesize`]): the winning plan's
+//!    configuration drives one real replay that assigns the witness; the
+//!    result is cross-checked against the plan. Keys, proofs (KZG or IPA),
+//!    and verification hang off the resulting [`CompiledCircuit`].
 
 pub mod builder;
 pub mod compiler;
@@ -25,13 +35,17 @@ pub mod cost;
 pub mod freivalds;
 pub mod layers;
 pub mod optimizer;
+pub mod schedule;
 pub mod tables;
 
 pub use builder::{AValue, BuildError, CircuitBuilder, Gadget, LayoutStats};
-pub use compiler::{compile, compile_with, CompiledCircuit, ZkmlError};
+pub use compiler::{
+    compile, compile_with, place, synthesize, CompiledCircuit, LayoutPlan, ZkmlError,
+};
 pub use config::{
     ArithImpl, CircuitConfig, DotImpl, LayoutChoices, MatmulImpl, NumericConfig, Objective,
     ReluImpl, Target,
 };
 pub use cost::{CostEstimate, HardwareStats};
 pub use optimizer::{optimize, OptimizerOptions, OptimizerReport};
+pub use schedule::{schedules_built, OpSchedule, ScheduleBuilder};

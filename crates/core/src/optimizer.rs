@@ -1,13 +1,27 @@
 //! The circuit-layout optimizer (Algorithm 1 of the paper).
 //!
-//! Enumerates logical layouts (gadget choices), simulates each physical
-//! layout row-exactly by running the builder in count-only mode across a
-//! range of column counts, picks the minimal `k` per layout, estimates cost
-//! with the hardware-calibrated model, and returns the cheapest plan.
+//! Runs the three-stage pipeline: the model is lowered to an
+//! [`OpSchedule`] **once**, then every (logical layout, column count)
+//! candidate is placed row-exactly with [`place`] — in parallel over the
+//! logical layouts via [`zkml_par::par_map`] — costed with the
+//! hardware-calibrated model, and the cheapest [`LayoutPlan`] is kept.
+//! The winner is never re-lowered: [`OptimizerReport::synthesize_best`]
+//! replays the already-built schedule under the winning plan.
+//!
+//! # Determinism
+//!
+//! The sweep is bit-identical at any `ZKML_THREADS`. Each logical layout
+//! is swept independently with *layout-local* pruning state (so no
+//! candidate's pruning depends on another candidate's results), results
+//! are collected in candidate order, and the winner is reduced with a
+//! strict less-than in that order — the earliest candidate wins ties,
+//! exactly as a serial left-to-right sweep would.
 
-use crate::compiler::compile;
+use crate::compiler::{place, synthesize, CompiledCircuit, LayoutPlan, ZkmlError};
 use crate::config::{CircuitConfig, LayoutChoices, NumericConfig, Objective};
 use crate::cost::{estimate, CostEstimate, HardwareStats};
+use crate::layers::lower_graph;
+use crate::schedule::OpSchedule;
 use std::time::{Duration, Instant};
 use zkml_model::Graph;
 use zkml_pcs::Backend;
@@ -66,6 +80,12 @@ pub struct OptimizerReport {
     pub best_k: u32,
     /// Its estimated cost.
     pub best_cost: CostEstimate,
+    /// The winning physical layout, ready for [`synthesize`] — final
+    /// compilation reuses it instead of re-lowering the model.
+    pub best_plan: LayoutPlan,
+    /// The schedule the sweep (and final synthesis) replayed; built by
+    /// exactly one `lower_graph` execution.
+    pub schedule: OpSchedule,
     /// Number of physical layouts simulated.
     pub evaluated: usize,
     /// Number of (layout, column) points skipped by pruning.
@@ -76,8 +96,18 @@ pub struct OptimizerReport {
     pub all: Vec<EvaluatedLayout>,
 }
 
-/// Zero-valued inputs with the graph's declared shapes (the simulator's
-/// layouts are input-independent).
+impl OptimizerReport {
+    /// Stage 3 for the sweep winner: synthesizes the witness by replaying
+    /// the stored schedule under the winning plan. No second lowering and
+    /// no re-placement happen; the plan's structure is cross-checked
+    /// against what synthesis produces.
+    pub fn synthesize_best(&self) -> Result<CompiledCircuit, ZkmlError> {
+        synthesize(&self.schedule, &self.best_plan)
+    }
+}
+
+/// Zero-valued inputs with the graph's declared shapes. Layouts are
+/// input-independent, so these are enough for sweeps that never prove.
 pub fn zero_inputs(g: &Graph) -> Vec<Tensor<i64>> {
     g.inputs
         .iter()
@@ -92,88 +122,145 @@ fn score(objective: Objective, c: &CostEstimate) -> f64 {
     }
 }
 
-/// Runs Algorithm 1.
-pub fn optimize(g: &Graph, opts: &OptimizerOptions, hw: &HardwareStats) -> OptimizerReport {
+/// Per-candidate sweep result; merged in candidate order by [`optimize`].
+struct CandidateSweep {
+    all: Vec<EvaluatedLayout>,
+    best: Option<(EvaluatedLayout, LayoutPlan)>,
+    evaluated: usize,
+    pruned: usize,
+}
+
+/// Sweeps one logical layout across the column range with layout-local
+/// pruning, so the outcome is independent of every other candidate (the
+/// parallel-determinism invariant).
+fn sweep_candidate(
+    sched: &OpSchedule,
+    choices: LayoutChoices,
+    opts: &OptimizerOptions,
+    hw: &HardwareStats,
+) -> CandidateSweep {
+    let mut out = CandidateSweep {
+        all: Vec::new(),
+        best: None,
+        evaluated: 0,
+        pruned: 0,
+    };
+    let mut best_score = f64::INFINITY;
+    let mut prev_k: Option<u32> = None;
+    let mut worse_streak = 0usize;
+    let mut ncols = opts.n_cols_range.0;
+    while ncols <= opts.n_cols_range.1 {
+        let cfg = CircuitConfig {
+            choices,
+            num_cols: ncols,
+            numeric: opts.numeric,
+        };
+        let plan = match place(sched, cfg) {
+            Ok(p) => p,
+            Err(_) => {
+                // Configuration cannot express the model (e.g. too few
+                // columns for bit decomposition).
+                ncols += 1;
+                continue;
+            }
+        };
+        out.evaluated += 1;
+        if plan.k > opts.max_k {
+            // Needs more rows than the params support; more columns can
+            // only help, so keep sweeping.
+            prev_k = Some(plan.k);
+            ncols += 1;
+            continue;
+        }
+        let plan_k = plan.k;
+        let cost = estimate(&plan.stats, plan_k, opts.backend, hw);
+        let entry = EvaluatedLayout {
+            cfg,
+            k: plan_k,
+            cost,
+        };
+        out.all.push(entry.clone());
+        let s = score(opts.objective, &cost);
+        if s < best_score {
+            best_score = s;
+            out.best = Some((entry, plan));
+            worse_streak = 0;
+        } else {
+            worse_streak += 1;
+        }
+        // Pruning heuristic: once k has stopped dropping, adding columns
+        // at the same k strictly increases FFT/MSM counts — stop after a
+        // couple of confirmations.
+        if opts.prune {
+            if let Some(pk) = prev_k {
+                if plan_k >= pk && worse_streak >= 2 {
+                    out.pruned += opts.n_cols_range.1 - ncols;
+                    break;
+                }
+            }
+        }
+        prev_k = Some(plan_k);
+        ncols += 1;
+    }
+    out
+}
+
+/// Runs Algorithm 1: lowers the model once, sweeps every candidate layout
+/// in parallel, and returns the cheapest plan (or
+/// [`ZkmlError::NoFeasibleLayout`] if nothing fits within `max_k`).
+///
+/// `inputs` are the quantized model inputs; pass [`zero_inputs`] when the
+/// winner will not be synthesized. Supplying real inputs lets
+/// [`OptimizerReport::synthesize_best`] produce a provable circuit from
+/// the same single lowering.
+pub fn optimize(
+    g: &Graph,
+    inputs: &[Tensor<i64>],
+    opts: &OptimizerOptions,
+    hw: &HardwareStats,
+) -> Result<OptimizerReport, ZkmlError> {
     let start = Instant::now();
-    let inputs = zero_inputs(g);
+    let sched = lower_graph(g, inputs, opts.numeric);
     let candidates = opts
         .candidates
         .clone()
         .unwrap_or_else(LayoutChoices::candidates);
 
-    let mut best: Option<EvaluatedLayout> = None;
+    let sweeps = zkml_par::par_map(candidates.len(), |i| {
+        sweep_candidate(&sched, candidates[i], opts, hw)
+    });
+
+    // Serial-order reduction: strict less-than keeps the earliest
+    // candidate on ties, matching a left-to-right serial sweep.
+    let mut best: Option<(EvaluatedLayout, LayoutPlan)> = None;
     let mut all = Vec::new();
     let mut evaluated = 0usize;
     let mut pruned = 0usize;
-
-    for choices in candidates {
-        let mut prev_k: Option<u32> = None;
-        let mut worse_streak = 0usize;
-        let mut ncols = opts.n_cols_range.0;
-        while ncols <= opts.n_cols_range.1 {
-            let cfg = CircuitConfig {
-                choices,
-                num_cols: ncols,
-                numeric: opts.numeric,
-            };
-            let compiled = match compile(g, &inputs, cfg, true) {
-                Ok(c) => c,
-                Err(_) => {
-                    // Configuration cannot express the model (e.g. too few
-                    // columns for bit decomposition).
-                    ncols += 1;
-                    continue;
-                }
-            };
-            evaluated += 1;
-            if compiled.k > opts.max_k {
-                // Needs more rows than the params support; more columns can
-                // only help, so keep sweeping.
-                prev_k = Some(compiled.k);
-                ncols += 1;
-                continue;
-            }
-            let cost = estimate(&compiled.stats, compiled.k, opts.backend, hw);
-            let entry = EvaluatedLayout {
-                cfg,
-                k: compiled.k,
-                cost,
-            };
-            all.push(entry.clone());
+    for sweep in sweeps {
+        all.extend(sweep.all);
+        evaluated += sweep.evaluated;
+        pruned += sweep.pruned;
+        if let Some((entry, plan)) = sweep.best {
             let better = best
                 .as_ref()
-                .map(|b| score(opts.objective, &cost) < score(opts.objective, &b.cost))
+                .map(|(b, _)| score(opts.objective, &entry.cost) < score(opts.objective, &b.cost))
                 .unwrap_or(true);
             if better {
-                best = Some(entry);
-                worse_streak = 0;
-            } else {
-                worse_streak += 1;
+                best = Some((entry, plan));
             }
-            // Pruning heuristic: once k has stopped dropping, adding columns
-            // at the same k strictly increases FFT/MSM counts — stop after a
-            // couple of confirmations.
-            if opts.prune {
-                if let Some(pk) = prev_k {
-                    if compiled.k >= pk && worse_streak >= 2 {
-                        pruned += opts.n_cols_range.1 - ncols;
-                        break;
-                    }
-                }
-            }
-            prev_k = Some(compiled.k);
-            ncols += 1;
         }
     }
 
-    let best = best.expect("no feasible layout found — raise max_k");
-    OptimizerReport {
+    let (best, best_plan) = best.ok_or(ZkmlError::NoFeasibleLayout { max_k: opts.max_k })?;
+    Ok(OptimizerReport {
         best: best.cfg,
         best_k: best.k,
         best_cost: best.cost,
+        best_plan,
+        schedule: sched,
         evaluated,
         pruned,
         elapsed: start.elapsed(),
         all,
-    }
+    })
 }

@@ -57,7 +57,7 @@ fn circuit_witness_matches_reference_executor() {
     let config = cfg(LayoutChoices::optimized());
     let fp = FixedPoint::new(config.numeric.scale_bits);
     let inputs = random_inputs(&g, 1, fp);
-    let compiled = compile(&g, &inputs, config, false).unwrap();
+    let compiled = compile(&g, &inputs, config).unwrap();
     let reference = execute_fixed(&g, &inputs, fp);
     let expect = reference.outputs(&g);
     assert_eq!(compiled.outputs.len(), expect.len());
@@ -72,9 +72,9 @@ fn all_layout_choices_agree_on_outputs() {
     let base_cfg = cfg(LayoutChoices::optimized());
     let fp = FixedPoint::new(base_cfg.numeric.scale_bits);
     let inputs = random_inputs(&g, 2, fp);
-    let reference = compile(&g, &inputs, base_cfg, false).unwrap().outputs;
+    let reference = compile(&g, &inputs, base_cfg).unwrap().outputs;
     for choices in LayoutChoices::candidates() {
-        let compiled = match compile(&g, &inputs, cfg(choices), false) {
+        let compiled = match compile(&g, &inputs, cfg(choices)) {
             Ok(c) => c,
             Err(e) => panic!("{choices:?} failed to compile: {e}"),
         };
@@ -88,7 +88,7 @@ fn prove_and_verify_kzg() {
     let config = cfg(LayoutChoices::optimized());
     let fp = FixedPoint::new(config.numeric.scale_bits);
     let inputs = random_inputs(&g, 3, fp);
-    let compiled = compile(&g, &inputs, config, false).unwrap();
+    let compiled = compile(&g, &inputs, config).unwrap();
     let mut rng = StdRng::seed_from_u64(42);
     let params = Params::setup(Backend::Kzg, compiled.k.max(13), &mut rng);
     let pk = compiled.keygen(&params).unwrap();
@@ -106,7 +106,7 @@ fn prove_and_verify_ipa() {
     let config = cfg(choices);
     let fp = FixedPoint::new(config.numeric.scale_bits);
     let inputs = random_inputs(&g, 4, fp);
-    let compiled = compile(&g, &inputs, config, false).unwrap();
+    let compiled = compile(&g, &inputs, config).unwrap();
     let mut rng = StdRng::seed_from_u64(43);
     let params = Params::setup(Backend::Ipa, compiled.k, &mut rng);
     let pk = compiled.keygen(&params).unwrap();
@@ -124,7 +124,7 @@ fn freivalds_and_direct_prove_identical_statements() {
     for matmul in [MatmulImpl::Freivalds, MatmulImpl::Direct] {
         let mut choices = LayoutChoices::optimized();
         choices.matmul = matmul;
-        let compiled = compile(&g, &inputs, cfg(choices), false).unwrap();
+        let compiled = compile(&g, &inputs, cfg(choices)).unwrap();
         let pk = compiled.keygen(&params).unwrap();
         let proof = compiled.prove(&params, &pk, &mut rng).unwrap();
         compiled
@@ -139,7 +139,7 @@ fn wrong_output_claim_rejected() {
     let config = cfg(LayoutChoices::optimized());
     let fp = FixedPoint::new(config.numeric.scale_bits);
     let inputs = random_inputs(&g, 6, fp);
-    let compiled = compile(&g, &inputs, config, false).unwrap();
+    let compiled = compile(&g, &inputs, config).unwrap();
     let mut rng = StdRng::seed_from_u64(45);
     let params = Params::setup(Backend::Kzg, compiled.k.max(13), &mut rng);
     let pk = compiled.keygen(&params).unwrap();
@@ -164,7 +164,7 @@ fn relu_bit_decomposition_proves() {
     let config = cfg(choices);
     let fp = FixedPoint::new(config.numeric.scale_bits);
     let inputs = random_inputs(&g, 7, fp);
-    let compiled = compile(&g, &inputs, config, false).unwrap();
+    let compiled = compile(&g, &inputs, config).unwrap();
     let mut rng = StdRng::seed_from_u64(46);
     let params = Params::setup(Backend::Kzg, compiled.k, &mut rng);
     let pk = compiled.keygen(&params).unwrap();
@@ -173,19 +173,23 @@ fn relu_bit_decomposition_proves() {
 }
 
 #[test]
-fn count_mode_structure_matches_real_mode() {
+fn placement_structure_matches_synthesis() {
     let g = small_mlp();
     let config = cfg(LayoutChoices::optimized());
     let fp = FixedPoint::new(config.numeric.scale_bits);
     let inputs = random_inputs(&g, 8, fp);
-    let real = compile(&g, &inputs, config, false).unwrap();
-    let sim = compile(&g, &zkml::optimizer::zero_inputs(&g), config, true).unwrap();
-    assert_eq!(real.k, sim.k, "simulator k mismatch");
-    assert_eq!(real.stats.rows, sim.stats.rows, "simulator rows mismatch");
-    assert_eq!(real.stats.num_advice, sim.stats.num_advice);
-    assert_eq!(real.stats.num_fixed, sim.stats.num_fixed);
-    assert_eq!(real.stats.num_lookups, sim.stats.num_lookups);
-    assert_eq!(real.stats.degree, sim.stats.degree);
+    let real = compile(&g, &inputs, config).unwrap();
+    // A plan placed from a zero-input schedule must predict the real
+    // circuit's structure exactly (layouts are input-independent).
+    let sched = zkml::layers::lower_graph(&g, &zkml::optimizer::zero_inputs(&g), config.numeric);
+    let plan = zkml::place(&sched, config).unwrap();
+    assert_eq!(real.k, plan.k, "planned k mismatch");
+    assert_eq!(real.stats, plan.stats, "planned stats mismatch");
+    assert_eq!(real.cs, plan.cs, "planned constraint system mismatch");
+    assert_eq!(real.circuit_digest(), plan.digest());
+    // And synthesizing the same schedule under the plan round-trips.
+    let synth = zkml::synthesize(&sched, &plan).unwrap();
+    assert_eq!(synth.k, plan.k);
 }
 
 #[test]
@@ -194,7 +198,7 @@ fn mnist_cnn_proves_and_verifies() {
     let config = cfg(LayoutChoices::optimized());
     let fp = FixedPoint::new(config.numeric.scale_bits);
     let inputs = random_inputs(&g, 9, fp);
-    let compiled = compile(&g, &inputs, config, false).unwrap();
+    let compiled = compile(&g, &inputs, config).unwrap();
     // Cross-check against the reference executor.
     let reference = execute_fixed(&g, &inputs, fp).outputs(&g);
     assert_eq!(compiled.outputs, reference);

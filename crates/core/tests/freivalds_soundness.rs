@@ -36,7 +36,7 @@ fn forged_output_on_freivalds_model_rejected() {
         vec![1, 6],
         vec![0.3f32, -0.1, 0.8, 0.0, -0.6, 0.4],
     ));
-    let compiled = compile(&g, &[input], cfg, false).unwrap();
+    let compiled = compile(&g, &[input], cfg).unwrap();
     // Phase-1 columns must exist (Freivalds is in use).
     assert!(compiled.cs.num_challenges > 0, "challenge phase expected");
     let mut rng = StdRng::seed_from_u64(9);
@@ -63,8 +63,8 @@ fn proofs_differ_per_input_but_share_keys() {
     let fp = FixedPoint::new(cfg.numeric.scale_bits);
     let in1 = fp.quantize_tensor(&Tensor::new(vec![1, 6], vec![0.5f32; 6]));
     let in2 = fp.quantize_tensor(&Tensor::new(vec![1, 6], vec![-0.5f32; 6]));
-    let c1 = compile(&g, &[in1], cfg, false).unwrap();
-    let c2 = compile(&g, &[in2], cfg, false).unwrap();
+    let c1 = compile(&g, &[in1], cfg).unwrap();
+    let c2 = compile(&g, &[in2], cfg).unwrap();
     let mut rng = StdRng::seed_from_u64(10);
     let params = Params::setup(Backend::Kzg, c1.k, &mut rng);
     let pk1 = c1.keygen(&params).unwrap();

@@ -10,7 +10,7 @@ fn builder(packs: usize) -> CircuitBuilder {
     choices.lookup_packs = packs;
     let mut cfg = CircuitConfig::default_with(choices);
     cfg.num_cols = 14;
-    CircuitBuilder::new(cfg, false)
+    CircuitBuilder::new(cfg)
 }
 
 // Inputs stay inside the non-linearity table domain (2^11 at the default
@@ -81,7 +81,7 @@ proptest! {
             choices.relu = relu;
             let mut cfg = CircuitConfig::default_with(choices);
             cfg.num_cols = 16;
-            let mut b = CircuitBuilder::new(cfg, false);
+            let mut b = CircuitBuilder::new(cfg);
             let xc = b.load_values(xs);
             b.relu(&xc).unwrap().iter().map(|v| v.v).collect()
         };

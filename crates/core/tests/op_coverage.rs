@@ -9,8 +9,8 @@ use zkml_tensor::{FixedPoint, Tensor};
 fn check(g: &Graph, inputs: &[Tensor<i64>]) {
     let cfg = CircuitConfig::default_with(LayoutChoices::optimized());
     let fp = FixedPoint::new(cfg.numeric.scale_bits);
-    let compiled = compile(g, inputs, cfg, false)
-        .unwrap_or_else(|e| panic!("{}: compile failed: {e}", g.name));
+    let compiled =
+        compile(g, inputs, cfg).unwrap_or_else(|e| panic!("{}: compile failed: {e}", g.name));
     let reference = execute_fixed(g, inputs, fp).outputs(g);
     assert_eq!(compiled.outputs, reference, "{}: witness mismatch", g.name);
 }

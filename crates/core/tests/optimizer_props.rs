@@ -1,9 +1,9 @@
 //! Properties of the layout optimizer: the chosen plan is never worse than
-//! any plan it evaluated, pruning preserves the winner, and the simulator's
-//! structural predictions match real compilation for arbitrary models.
+//! any plan it evaluated, pruning preserves the winner, and the placer's
+//! structural predictions match real synthesis for arbitrary models.
 
 use proptest::prelude::*;
-use zkml::{compile, optimizer, CircuitConfig, LayoutChoices, OptimizerOptions};
+use zkml::{compile, optimizer, place, CircuitConfig, LayoutChoices, OptimizerOptions};
 use zkml_model::{Activation, Graph, GraphBuilder, Op};
 use zkml_pcs::Backend;
 
@@ -39,11 +39,12 @@ proptest! {
         softmax in any::<bool>(),
     ) {
         let g = random_mlp(&widths, softmax);
-        let hw = zkml::cost::HardwareStats::cached();
+        let hw = zkml::cost::HardwareStats::fixture();
         let mut opts = OptimizerOptions::new(Backend::Kzg, 14);
         opts.prune = false;
         opts.n_cols_range = (8, 20);
-        let report = optimizer::optimize(&g, &opts, hw);
+        let inputs = optimizer::zero_inputs(&g);
+        let report = optimizer::optimize(&g, &inputs, &opts, &hw).unwrap();
         for e in &report.all {
             prop_assert!(
                 report.best_cost.proving_s <= e.cost.proving_s + 1e-12,
@@ -53,7 +54,7 @@ proptest! {
     }
 
     #[test]
-    fn simulator_matches_real_compilation(
+    fn placement_matches_real_synthesis(
         widths in prop::collection::vec(2usize..10, 2..4),
         ncols in 8usize..24,
     ) {
@@ -61,15 +62,14 @@ proptest! {
         let mut cfg = CircuitConfig::default_with(LayoutChoices::optimized());
         cfg.num_cols = ncols;
         let inputs = optimizer::zero_inputs(&g);
-        let sim = compile(&g, &inputs, cfg, true).unwrap();
-        let real = compile(&g, &inputs, cfg, false).unwrap();
-        prop_assert_eq!(sim.k, real.k);
-        prop_assert_eq!(sim.stats.rows, real.stats.rows);
-        prop_assert_eq!(sim.stats.num_advice, real.stats.num_advice);
-        prop_assert_eq!(sim.stats.num_fixed, real.stats.num_fixed);
-        prop_assert_eq!(sim.stats.num_lookups, real.stats.num_lookups);
-        prop_assert_eq!(sim.stats.num_constraints, real.stats.num_constraints);
-        prop_assert_eq!(sim.stats.degree, real.stats.degree);
+        let sched = zkml::layers::lower_graph(&g, &inputs, cfg.numeric);
+        let plan = place(&sched, cfg).unwrap();
+        let real = compile(&g, &inputs, cfg).unwrap();
+        prop_assert_eq!(plan.k, real.k);
+        prop_assert_eq!(&plan.stats, &real.stats);
+        prop_assert_eq!(&plan.cs, &real.cs);
+        // And the plan's digest already identifies the synthesized circuit.
+        prop_assert_eq!(plan.digest(), real.circuit_digest());
     }
 
     #[test]
@@ -80,16 +80,17 @@ proptest! {
         // non-increasing in the number of columns (same logical layout).
         let g = random_mlp(&widths, false);
         let inputs = optimizer::zero_inputs(&g);
+        let sched = zkml::layers::lower_graph(&g, &inputs, zkml::NumericConfig::default_nano());
         let mut prev = usize::MAX;
         for ncols in [8usize, 12, 16, 24, 32] {
             let mut cfg = CircuitConfig::default_with(LayoutChoices::optimized());
             cfg.num_cols = ncols;
-            let sim = compile(&g, &inputs, cfg, true).unwrap();
+            let plan = place(&sched, cfg).unwrap();
             prop_assert!(
-                sim.stats.rows <= prev,
-                "rows grew from {prev} to {} at {ncols} columns", sim.stats.rows
+                plan.stats.rows <= prev,
+                "rows grew from {prev} to {} at {ncols} columns", plan.stats.rows
             );
-            prev = sim.stats.rows;
+            prev = plan.stats.rows;
         }
     }
 }

@@ -31,7 +31,7 @@ fn proof_verifies_against_deserialized_vk() {
     let cfg = CircuitConfig::default_with(LayoutChoices::optimized());
     let fp = FixedPoint::new(cfg.numeric.scale_bits);
     let input = fp.quantize_tensor(&Tensor::new(vec![1, 4], vec![0.2f32, -0.4, 0.9, 0.0]));
-    let compiled = compile(&g, &[input], cfg, false).unwrap();
+    let compiled = compile(&g, &[input], cfg).unwrap();
     let mut rng = StdRng::seed_from_u64(3);
     let params = Params::setup(Backend::Kzg, compiled.k, &mut rng);
     let pk = compiled.keygen(&params).unwrap();
@@ -55,8 +55,8 @@ fn wrong_models_key_rejects_proof() {
 
     let g1 = model(6);
     let g2 = model(7); // different architecture -> different circuit
-    let c1 = compile(&g1, std::slice::from_ref(&input), cfg, false).unwrap();
-    let c2 = compile(&g2, &[input], cfg, false).unwrap();
+    let c1 = compile(&g1, std::slice::from_ref(&input), cfg).unwrap();
+    let c2 = compile(&g2, &[input], cfg).unwrap();
     let mut rng = StdRng::seed_from_u64(4);
     let k = c1.k.max(c2.k);
     let params = Params::setup(Backend::Kzg, k, &mut rng);

@@ -25,7 +25,7 @@ fn zoo_compiles_real_mode() {
                 )
             })
             .collect();
-        let c = compile(&g, &inputs, cfg, false).unwrap_or_else(|e| panic!("{}: {e}", g.name));
+        let c = compile(&g, &inputs, cfg).unwrap_or_else(|e| panic!("{}: {e}", g.name));
         eprintln!("{:<12} k={} rows={}", g.name, c.k, c.stats.rows);
     }
 }

@@ -133,7 +133,7 @@ pub enum Op {
 
     // ---- Linear layers -----------------------------------------------------
     /// `x @ w + b` with optional fused activation. Inputs: x, w, (b).
-    /// x: [..., K], w: [K, N], b: [N].
+    /// x: `[..., K]`, w: `[K, N]`, b: `[N]`.
     FullyConnected { activation: Option<Activation> },
     /// 2D convolution (NHWC, weights [KH, KW, Cin, Cout]). Inputs: x, w, (b).
     Conv2D {

@@ -4,7 +4,7 @@ use crate::expression::{Column, Expression, Rotation};
 use zkml_ff::Fr;
 
 /// A named family of polynomial constraints sharing a selector.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Gate {
     /// Human-readable name (for diagnostics).
     pub name: String,
@@ -14,7 +14,7 @@ pub struct Gate {
 
 /// A lookup argument: on every row, the tuple of input expressions must lie
 /// in the table defined by the table expressions.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Lookup {
     /// Human-readable name.
     pub name: String,
@@ -25,7 +25,11 @@ pub struct Lookup {
 }
 
 /// The static structure of a circuit.
-#[derive(Clone, Debug, Default)]
+///
+/// Derives structural equality so a placement plan's skeleton can be
+/// checked cheaply against the constraint system a later synthesis pass
+/// reproduces (see the core compiler's plan-consistency invariant).
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct ConstraintSystem {
     /// Number of instance (public-input) columns.
     pub num_instance: usize,

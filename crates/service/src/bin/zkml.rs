@@ -22,7 +22,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use zkml::{compile, optimizer, OptimizerOptions};
+use zkml::{optimizer, OptimizerOptions};
 use zkml_ff::PrimeField;
 use zkml_model::Graph;
 use zkml_pcs::{Backend, Params};
@@ -163,7 +163,8 @@ fn run(args: &[String]) -> Result<(), CliError> {
             let max_k: u32 = parsed_flag(args, "--max-k", 15)?;
             let hw = zkml::cost::HardwareStats::cached();
             let opts = OptimizerOptions::new(backend, max_k);
-            let report = optimizer::optimize(&g, &opts, hw);
+            let report = optimizer::optimize(&g, &optimizer::zero_inputs(&g), &opts, hw)
+                .map_err(|e| CliError::Msg(format!("optimize {}: {e}", g.name)))?;
             println!(
                 "{} ({backend}): {} layouts evaluated ({} pruned) in {:?}",
                 g.name, report.evaluated, report.pruned, report.elapsed
@@ -205,12 +206,7 @@ fn prove_flow(g: &Graph, backend: Backend, seed: u64, dir: &Path) -> Result<(), 
         .map_err(|e| CliError::Msg(format!("create {}: {e}", dir.display())))?;
     let hw = zkml::cost::HardwareStats::cached();
     let opts = OptimizerOptions::new(backend, 15);
-    let report = optimizer::optimize(g, &opts, hw);
-    println!(
-        "optimizer chose 2^{} x {} cols in {:?}",
-        report.best_k, report.best.num_cols, report.elapsed
-    );
-    let fp = FixedPoint::new(report.best.numeric.scale_bits);
+    let fp = FixedPoint::new(opts.numeric.scale_bits);
     let mut rng = StdRng::seed_from_u64(seed);
     let inputs: Vec<Tensor<i64>> = g
         .inputs
@@ -226,9 +222,16 @@ fn prove_flow(g: &Graph, backend: Backend, seed: u64, dir: &Path) -> Result<(), 
             )
         })
         .collect();
+    let report = optimizer::optimize(g, &inputs, &opts, hw)
+        .map_err(|e| CliError::Msg(format!("optimize {}: {e}", g.name)))?;
+    println!(
+        "optimizer chose 2^{} x {} cols in {:?}",
+        report.best_k, report.best.num_cols, report.elapsed
+    );
 
     let t = Instant::now();
-    let compiled = compile(g, &inputs, report.best, false)
+    let compiled = report
+        .synthesize_best()
         .map_err(|e| CliError::Msg(format!("compile {}: {e}", g.name)))?;
     println!(
         "compiled in {:?} (rows {})",

@@ -64,6 +64,21 @@ impl ArtifactKey {
         }
     }
 
+    /// The key identifying the circuit a [`zkml::LayoutPlan`] describes,
+    /// before any witness is synthesized. [`zkml::LayoutPlan::digest`] is
+    /// byte-identical to the synthesized circuit's digest, so this equals
+    /// [`ArtifactKey::for_circuit`] of the eventual compilation — key
+    /// lookups (and keygen) can start as soon as the optimizer picks a
+    /// plan.
+    pub fn for_plan(model_hash: [u8; 32], backend: Backend, plan: &zkml::LayoutPlan) -> Self {
+        Self {
+            model_hash,
+            backend,
+            k: plan.k,
+            circuit: plan.digest(),
+        }
+    }
+
     /// A filesystem-safe stem naming this key's spill file.
     pub fn file_stem(&self) -> String {
         let backend = match self.backend {

@@ -15,7 +15,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use zkml::{compile, optimizer, OptimizerOptions};
+use zkml::{optimizer, OptimizerOptions};
 use zkml_ff::Fr;
 use zkml_model::Graph;
 use zkml_pcs::Backend;
@@ -422,11 +422,11 @@ fn prove_job(
     backend: Backend,
     seed: u64,
 ) -> Result<ProofArtifacts, ServiceError> {
-    // Layout search and compilation.
-    let hw = zkml::cost::HardwareStats::cached();
+    // Inputs first: the optimizer lowers the graph exactly once, and by
+    // handing it the real inputs that single schedule also carries the
+    // witness values for final synthesis.
     let opts = OptimizerOptions::new(backend, ctx.max_k);
-    let report = optimizer::optimize(graph, &opts, hw);
-    let fp = FixedPoint::new(report.best.numeric.scale_bits);
+    let fp = FixedPoint::new(opts.numeric.scale_bits);
     let mut input_rng = StdRng::seed_from_u64(seed);
     let inputs: Vec<Tensor<i64>> = graph
         .inputs
@@ -442,7 +442,15 @@ fn prove_job(
             )
         })
         .collect();
-    let compiled = compile(graph, &inputs, report.best, false)
+
+    // Layout search, then synthesis of the winning plan (no re-lowering).
+    // An infeasible model (no layout within max_k) fails this job, not the
+    // worker.
+    let hw = zkml::cost::HardwareStats::cached();
+    let report = optimizer::optimize(graph, &inputs, &opts, hw)
+        .map_err(|e| ServiceError::Compile(e.to_string()))?;
+    let compiled = report
+        .synthesize_best()
         .map_err(|e| ServiceError::Compile(e.to_string()))?;
     check_deadline(job)?;
 
@@ -450,8 +458,14 @@ fn prove_job(
     // digest (layout choice + constraint system), not just k, and a cached
     // key is still validated against the compiled circuit before use: a
     // stale spill file must fall back to keygen, never produce a proof
-    // under a mismatched key.
-    let key = ArtifactKey::for_circuit(graph.content_hash(), backend, &compiled);
+    // under a mismatched key. The winning plan's digest is byte-identical
+    // to the compiled circuit's, so the key could equally be derived
+    // before synthesis via ArtifactKey::for_plan.
+    let key = ArtifactKey::for_plan(graph.content_hash(), backend, &report.best_plan);
+    debug_assert_eq!(
+        key,
+        ArtifactKey::for_circuit(graph.content_hash(), backend, &compiled)
+    );
     let params = ctx.cache.params(backend, compiled.k);
     let (pk, cache_outcome) = ctx.cache.get_or_generate(
         key,

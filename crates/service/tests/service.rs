@@ -105,12 +105,12 @@ fn mismatched_layout_never_reuses_cached_key() {
     let inputs = vec![Tensor::new(vec![1, 6], vec![0i64; 6])];
     let cfg_a = CircuitConfig::default_with(LayoutChoices::optimized());
     let cfg_b = CircuitConfig::default_with(LayoutChoices::prior_work());
-    let a = compile(&graph, &inputs, cfg_a, false).unwrap();
-    let b = compile(&graph, &inputs, cfg_b, false).unwrap();
+    let a = compile(&graph, &inputs, cfg_a).unwrap();
+    let b = compile(&graph, &inputs, cfg_b).unwrap();
 
     // The digest is stable across recompilations of the same layout and
     // distinguishes different layouts.
-    let a2 = compile(&graph, &inputs, cfg_a, false).unwrap();
+    let a2 = compile(&graph, &inputs, cfg_a).unwrap();
     assert_eq!(a.circuit_digest(), a2.circuit_digest());
     assert_ne!(a.circuit_digest(), b.circuit_digest());
 
@@ -299,4 +299,40 @@ fn unknown_model_is_rejected_at_submit() {
         Err(other) => panic!("expected UnknownModel, got {other:?}"),
         Ok(_) => panic!("expected UnknownModel, but the job was accepted"),
     }
+}
+
+/// A model with no feasible layout within the service's `max_k` fails that
+/// job with a typed compile error — the worker neither panics nor takes
+/// the service down with it.
+#[test]
+fn infeasible_layout_fails_job_without_crashing_worker() {
+    let service = ProvingService::start(ServiceConfig {
+        workers: 1,
+        max_k: 4, // far too small for any real model
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    let graph = Arc::new(tiny_mlp());
+
+    let handle = service
+        .submit(JobSpec::prove(graph, Backend::Kzg, 1))
+        .unwrap();
+    match handle.wait() {
+        Err(ServiceError::Compile(msg)) => assert!(
+            msg.contains("no feasible layout"),
+            "expected NoFeasibleLayout to surface, got: {msg}"
+        ),
+        other => panic!("expected Compile error, got {other:?}"),
+    }
+
+    // The worker is still healthy and keeps serving jobs.
+    let after = service
+        .submit(JobSpec::new(JobKind::Sleep(Duration::from_millis(1))))
+        .unwrap();
+    assert!(after.wait().unwrap().is_none());
+
+    let snap = service.snapshot();
+    assert_eq!(snap.worker_panics, 0, "infeasibility must not panic");
+    assert_eq!(snap.jobs_failed, 1);
+    assert_eq!(snap.jobs_completed, 1);
 }

@@ -50,7 +50,7 @@ pub fn compile_case(case: &GadgetCase, num_cols: usize) -> Result<CompiledCircui
         num_cols,
         numeric: numeric(),
     };
-    compile_with(cfg, false, case.build)
+    compile_with(cfg, case.build)
 }
 
 fn dot_case(bld: &mut CircuitBuilder) -> Result<Vec<AValue>, BuildError> {

@@ -34,7 +34,7 @@ fn main() {
             )
         })
         .collect();
-    let compiled = compile(&model, &inputs, cfg, false).expect("compile");
+    let compiled = compile(&model, &inputs, cfg).expect("compile");
     println!(
         "{}: 2^{} rows, {} columns\n",
         model.name, compiled.k, compiled.stats.num_advice

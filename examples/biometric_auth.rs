@@ -76,7 +76,7 @@ fn main() {
 
     for (label, probe) in [("genuine", genuine), ("impostor", impostor)] {
         let pq = fp.quantize_tensor(&Tensor::new(vec![1, 16], probe));
-        let compiled = compile(&model, &[pq, tq.clone()], cfg, false).expect("compile");
+        let compiled = compile(&model, &[pq, tq.clone()], cfg).expect("compile");
         let (params, pk) = shared.get_or_insert_with(|| {
             let params = Params::setup(Backend::Kzg, compiled.k, &mut params_rng);
             let pk = compiled.keygen(&params).expect("keygen");

@@ -11,7 +11,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use zkml::{compile, optimizer, OptimizerOptions};
+use zkml::{optimizer, OptimizerOptions};
 use zkml_pcs::{Backend, Params};
 use zkml_tensor::FixedPoint;
 
@@ -25,21 +25,10 @@ fn main() {
         zkml_model::stats::human(stats.flops)
     );
 
-    // Let the optimizer choose gadgets + layout for this machine.
+    // One inference over an embedded token sequence; the schedule the
+    // optimizer lowers is reused for the final synthesis.
     let opts = OptimizerOptions::new(Backend::Kzg, 16);
-    let hw = zkml::cost::HardwareStats::cached();
-    let report = optimizer::optimize(&model, &opts, hw);
-    println!(
-        "optimizer: {} layouts in {:?}; chose {} columns at 2^{} rows (est. {:.2}s proving)",
-        report.evaluated,
-        report.elapsed,
-        report.best.num_cols,
-        report.best_k,
-        report.best_cost.proving_s
-    );
-
-    // Prove one inference over an embedded token sequence.
-    let fp = FixedPoint::new(report.best.numeric.scale_bits);
+    let fp = FixedPoint::new(opts.numeric.scale_bits);
     let inputs = {
         let mut rng = StdRng::seed_from_u64(99);
         use rand::Rng;
@@ -56,7 +45,20 @@ fn main() {
             })
             .collect::<Vec<_>>()
     };
-    let compiled = compile(&model, &inputs, report.best, false).expect("compile");
+
+    // Let the optimizer choose gadgets + layout for this machine.
+    let hw = zkml::cost::HardwareStats::cached();
+    let report = optimizer::optimize(&model, &inputs, &opts, hw).expect("optimize");
+    println!(
+        "optimizer: {} layouts in {:?}; chose {} columns at 2^{} rows (est. {:.2}s proving)",
+        report.evaluated,
+        report.elapsed,
+        report.best.num_cols,
+        report.best_k,
+        report.best_cost.proving_s
+    );
+
+    let compiled = report.synthesize_best().expect("synthesize");
     let mut rng = StdRng::seed_from_u64(3);
     let params = Params::setup(Backend::Kzg, compiled.k, &mut rng);
     let pk = compiled.keygen(&params).expect("keygen");

@@ -43,7 +43,7 @@ fn main() {
     let input_q = fp.quantize_tensor(&input);
 
     // 3. Compile: lowers every layer onto gadgets and produces the witness.
-    let compiled = compile(&graph, &[input_q], cfg, false).expect("compile");
+    let compiled = compile(&graph, &[input_q], cfg).expect("compile");
     println!(
         "compiled: 2^{} rows, {} advice columns, {} lookups",
         compiled.k, compiled.stats.num_advice, compiled.stats.num_lookups

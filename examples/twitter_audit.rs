@@ -30,7 +30,7 @@ fn main() {
         .collect();
 
     // One-time setup shared by prover (platform) and verifier (auditor).
-    let probe = compile(&model, &[candidates[0].clone()], cfg, false).expect("compile");
+    let probe = compile(&model, &[candidates[0].clone()], cfg).expect("compile");
     let mut srs_rng = StdRng::seed_from_u64(7);
     let params = Params::setup(Backend::Kzg, probe.k, &mut srs_rng);
     let pk = probe.keygen(&params).expect("keygen");
@@ -42,7 +42,7 @@ fn main() {
     // The platform scores each candidate and attaches a proof.
     let mut scored = Vec::new();
     for (i, cand) in candidates.iter().enumerate() {
-        let compiled = compile(&model, std::slice::from_ref(cand), cfg, false).expect("compile");
+        let compiled = compile(&model, std::slice::from_ref(cand), cfg).expect("compile");
         let proof = compiled.prove(&params, &pk, &mut rng).expect("prove");
         let score = fp.dequantize(compiled.outputs[0].data()[0]);
         println!("tweet #{i}: score {score:.4}, proof {} bytes", proof.len());

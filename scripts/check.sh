@@ -17,6 +17,12 @@ echo "==> soundness suite (mock checker conformance + adversarial mutations)"
 cargo test -p zkml-testkit --test soundness -q
 cargo test -p zkml-plonk --test negative_path -q
 
+echo "==> optimizer parity (parallel sweep == serial exhaustive sweep)"
+cargo test -p zkml --test optimizer_parity -q
+
+echo "==> cargo doc (workspace, warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

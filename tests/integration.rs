@@ -37,14 +37,15 @@ fn optimizer_chooses_a_config_that_proves() {
     let g = tiny_model();
     let hw = zkml::cost::HardwareStats::cached();
     let opts = OptimizerOptions::new(Backend::Kzg, 14);
-    let report = optimizer::optimize(&g, &opts, hw);
+    let fp = FixedPoint::new(opts.numeric.scale_bits);
+    let inputs = quantized_input(fp);
+    let report = optimizer::optimize(&g, &inputs, &opts, hw).expect("optimize");
     assert!(report.evaluated > 0);
     assert!(report.best_k <= 14);
 
-    let fp = FixedPoint::new(report.best.numeric.scale_bits);
-    let inputs = quantized_input(fp);
-    let compiled = compile(&g, &inputs, report.best, false).expect("compile best layout");
-    assert_eq!(compiled.k, report.best_k, "simulator k must match real k");
+    // The winning plan synthesizes without re-lowering the graph.
+    let compiled = report.synthesize_best().expect("synthesize best layout");
+    assert_eq!(compiled.k, report.best_k, "planned k must match real k");
     let mut rng = StdRng::seed_from_u64(1);
     let params = Params::setup(Backend::Kzg, compiled.k, &mut rng);
     let pk = compiled.keygen(&params).expect("keygen");
@@ -57,10 +58,11 @@ fn size_objective_reduces_estimated_proof_size() {
     let g = tiny_model();
     let hw = zkml::cost::HardwareStats::cached();
     let mut opts = OptimizerOptions::new(Backend::Kzg, 14);
+    let inputs = optimizer::zero_inputs(&g);
     opts.objective = Objective::ProvingTime;
-    let time_opt = optimizer::optimize(&g, &opts, hw);
+    let time_opt = optimizer::optimize(&g, &inputs, &opts, hw).expect("optimize");
     opts.objective = Objective::ProofSize;
-    let size_opt = optimizer::optimize(&g, &opts, hw);
+    let size_opt = optimizer::optimize(&g, &inputs, &opts, hw).expect("optimize");
     assert!(
         size_opt.best_cost.proof_bytes <= time_opt.best_cost.proof_bytes,
         "size-optimized layout must not have a larger estimated proof"
@@ -73,10 +75,11 @@ fn pruning_finds_the_same_plan() {
     let g = tiny_model();
     let hw = zkml::cost::HardwareStats::cached();
     let mut opts = OptimizerOptions::new(Backend::Kzg, 14);
+    let inputs = optimizer::zero_inputs(&g);
     opts.prune = true;
-    let pruned = optimizer::optimize(&g, &opts, hw);
+    let pruned = optimizer::optimize(&g, &inputs, &opts, hw).expect("optimize");
     opts.prune = false;
-    let full = optimizer::optimize(&g, &opts, hw);
+    let full = optimizer::optimize(&g, &inputs, &opts, hw).expect("optimize");
     assert_eq!(pruned.best, full.best);
     assert!(pruned.evaluated <= full.evaluated);
 }
@@ -104,7 +107,7 @@ fn circuit_outputs_match_reference_for_every_zoo_model() {
                 )
             })
             .collect();
-        let compiled = compile(&g, &inputs, cfg, false)
+        let compiled = compile(&g, &inputs, cfg)
             .unwrap_or_else(|e| panic!("{} failed to compile: {e}", g.name));
         let reference = execute_fixed(&g, &inputs, fp).outputs(&g);
         assert_eq!(compiled.outputs, reference, "{} witness mismatch", g.name);
@@ -119,8 +122,8 @@ fn proofs_are_transferable_between_equal_compilations() {
     let cfg = CircuitConfig::default_with(LayoutChoices::optimized());
     let fp = FixedPoint::new(cfg.numeric.scale_bits);
     let inputs = quantized_input(fp);
-    let a = compile(&g, &inputs, cfg, false).unwrap();
-    let b = compile(&g, &inputs, cfg, false).unwrap();
+    let a = compile(&g, &inputs, cfg).unwrap();
+    let b = compile(&g, &inputs, cfg).unwrap();
     let mut rng = StdRng::seed_from_u64(2);
     let params = Params::setup(Backend::Kzg, a.k, &mut rng);
     let pk_a = a.keygen(&params).unwrap();
@@ -137,7 +140,7 @@ fn ipa_and_kzg_agree_on_the_statement() {
     let cfg = CircuitConfig::default_with(LayoutChoices::optimized());
     let fp = FixedPoint::new(cfg.numeric.scale_bits);
     let inputs = quantized_input(fp);
-    let compiled = compile(&g, &inputs, cfg, false).unwrap();
+    let compiled = compile(&g, &inputs, cfg).unwrap();
     let mut rng = StdRng::seed_from_u64(3);
     for backend in [Backend::Kzg, Backend::Ipa] {
         let params = Params::setup(backend, compiled.k, &mut rng);

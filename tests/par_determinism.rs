@@ -107,7 +107,7 @@ fn prove_verify_roundtrip_identical_across_thread_counts() {
     let fp = FixedPoint::new(cfg.numeric.scale_bits);
     let vals: Vec<f32> = (0..4).map(|i| (i as f32 - 2.0) / 3.0).collect();
     let inputs = vec![fp.quantize_tensor(&Tensor::new(vec![1, 4], vals))];
-    let compiled = compile(&g, &inputs, cfg, false).expect("compile");
+    let compiled = compile(&g, &inputs, cfg).expect("compile");
 
     let run = || {
         let mut rng = StdRng::seed_from_u64(99);
