@@ -104,8 +104,66 @@ fn bench_par_fft(c: &mut Criterion) {
     emit_rows(&FFT_ROWS, rows);
 }
 
+/// Segmented-vs-monolithic proving latency swept over pool sizes 1/2/4/8.
+///
+/// Both sides are timed from compiled circuits through keygen + prove (the
+/// shard key source regenerates keys per call, so the monolithic side
+/// includes keygen too for a like-for-like row). Segmented proving runs the
+/// segments concurrently on the pool, so its advantage should grow with
+/// the thread count while the monolithic row only sees kernel-level
+/// parallelism.
+fn bench_segmented_prove(_c: &mut Criterion) {
+    use zkml::{optimizer, OptimizerOptions};
+
+    let g = zkml_model::zoo::by_name("MNIST").expect("zoo model");
+    let backend = zkml_pcs::Backend::Kzg;
+    let opts = OptimizerOptions::new(backend, 15);
+    let hw = zkml::cost::HardwareStats::cached();
+    let inputs = optimizer::zero_inputs(&g);
+    let sched = zkml::layers::lower_graph(&g, &inputs, opts.numeric);
+
+    let report = zkml::optimize_schedule(sched.clone(), &opts, hw).expect("monolithic layout");
+    let mono = report.synthesize_best().expect("monolithic synthesis");
+    let mut srs_rng = StdRng::seed_from_u64(zkml_shard::DEFAULT_SRS_SEED);
+    let params = zkml_pcs::Params::setup(backend, mono.k, &mut srs_rng);
+
+    let keys = zkml_shard::FreshKeySource::default();
+    let segs = zkml_shard::compile_segments(&sched, zkml_shard::SegmentSpec::Fixed(3), &opts, hw)
+        .expect("segment compilation");
+    let nsegs = segs.len();
+    let seg_ks: Vec<u32> = segs.iter().map(|s| s.compiled.k).collect();
+
+    let mut rows = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let pool = zkml_par::Pool::new(threads);
+        let monolithic_ms = time_with_pool(&pool, 1, || {
+            let pk = mono.keygen(&params).expect("keygen");
+            let mut rng = StdRng::seed_from_u64(9);
+            mono.prove(&params, &pk, &mut rng).expect("prove").len()
+        });
+        let segmented_ms = time_with_pool(&pool, 1, || {
+            zkml_shard::prove_compiled(g.content_hash(), &segs, &keys, &opts, 9)
+                .expect("segmented prove")
+                .segments
+                .len()
+        });
+        println!(
+            "segmented_prove MNIST threads={threads}: monolithic(k={}) {monolithic_ms:.2} ms, \
+             segmented({nsegs} x k={seg_ks:?}) {segmented_ms:.2} ms",
+            mono.k
+        );
+        rows.push(format!(
+            "{{\"bench\":\"segmented_prove\",\"model\":\"MNIST\",\"segments\":{nsegs},\
+             \"threads\":{threads},\"monolithic_ms\":{monolithic_ms:.3},\
+             \"segmented_ms\":{segmented_ms:.3}}}"
+        ));
+    }
+    emit_rows(&SEG_ROWS, rows);
+}
+
 static MSM_ROWS: std::sync::Mutex<Vec<String>> = std::sync::Mutex::new(Vec::new());
 static FFT_ROWS: std::sync::Mutex<Vec<String>> = std::sync::Mutex::new(Vec::new());
+static SEG_ROWS: std::sync::Mutex<Vec<String>> = std::sync::Mutex::new(Vec::new());
 
 fn emit_rows(slot: &'static std::sync::Mutex<Vec<String>>, rows: Vec<String>) {
     *slot.lock().unwrap() = rows;
@@ -113,7 +171,8 @@ fn emit_rows(slot: &'static std::sync::Mutex<Vec<String>>, rows: Vec<String>) {
     // run still leaves a valid file.
     let msm: Vec<String> = MSM_ROWS.lock().unwrap().clone();
     let fft: Vec<String> = FFT_ROWS.lock().unwrap().clone();
-    let all: Vec<String> = msm.into_iter().chain(fft).collect();
+    let seg: Vec<String> = SEG_ROWS.lock().unwrap().clone();
+    let all: Vec<String> = msm.into_iter().chain(fft).chain(seg).collect();
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PAR.json");
     let body = format!("[\n  {}\n]\n", all.join(",\n  "));
     if let Err(e) = std::fs::write(path, body) {
@@ -121,5 +180,5 @@ fn emit_rows(slot: &'static std::sync::Mutex<Vec<String>>, rows: Vec<String>) {
     }
 }
 
-criterion_group!(benches, bench_par_msm, bench_par_fft);
+criterion_group!(benches, bench_par_msm, bench_par_fft, bench_segmented_prove);
 criterion_main!(benches);

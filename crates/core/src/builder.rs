@@ -1056,11 +1056,15 @@ impl CircuitBuilder {
         } else {
             0
         };
+        // Exposed values copy-constrain rows of the instance column, so
+        // the instance length bounds k too. Model outputs are few, but a
+        // segment's boundary tensors can dominate a small segment circuit.
         self.row
             .max(self.p1_row)
             .max(self.const_row)
             .max(self.max_table_len)
             .max(range_rows)
+            .max(self.instance_vals.len())
     }
 
     /// Minimal `k` for this circuit.

@@ -23,8 +23,8 @@ use zkml_ff::Fr;
 use zkml_model::Graph;
 use zkml_pcs::Params;
 use zkml_plonk::{
-    create_proof_with_rng, keygen, verify_proof, ConstraintSystem, PlonkError, Preprocessed,
-    ProvingKey, VerifyingKey, WitnessSource, BLINDING_FACTORS,
+    create_proof_bound, create_proof_with_rng, keygen, verify_proof, ConstraintSystem, PlonkError,
+    Preprocessed, ProvingKey, VerifyingKey, WitnessSource, BLINDING_FACTORS,
 };
 use zkml_tensor::Tensor;
 
@@ -376,6 +376,20 @@ impl CompiledCircuit {
     ) -> Result<Vec<u8>, ZkmlError> {
         let witness = ZkmlWitness { c: self };
         Ok(create_proof_with_rng(params, pk, &witness, rng)?)
+    }
+
+    /// Produces a proof bound to a context string (see
+    /// [`zkml_plonk::create_proof_bound`]). Segmented proving binds each
+    /// segment proof to the bundle's chain digest and position.
+    pub fn prove_bound(
+        &self,
+        params: &Params,
+        pk: &ProvingKey,
+        rng: &mut impl RngCore,
+        binding: &[u8],
+    ) -> Result<Vec<u8>, ZkmlError> {
+        let witness = ZkmlWitness { c: self };
+        Ok(create_proof_bound(params, pk, &witness, rng, binding)?)
     }
 
     /// Verifies a proof against this circuit's public outputs.

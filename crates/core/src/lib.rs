@@ -36,6 +36,7 @@ pub mod freivalds;
 pub mod layers;
 pub mod optimizer;
 pub mod schedule;
+pub mod segment;
 pub mod tables;
 
 pub use builder::{AValue, BuildError, CircuitBuilder, Gadget, LayoutStats};
@@ -47,5 +48,6 @@ pub use config::{
     ReluImpl, Target,
 };
 pub use cost::{CostEstimate, HardwareStats};
-pub use optimizer::{optimize, OptimizerOptions, OptimizerReport};
+pub use optimizer::{optimize, optimize_schedule, OptimizerOptions, OptimizerReport};
 pub use schedule::{schedules_built, OpSchedule, ScheduleBuilder};
+pub use segment::{cut_schedule, eval_schedule, SegmentError, SegmentPlan, SegmentSchedule};

@@ -219,8 +219,21 @@ pub fn optimize(
     opts: &OptimizerOptions,
     hw: &HardwareStats,
 ) -> Result<OptimizerReport, ZkmlError> {
-    let start = Instant::now();
     let sched = lower_graph(g, inputs, opts.numeric);
+    optimize_schedule(sched, opts, hw)
+}
+
+/// Runs the layout sweep over an already-built schedule.
+///
+/// Segmented proving cuts one lowering into several sub-schedules and
+/// optimizes each independently; this entry skips `lower_graph` so the
+/// "lower exactly once" invariant holds across all segments of a model.
+pub fn optimize_schedule(
+    sched: OpSchedule,
+    opts: &OptimizerOptions,
+    hw: &HardwareStats,
+) -> Result<OptimizerReport, ZkmlError> {
+    let start = Instant::now();
     let candidates = opts
         .candidates
         .clone()

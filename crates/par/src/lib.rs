@@ -418,17 +418,52 @@ impl PoolMetrics {
 
 static GLOBAL: OnceLock<Pool> = OnceLock::new();
 
-/// Parses a `ZKML_THREADS`-style override. Zero and garbage are rejected.
-fn parse_threads(s: &str) -> Option<usize> {
-    s.trim().parse::<usize>().ok().filter(|&n| n >= 1)
+/// Largest thread count an explicit `ZKML_THREADS` override may request.
+/// A typo like `ZKML_THREADS=100000` would otherwise try to spawn that many
+/// OS threads before anything useful runs.
+pub const MAX_OVERRIDE_THREADS: usize = 1024;
+
+/// Parses a `ZKML_THREADS`-style override. Zero, garbage, and counts above
+/// [`MAX_OVERRIDE_THREADS`] are rejected with a message saying why.
+pub fn parse_threads(s: &str) -> Result<usize, String> {
+    match s.trim().parse::<usize>() {
+        Ok(0) => Err(format!(
+            "ZKML_THREADS={s:?} is zero; the pool always includes the calling \
+             thread (use 1 for serial execution)"
+        )),
+        Ok(n) if n > MAX_OVERRIDE_THREADS => Err(format!(
+            "ZKML_THREADS={s:?} exceeds the maximum of {MAX_OVERRIDE_THREADS}"
+        )),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!(
+            "ZKML_THREADS={s:?} is not a thread count (expected an integer >= 1)"
+        )),
+    }
+}
+
+/// Warns on stderr once per process about an invalid `ZKML_THREADS` value,
+/// so a typo'd override is loud instead of silently auto-detected.
+fn warn_bad_threads(msg: &str) {
+    static WARNED: OnceLock<()> = OnceLock::new();
+    WARNED.get_or_init(|| {
+        eprintln!("zkml-par: warning: {msg}; falling back to auto-detected thread count");
+    });
 }
 
 /// The thread count the global pool is created with: `ZKML_THREADS` when set
-/// and valid, else the available parallelism capped at 32.
+/// and valid, else the available parallelism capped at 32. An invalid
+/// override (zero, unparseable, or absurdly large) is reported on stderr
+/// once and then ignored in favor of auto-detection — it never aborts a
+/// prove that would succeed with the default pool.
 pub fn default_threads() -> usize {
-    if let Ok(v) = std::env::var("ZKML_THREADS") {
-        if let Some(n) = parse_threads(&v) {
-            return n;
+    match std::env::var("ZKML_THREADS") {
+        Ok(v) => match parse_threads(&v) {
+            Ok(n) => return n,
+            Err(msg) => warn_bad_threads(&msg),
+        },
+        Err(std::env::VarError::NotPresent) => {}
+        Err(std::env::VarError::NotUnicode(_)) => {
+            warn_bad_threads("ZKML_THREADS is not valid UTF-8")
         }
     }
     std::thread::available_parallelism()
@@ -636,6 +671,21 @@ mod tests {
     use std::sync::atomic::AtomicUsize;
 
     #[test]
+    fn thread_override_parsing() {
+        assert_eq!(parse_threads("4"), Ok(4));
+        assert_eq!(parse_threads(" 8 "), Ok(8));
+        assert_eq!(parse_threads("1"), Ok(1));
+        assert_eq!(
+            parse_threads(&MAX_OVERRIDE_THREADS.to_string()),
+            Ok(MAX_OVERRIDE_THREADS)
+        );
+        for bad in ["0", "", "two", "-3", "4.5", "1e3", "99999999"] {
+            let err = parse_threads(bad).unwrap_err();
+            assert!(err.contains("ZKML_THREADS"), "{err}");
+        }
+    }
+
+    #[test]
     fn serial_pool_runs_inline() {
         let pool = Pool::new(1);
         assert_eq!(pool.threads(), 1);
@@ -783,15 +833,6 @@ mod tests {
         // Helping callers can push the fraction slightly above 1.0 (caller +
         // workers all executing), but it stays a sane ratio.
         assert!(m.busy_fraction() >= 0.0 && m.busy_fraction() < 2.0);
-    }
-
-    #[test]
-    fn parse_threads_rejects_invalid() {
-        assert_eq!(parse_threads("4"), Some(4));
-        assert_eq!(parse_threads(" 2 "), Some(2));
-        assert_eq!(parse_threads("0"), None);
-        assert_eq!(parse_threads("lots"), None);
-        assert_eq!(parse_threads(""), None);
     }
 
     #[test]

@@ -126,6 +126,27 @@ impl KzgSrs {
         queries: &[(G1Affine, Fr, Fr)],
         proof: &[u8],
     ) -> Result<(), ReadError> {
+        let acc = self.prepare(transcript, queries, proof)?;
+        if acc.check(self) {
+            Ok(())
+        } else {
+            Err(ReadError("KZG pairing check failed"))
+        }
+    }
+
+    /// Runs everything in [`KzgSrs::verify`] *except* the final pairing
+    /// check, returning the pairing inputs as a [`KzgAccumulator`].
+    ///
+    /// Accumulators from proofs over SRS instances sharing the same toxic
+    /// scalar (same `tau_g2`) can be folded with [`batch_check`] so one
+    /// multi-pairing settles many proofs — the amortization segmented
+    /// proving relies on.
+    pub fn prepare(
+        &self,
+        transcript: &mut Transcript,
+        queries: &[(G1Affine, Fr, Fr)],
+        proof: &[u8],
+    ) -> Result<KzgAccumulator, ReadError> {
         let gamma: Fr = transcript.challenge(b"kzg-gamma");
         let groups = group_points(queries.iter().map(|(_, z, _)| *z));
         let mut r = Reader::new(proof);
@@ -140,7 +161,7 @@ impl KzgSrs {
         }
         let u: Fr = transcript.challenge(b"kzg-u");
 
-        // Check e(sum u^j W_j, [tau]_2) == e(sum u^j (F_j + z_j W_j - v_j G), [1]_2).
+        // Accumulate e(sum u^j W_j, [tau]_2) == e(sum u^j (F_j + z_j W_j - v_j G), [1]_2).
         let mut lhs = G1Projective::identity();
         let mut rhs = G1Projective::identity();
         let mut uj = Fr::one();
@@ -159,16 +180,66 @@ impl KzgSrs {
                 (f + wp.mul_scalar(z) - G1Projective::generator().mul_scalar(&v)).mul_scalar(&uj);
             uj *= u;
         }
-        let ok = pairing_check(&[
-            (lhs.to_affine(), self.tau_g2),
-            (rhs.negate().to_affine(), self.g2),
-        ]);
-        if ok {
-            Ok(())
-        } else {
-            Err(ReadError("KZG pairing check failed"))
-        }
+        Ok(KzgAccumulator { lhs, rhs })
     }
+}
+
+/// The deferred tail of a KZG opening verification: the two G1 points of
+/// the final pairing check `e(lhs, [tau]_2) == e(rhs, [1]_2)`.
+///
+/// Produced by [`KzgSrs::prepare`]; settle a single accumulator with
+/// [`KzgAccumulator::check`] or a whole batch with [`batch_check`].
+#[derive(Clone, Debug)]
+pub struct KzgAccumulator {
+    /// Coefficient of `[tau]_2` in the pairing check.
+    pub lhs: G1Projective,
+    /// Coefficient of `[1]_2` in the pairing check.
+    pub rhs: G1Projective,
+}
+
+impl KzgAccumulator {
+    /// Settles this accumulator alone with one pairing check.
+    pub fn check(&self, srs: &KzgSrs) -> bool {
+        pairing_check(&[
+            (self.lhs.to_affine(), srs.tau_g2),
+            (self.rhs.negate().to_affine(), srs.g2),
+        ])
+    }
+}
+
+/// Settles many [`KzgAccumulator`]s with **one** pairing check.
+///
+/// The accumulators are folded with powers of a Fiat–Shamir challenge
+/// derived from every accumulator point, so a prover cannot craft segments
+/// whose individual check failures cancel: any invalid accumulator makes
+/// the folded check fail except with negligible probability.
+///
+/// All accumulators must come from SRS instances sharing `srs`'s toxic
+/// scalar (this reproduction regenerates the SRS from a fixed seed, so
+/// every `k` shares one tau — callers should still guard with
+/// [`KzgSrs::tau_g2`] equality when mixing params).
+pub fn batch_check(srs: &KzgSrs, accs: &[KzgAccumulator]) -> bool {
+    if accs.is_empty() {
+        return true;
+    }
+    let mut transcript = Transcript::new(b"zkml-kzg-batch");
+    for acc in accs {
+        transcript.absorb(b"acc-lhs", &acc.lhs.to_affine().to_bytes());
+        transcript.absorb(b"acc-rhs", &acc.rhs.to_affine().to_bytes());
+    }
+    let r: Fr = transcript.challenge(b"kzg-batch-r");
+    let mut lhs = G1Projective::identity();
+    let mut rhs = G1Projective::identity();
+    let mut rj = Fr::one();
+    for acc in accs {
+        lhs += acc.lhs.mul_scalar(&rj);
+        rhs += acc.rhs.mul_scalar(&rj);
+        rj *= r;
+    }
+    pairing_check(&[
+        (lhs.to_affine(), srs.tau_g2),
+        (rhs.negate().to_affine(), srs.g2),
+    ])
 }
 
 /// Groups query indices by point, preserving first-occurrence order.
@@ -297,6 +368,81 @@ mod tests {
         let mut vq2 = vq.clone();
         vq2[3].2 += Fr::one();
         assert!(s.verify(&mut tv2, &vq2, &proof).is_err());
+    }
+
+    #[test]
+    fn batch_check_settles_many_openings_at_once() {
+        let s = srs(6);
+        let mut rng = StdRng::seed_from_u64(56);
+        let mut accs = Vec::new();
+        for _ in 0..3 {
+            let p = Coeffs::new((0..33).map(|_| Fr::random(&mut rng)).collect());
+            let z = Fr::random(&mut rng);
+            let v = p.evaluate(z);
+            let c = s.commit(&p);
+            let mut tp = Transcript::new(b"test");
+            tp.absorb_scalar(b"eval", &v);
+            let proof = s.open(&mut tp, &[(&p, z)]);
+            let mut tv = Transcript::new(b"test");
+            tv.absorb_scalar(b"eval", &v);
+            accs.push(s.prepare(&mut tv, &[(c, z, v)], &proof).unwrap());
+        }
+        assert!(batch_check(&s, &accs));
+        assert!(batch_check(&s, &[]), "empty batch is vacuously valid");
+        // Each accumulator also settles alone.
+        for acc in &accs {
+            assert!(acc.check(&s));
+        }
+    }
+
+    #[test]
+    fn batch_check_rejects_one_bad_accumulator() {
+        let s = srs(6);
+        let mut rng = StdRng::seed_from_u64(57);
+        let mut accs = Vec::new();
+        for i in 0..3 {
+            let p = Coeffs::new((0..33).map(|_| Fr::random(&mut rng)).collect());
+            let z = Fr::random(&mut rng);
+            let v = p.evaluate(z);
+            let claimed = if i == 1 { v + Fr::one() } else { v };
+            let c = s.commit(&p);
+            let mut tp = Transcript::new(b"test");
+            tp.absorb_scalar(b"eval", &v);
+            let proof = s.open(&mut tp, &[(&p, z)]);
+            let mut tv = Transcript::new(b"test");
+            tv.absorb_scalar(b"eval", &claimed);
+            accs.push(s.prepare(&mut tv, &[(c, z, claimed)], &proof).unwrap());
+        }
+        assert!(!batch_check(&s, &accs));
+    }
+
+    #[test]
+    fn batch_check_folds_accumulators_across_srs_sizes() {
+        // Same tau at different k (fixed seed), so accumulators from
+        // different-size circuits combine into one pairing.
+        let mut rng = StdRng::seed_from_u64(1234);
+        let tau_srs = KzgSrs::setup(7, &mut rng);
+        let small = KzgSrs {
+            k: 6,
+            g1_powers: tau_srs.g1_powers[..64].to_vec(),
+            g2: tau_srs.g2,
+            tau_g2: tau_srs.tau_g2,
+        };
+        let mut rng = StdRng::seed_from_u64(58);
+        let mut accs = Vec::new();
+        for s in [&tau_srs, &small] {
+            let p = Coeffs::new((0..30).map(|_| Fr::random(&mut rng)).collect());
+            let z = Fr::random(&mut rng);
+            let v = p.evaluate(z);
+            let c = s.commit(&p);
+            let mut tp = Transcript::new(b"test");
+            tp.absorb_scalar(b"eval", &v);
+            let proof = s.open(&mut tp, &[(&p, z)]);
+            let mut tv = Transcript::new(b"test");
+            tv.absorb_scalar(b"eval", &v);
+            accs.push(s.prepare(&mut tv, &[(c, z, v)], &proof).unwrap());
+        }
+        assert!(batch_check(&tau_srs, &accs));
     }
 
     #[test]

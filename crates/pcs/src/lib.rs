@@ -16,7 +16,7 @@ pub mod kzg;
 pub mod serial;
 
 pub use ipa::IpaParams;
-pub use kzg::KzgSrs;
+pub use kzg::{batch_check, KzgAccumulator, KzgSrs};
 pub use serial::{ReadError, Reader, Writer};
 
 use rand::RngCore;
@@ -106,6 +106,60 @@ impl Params {
         match self {
             Params::Kzg(s) => s.verify(transcript, queries, proof),
             Params::Ipa(p) => p.verify(transcript, queries, proof),
+        }
+    }
+
+    /// Like [`Params::verify`], but defers the expensive final check when
+    /// the backend supports it.
+    ///
+    /// KZG runs everything up to (not including) the pairing check and
+    /// returns [`Verification::Deferred`]; the caller settles one proof with
+    /// [`Verification::settle`] or a whole batch with [`batch_check`]. IPA
+    /// has no such accumulator and verifies completely.
+    pub fn verify_deferred(
+        &self,
+        transcript: &mut Transcript,
+        queries: &[(G1Affine, Fr, Fr)],
+        proof: &[u8],
+    ) -> Result<Verification, ReadError> {
+        match self {
+            Params::Kzg(s) => Ok(Verification::Deferred(
+                s.prepare(transcript, queries, proof)?,
+            )),
+            Params::Ipa(p) => {
+                p.verify(transcript, queries, proof)?;
+                Ok(Verification::Complete)
+            }
+        }
+    }
+}
+
+/// The outcome of [`Params::verify_deferred`]: either the opening is fully
+/// verified, or its final pairing check is pending as a [`KzgAccumulator`].
+#[derive(Clone, Debug)]
+pub enum Verification {
+    /// The opening verified completely (IPA path).
+    Complete,
+    /// All transcript and group work is done; the pairing check is pending.
+    Deferred(KzgAccumulator),
+}
+
+impl Verification {
+    /// Settles this verification against the params it came from.
+    pub fn settle(&self, params: &Params) -> bool {
+        match (self, params) {
+            (Verification::Complete, _) => true,
+            (Verification::Deferred(acc), Params::Kzg(s)) => acc.check(s),
+            // A deferred KZG accumulator cannot be settled by IPA params.
+            (Verification::Deferred(_), Params::Ipa(_)) => false,
+        }
+    }
+
+    /// The pending accumulator, if any.
+    pub fn accumulator(&self) -> Option<&KzgAccumulator> {
+        match self {
+            Verification::Complete => None,
+            Verification::Deferred(acc) => Some(acc),
         }
     }
 }

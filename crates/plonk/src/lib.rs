@@ -32,8 +32,8 @@ pub use circuit::{
 pub use expression::{Column, Expression, Rotation};
 pub use keygen::{keygen, ExtendedDomain, ProvingKey, VerifyingKey};
 pub use mock::{GridWitness, MockProver, VerifyFailure};
-pub use prover::{create_proof, create_proof_with_rng};
-pub use verifier::verify_proof;
+pub use prover::{create_proof, create_proof_bound, create_proof_with_rng};
+pub use verifier::{verify_proof, verify_proof_deferred};
 
 /// Errors produced by key generation, proving, or verification.
 #[derive(Debug)]

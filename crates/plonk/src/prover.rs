@@ -77,12 +77,33 @@ pub fn create_proof_with_rng(
     witness: &dyn WitnessSource,
     rng: &mut impl RngCore,
 ) -> Result<Vec<u8>, PlonkError> {
+    create_proof_bound(params, pk, witness, rng, &[])
+}
+
+/// Creates a proof bound to an application-chosen context string.
+///
+/// The binding is absorbed into the Fiat–Shamir transcript right after the
+/// verifying-key digest, so the proof only verifies against the same bytes
+/// (see [`crate::verify_proof_deferred`]). Segmented proving uses this to
+/// pin each segment proof to its chain digest and position, making segments
+/// non-interchangeable across bundles. An empty binding absorbs nothing and
+/// is byte-identical to [`create_proof_with_rng`].
+pub fn create_proof_bound(
+    params: &Params,
+    pk: &ProvingKey,
+    witness: &dyn WitnessSource,
+    rng: &mut impl RngCore,
+    binding: &[u8],
+) -> Result<Vec<u8>, PlonkError> {
     let cs = &pk.vk.cs;
     let domain = &pk.domains.domain;
     let n = domain.n;
     let usable = cs.usable_rows(n);
     let mut transcript = Transcript::new(b"zkml-plonk");
     transcript.absorb(b"vk", &pk.vk.digest);
+    if !binding.is_empty() {
+        transcript.absorb(b"bind", binding);
+    }
     let mut proof = Writer::new();
 
     // --- Instance columns ------------------------------------------------

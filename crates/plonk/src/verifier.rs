@@ -6,7 +6,7 @@ use crate::protocol::{opening_plan, PolyId};
 use crate::PlonkError;
 use zkml_curves::G1Affine;
 use zkml_ff::{Field, Fr, PrimeField};
-use zkml_pcs::{Params, Reader};
+use zkml_pcs::{Params, Reader, Verification};
 use zkml_poly::{Coeffs, EvaluationDomain};
 use zkml_transcript::Transcript;
 
@@ -17,6 +17,33 @@ pub fn verify_proof(
     instance: &[Vec<Fr>],
     proof: &[u8],
 ) -> Result<(), PlonkError> {
+    let v = verify_proof_deferred(params, vk, instance, proof, &[])?;
+    if v.settle(params) {
+        Ok(())
+    } else {
+        Err(PlonkError::Verify(
+            "opening verification failed: KZG pairing check failed".into(),
+        ))
+    }
+}
+
+/// Verifies a proof bound to a context string, deferring the backend's
+/// final check when possible.
+///
+/// Mirrors the prover's [`crate::create_proof_bound`]: the binding is
+/// absorbed right after the verifying-key digest (nothing is absorbed when
+/// empty), so a proof created under one binding fails under any other. On
+/// the KZG backend the returned [`Verification`] carries the pending
+/// pairing inputs; callers batch many of them through
+/// [`zkml_pcs::batch_check`] to settle a whole proof bundle with one
+/// multi-pairing. IPA verifies completely.
+pub fn verify_proof_deferred(
+    params: &Params,
+    vk: &VerifyingKey,
+    instance: &[Vec<Fr>],
+    proof: &[u8],
+    binding: &[u8],
+) -> Result<Verification, PlonkError> {
     let cs = &vk.cs;
     let domain = EvaluationDomain::<Fr>::new(vk.k);
     let n = domain.n;
@@ -34,6 +61,9 @@ pub fn verify_proof(
 
     let mut transcript = Transcript::new(b"zkml-plonk");
     transcript.absorb(b"vk", &vk.digest);
+    if !binding.is_empty() {
+        transcript.absorb(b"bind", binding);
+    }
     let mut instance_padded: Vec<Vec<Fr>> = Vec::with_capacity(instance.len());
     for col in instance {
         if col.len() > usable {
@@ -290,7 +320,6 @@ pub fn verify_proof(
         .collect();
     let opening = r.remaining();
     params
-        .verify(&mut transcript, &queries, opening)
-        .map_err(|e| PlonkError::Verify(format!("opening verification failed: {e}")))?;
-    Ok(())
+        .verify_deferred(&mut transcript, &queries, opening)
+        .map_err(|e| PlonkError::Verify(format!("opening verification failed: {e}")))
 }

@@ -44,15 +44,21 @@ pub fn decode_public(bytes: &[u8]) -> Result<(Backend, Vec<Fr>), ReadError> {
     Ok((backend, values))
 }
 
-/// Writes a completed job's `proof.bin`, `vk.bin`, and `public.bin` into
-/// `dir` (created if missing).
+/// Writes a completed job's artifacts into `dir` (created if missing):
+/// `proof.bin` + `vk.bin` + `public.bin` for monolithic proofs, or
+/// `bundle.bin` + `public.bin` for segmented bundles (whose per-segment
+/// verifying keys live inside the bundle).
 pub fn write_proof_dir(dir: &Path, artifacts: &ProofArtifacts) -> Result<(), ServiceError> {
     fn io(what: &str) -> impl Fn(std::io::Error) -> ServiceError + '_ {
         move |e| ServiceError::Io(format!("{what}: {e}"))
     }
     std::fs::create_dir_all(dir).map_err(io("create proof dir"))?;
-    std::fs::write(dir.join("proof.bin"), &artifacts.proof).map_err(io("write proof.bin"))?;
-    std::fs::write(dir.join("vk.bin"), &artifacts.vk_bytes).map_err(io("write vk.bin"))?;
+    if artifacts.bundle.is_some() {
+        std::fs::write(dir.join("bundle.bin"), &artifacts.proof).map_err(io("write bundle.bin"))?;
+    } else {
+        std::fs::write(dir.join("proof.bin"), &artifacts.proof).map_err(io("write proof.bin"))?;
+        std::fs::write(dir.join("vk.bin"), &artifacts.vk_bytes).map_err(io("write vk.bin"))?;
+    }
     std::fs::write(
         dir.join("public.bin"),
         encode_public(artifacts.backend, &artifacts.public),

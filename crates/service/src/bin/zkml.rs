@@ -31,6 +31,7 @@ use zkml_service::{
     decode_public, encode_public, write_proof_dir, BatchOutcome, BatchReport, JobHandle, JobSpec,
     ProvingService, ServiceConfig, SRS_SEED,
 };
+use zkml_shard::{FreshKeySource, KeySource, SegmentSpec, SegmentedProof};
 use zkml_tensor::{FixedPoint, Tensor};
 
 /// A CLI failure: either a usage error (exit 2) or a runtime error (exit 1).
@@ -62,6 +63,20 @@ fn has_flag(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
 }
 
+/// Parses `--segments N|auto`: `None` means monolithic proving.
+fn parse_segments(args: &[String]) -> Result<Option<SegmentSpec>, CliError> {
+    match flag_value(args, "--segments").as_deref() {
+        None => Ok(None),
+        Some("auto") => Ok(Some(SegmentSpec::Auto)),
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(Some(SegmentSpec::Fixed(n))),
+            _ => Err(CliError::Msg(format!(
+                "invalid value '{v}' for --segments (expected a count >= 1 or 'auto')"
+            ))),
+        },
+    }
+}
+
 fn parsed_flag<T: std::str::FromStr>(
     args: &[String],
     flag: &str,
@@ -78,12 +93,13 @@ fn parsed_flag<T: std::str::FromStr>(
 fn usage() -> &'static str {
     "usage:\n  zkml models\n  zkml export <model> --file <path.zkml>\n  \
      zkml optimize <model|path.zkml> [--backend kzg|ipa] [--max-k K]\n  \
-     zkml prove <model|path.zkml> --dir <out-dir> [--backend kzg|ipa] [--seed N]\n  \
+     zkml prove <model|path.zkml> --dir <out-dir> [--backend kzg|ipa] [--seed N]\n             \
+     [--segments N|auto] [--max-k K]\n  \
      zkml verify --dir <dir>\n  \
      zkml serve --spool <dir> [--workers N] [--queue N] [--cache-dir <dir>]\n             \
      [--once] [--poll-ms M] [--deadline-s S] [--verify-batch N] [--no-verify]\n  \
      zkml submit <model> --spool <dir> [--backend kzg|ipa] [--seed N]\n             \
-     [--wait] [--timeout-s S]"
+     [--segments N|auto] [--wait] [--timeout-s S]"
 }
 
 /// Resolves a model argument: a zoo name or a `.zkml` model file.
@@ -189,7 +205,11 @@ fn run(args: &[String]) -> Result<(), CliError> {
             let dir = flag_value(args, "--dir").ok_or(CliError::Usage)?;
             let backend = parse_backend(args);
             let seed: u64 = parsed_flag(args, "--seed", 1)?;
-            prove_flow(&g, backend, seed, Path::new(&dir))
+            let max_k: u32 = parsed_flag(args, "--max-k", 15)?;
+            match parse_segments(args)? {
+                Some(spec) => prove_segmented_flow(&g, backend, seed, max_k, spec, Path::new(&dir)),
+                None => prove_flow(&g, backend, seed, max_k, Path::new(&dir)),
+            }
         }
         Some("verify") => {
             let dir = flag_value(args, "--dir").ok_or(CliError::Usage)?;
@@ -201,15 +221,11 @@ fn run(args: &[String]) -> Result<(), CliError> {
     }
 }
 
-fn prove_flow(g: &Graph, backend: Backend, seed: u64, dir: &Path) -> Result<(), CliError> {
-    std::fs::create_dir_all(dir)
-        .map_err(|e| CliError::Msg(format!("create {}: {e}", dir.display())))?;
-    let hw = zkml::cost::HardwareStats::cached();
-    let opts = OptimizerOptions::new(backend, 15);
-    let fp = FixedPoint::new(opts.numeric.scale_bits);
+/// Deterministic quantized inputs for the standalone prove flows.
+fn cli_inputs(g: &Graph, scale_bits: u32, seed: u64) -> Vec<Tensor<i64>> {
+    let fp = FixedPoint::new(scale_bits);
     let mut rng = StdRng::seed_from_u64(seed);
-    let inputs: Vec<Tensor<i64>> = g
-        .inputs
+    g.inputs
         .iter()
         .map(|id| {
             let shape = g.shape(*id).to_vec();
@@ -221,7 +237,22 @@ fn prove_flow(g: &Graph, backend: Backend, seed: u64, dir: &Path) -> Result<(), 
                     .collect(),
             )
         })
-        .collect();
+        .collect()
+}
+
+fn prove_flow(
+    g: &Graph,
+    backend: Backend,
+    seed: u64,
+    max_k: u32,
+    dir: &Path,
+) -> Result<(), CliError> {
+    std::fs::create_dir_all(dir)
+        .map_err(|e| CliError::Msg(format!("create {}: {e}", dir.display())))?;
+    let hw = zkml::cost::HardwareStats::cached();
+    let opts = OptimizerOptions::new(backend, max_k);
+    let inputs = cli_inputs(g, opts.numeric.scale_bits, seed);
+    let mut rng = StdRng::seed_from_u64(seed);
     let report = optimizer::optimize(g, &inputs, &opts, hw)
         .map_err(|e| CliError::Msg(format!("optimize {}: {e}", g.name)))?;
     println!(
@@ -265,11 +296,71 @@ fn prove_flow(g: &Graph, backend: Backend, seed: u64, dir: &Path) -> Result<(), 
     Ok(())
 }
 
+/// Standalone segmented proving: cut at tensor boundaries, prove every
+/// segment concurrently, write one `bundle.bin`. Fully deterministic — the
+/// SRS comes from the fixed seed and the proof randomness only from
+/// `--seed` — so repeated runs (at any thread count) emit identical
+/// bundles.
+fn prove_segmented_flow(
+    g: &Graph,
+    backend: Backend,
+    seed: u64,
+    max_k: u32,
+    spec: SegmentSpec,
+    dir: &Path,
+) -> Result<(), CliError> {
+    std::fs::create_dir_all(dir)
+        .map_err(|e| CliError::Msg(format!("create {}: {e}", dir.display())))?;
+    let hw = zkml::cost::HardwareStats::cached();
+    let opts = OptimizerOptions::new(backend, max_k);
+    let inputs = cli_inputs(g, opts.numeric.scale_bits, seed);
+
+    let t = Instant::now();
+    let sched = zkml::layers::lower_graph(g, &inputs, opts.numeric);
+    let segments = zkml_shard::compile_segments(&sched, spec, &opts, hw)
+        .map_err(|e| CliError::Msg(format!("segment {}: {e}", g.name)))?;
+    let ks: Vec<u32> = segments.iter().map(|s| s.compiled.k).collect();
+    println!(
+        "cut into {} segment(s) with k = {ks:?} in {:?}",
+        segments.len(),
+        t.elapsed()
+    );
+
+    let keys = FreshKeySource::default();
+    let t = Instant::now();
+    let bundle = zkml_shard::prove_compiled(g.content_hash(), &segments, &keys, &opts, seed)
+        .map_err(|e| CliError::Msg(format!("prove: {e}")))?;
+    let bytes = bundle.to_bytes();
+    println!(
+        "proved {} segment(s) in {:?} ({} byte bundle)",
+        bundle.segments.len(),
+        t.elapsed(),
+        bytes.len()
+    );
+
+    let write = |name: &str, bytes: &[u8]| -> Result<(), CliError> {
+        std::fs::write(dir.join(name), bytes)
+            .map_err(|e| CliError::Msg(format!("write {name}: {e}")))
+    };
+    write("bundle.bin", &bytes)?;
+    write(
+        "public.bin",
+        &encode_public(backend, bundle.public_outputs()),
+    )?;
+    println!("wrote bundle.bin, public.bin to {}", dir.display());
+    Ok(())
+}
+
 fn verify_flow(dir: &Path) -> Result<(), CliError> {
     let load = |name: &str| -> Result<Vec<u8>, CliError> {
         std::fs::read(PathBuf::from(dir).join(name))
             .map_err(|e| CliError::Msg(format!("read {name}: {e}")))
     };
+    // A proof directory holds either a segmented bundle or a monolithic
+    // proof triple; the bundle carries its own per-segment verifying keys.
+    if dir.join("bundle.bin").exists() {
+        return verify_bundle_flow(&load("bundle.bin")?);
+    }
     let vk = VerifyingKey::from_bytes(&load("vk.bin")?)
         .map_err(|e| CliError::Msg(format!("parse vk.bin: {e}")))?;
     let (backend, instance) = decode_public(&load("public.bin")?)
@@ -301,6 +392,35 @@ fn verify_flow(dir: &Path) -> Result<(), CliError> {
     }
 }
 
+/// Verifies a segmented bundle: boundary-instance chaining, per-segment
+/// transcript replay, and one batched KZG multi-pairing across segments.
+fn verify_bundle_flow(bytes: &[u8]) -> Result<(), CliError> {
+    let bundle = SegmentedProof::from_bytes(bytes)
+        .map_err(|e| CliError::Msg(format!("parse bundle.bin: {e}")))?;
+    let keys = FreshKeySource::default();
+    let t = Instant::now();
+    match zkml_shard::verify_bundle(&bundle, |b, k| keys.params(b, k)) {
+        Ok(report) => {
+            println!(
+                "bundle VERIFIED in {:?} ({} segments, {} KZG openings settled in one pairing, {} bytes)",
+                t.elapsed(),
+                report.segments,
+                report.kzg_batched,
+                bytes.len()
+            );
+            let preview: Vec<i128> = bundle
+                .public_outputs()
+                .iter()
+                .take(8)
+                .map(|v| v.to_signed_i128())
+                .collect();
+            println!("public outputs (quantized): {preview:?}");
+            Ok(())
+        }
+        Err(e) => Err(CliError::Msg(format!("bundle REJECTED: {e}"))),
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Spool protocol: serve / submit.
 // ---------------------------------------------------------------------------
@@ -310,6 +430,7 @@ struct SpoolRequest {
     model: String,
     backend: Backend,
     seed: u64,
+    segments: Option<SegmentSpec>,
 }
 
 fn parse_request(path: &Path) -> Result<SpoolRequest, String> {
@@ -322,6 +443,7 @@ fn parse_request(path: &Path) -> Result<SpoolRequest, String> {
     let mut model = None;
     let mut backend = Backend::Kzg;
     let mut seed = 1u64;
+    let mut segments = None;
     for line in text.lines() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
@@ -338,6 +460,15 @@ fn parse_request(path: &Path) -> Result<SpoolRequest, String> {
                 }
             }
             "seed" => seed = value.trim().parse().map_err(|_| "bad seed".to_string())?,
+            "segments" => {
+                segments = Some(match value.trim() {
+                    "auto" => SegmentSpec::Auto,
+                    n => match n.parse::<usize>() {
+                        Ok(n) if n >= 1 => SegmentSpec::Fixed(n),
+                        _ => return Err(format!("bad segments '{n}'")),
+                    },
+                })
+            }
             other => return Err(format!("unknown request key '{other}'")),
         }
     }
@@ -346,6 +477,7 @@ fn parse_request(path: &Path) -> Result<SpoolRequest, String> {
         model: model.ok_or("request missing model=")?,
         backend,
         seed,
+        segments,
     })
 }
 
@@ -473,11 +605,16 @@ fn serve_flow(args: &[String]) -> Result<(), CliError> {
                     continue;
                 }
             };
-            match service.submit(JobSpec::prove(
-                Arc::new(graph),
-                request.backend,
-                request.seed,
-            )) {
+            let spec = match request.segments {
+                Some(segments) => JobSpec::prove_segmented(
+                    Arc::new(graph),
+                    request.backend,
+                    request.seed,
+                    segments,
+                ),
+                None => JobSpec::prove(Arc::new(graph), request.backend, request.seed),
+            };
+            match service.submit(spec) {
                 Ok(handle) => {
                     println!("job {} accepted: {}", handle.id(), request.stem);
                     let _ = std::fs::remove_file(&path);
@@ -504,23 +641,32 @@ fn serve_flow(args: &[String]) -> Result<(), CliError> {
                     match write_proof_dir(&out_dir, &artifacts) {
                         Ok(()) => {
                             let ok_line = format!(
-                                "ok model={} k={} cache={:?} prove_ms={}\n",
-                                artifacts.model, artifacts.k, artifacts.cache, artifacts.prove_ms
-                            );
-                            println!(
-                                "job {} proved: {} (k={}, cache {:?}, {} ms)",
-                                artifacts.job_id,
-                                stem,
+                                "ok model={} k={} segments={} cache={:?} prove_ms={}\n",
+                                artifacts.model,
                                 artifacts.k,
+                                artifacts.segments,
                                 artifacts.cache,
                                 artifacts.prove_ms
                             );
-                            if verify {
+                            println!(
+                                "job {} proved: {} (k={}, {} segment(s), cache {:?}, {} ms)",
+                                artifacts.job_id,
+                                stem,
+                                artifacts.k,
+                                artifacts.segments,
+                                artifacts.cache,
+                                artifacts.prove_ms
+                            );
+                            if verify && artifacts.bundle.is_none() {
                                 // Status is written once the proof clears
                                 // batched verification, so 'ok' really
                                 // means verified.
                                 tracker.on_proved(&spool, artifacts.job_id, &stem, ok_line);
                             } else {
+                                // Segmented bundles are verified inline by
+                                // the worker (the batch verifier knows
+                                // nothing of chain bindings), so a drained
+                                // bundle job is already verified.
                                 write_status(&spool, &stem, &ok_line);
                             }
                         }
@@ -586,14 +732,20 @@ fn submit_flow(args: &[String]) -> Result<(), CliError> {
         .map_err(|e| CliError::Msg(format!("create spool {}: {e}", spool.display())))?;
     let backend = parse_backend(args);
     let seed: u64 = parsed_flag(args, "--seed", 1)?;
+    let segments = parse_segments(args)?;
 
-    let body = format!(
+    let mut body = format!(
         "model={model}\nbackend={}\nseed={seed}\n",
         match backend {
             Backend::Kzg => "kzg",
             Backend::Ipa => "ipa",
         }
     );
+    match segments {
+        Some(SegmentSpec::Auto) => body.push_str("segments=auto\n"),
+        Some(SegmentSpec::Fixed(n)) => body.push_str(&format!("segments={n}\n")),
+        None => {}
+    }
     // Reserve the first free job slot by creating its .tmp file with
     // O_EXCL: concurrent submitters that race to the same index all but
     // one lose the create and move on to the next slot, so no request is

@@ -19,6 +19,7 @@ use zkml::{optimizer, OptimizerOptions};
 use zkml_ff::Fr;
 use zkml_model::Graph;
 use zkml_pcs::Backend;
+use zkml_shard::{KeySource, SegmentSpec, SegmentedProof};
 use zkml_tensor::{FixedPoint, Tensor};
 
 /// Service construction parameters.
@@ -63,6 +64,21 @@ pub enum JobKind {
         /// Seed for the synthetic quantized inputs and proof randomness.
         seed: u64,
     },
+    /// Optimize, compile, and prove one inference of `graph` as a chain of
+    /// segment proofs (see `zkml-shard`): the model is cut at tensor
+    /// boundaries, each segment gets its own bounded-`k` circuit and cached
+    /// proving key, segments are proved concurrently, and the result is one
+    /// [`SegmentedProof`] bundle.
+    ProveSegmented {
+        /// The model graph.
+        graph: Arc<Graph>,
+        /// Commitment backend.
+        backend: Backend,
+        /// Seed for the synthetic quantized inputs and proof randomness.
+        seed: u64,
+        /// How many segments to cut into.
+        segments: SegmentSpec,
+    },
     /// Occupy a worker for the given duration (health checks and tests).
     Sleep(Duration),
     /// Panic inside the worker (tests the panic-isolation path).
@@ -98,6 +114,24 @@ impl JobSpec {
         }
     }
 
+    /// A segmented proving job for `graph`.
+    pub fn prove_segmented(
+        graph: Arc<Graph>,
+        backend: Backend,
+        seed: u64,
+        segments: SegmentSpec,
+    ) -> Self {
+        Self {
+            kind: JobKind::ProveSegmented {
+                graph,
+                backend,
+                seed,
+                segments,
+            },
+            deadline: None,
+        }
+    }
+
     /// Sets a per-job deadline.
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
@@ -120,12 +154,19 @@ pub struct ProofArtifacts {
     pub proof: Vec<u8>,
     /// The serialized verifying key.
     pub vk_bytes: Vec<u8>,
-    /// Public values (first instance column).
+    /// Public values (first instance column; for segmented jobs, the
+    /// bundle's claimed model outputs).
     pub public: Vec<Fr>,
-    /// How the proving key was obtained.
+    /// How the proving key was obtained (for segmented jobs: a hit only if
+    /// every segment's key was cached).
     pub cache: CacheOutcome,
     /// Wall-clock proof generation time.
     pub prove_ms: u64,
+    /// Number of segment proofs behind `proof` (1 for monolithic jobs).
+    pub segments: u32,
+    /// The full bundle for segmented jobs (`proof` holds its serialized
+    /// form); `None` for monolithic jobs.
+    pub bundle: Option<SegmentedProof>,
 }
 
 /// Outcome of a job: proof artifacts for proving jobs, `None` for
@@ -412,7 +453,34 @@ fn run_job(ctx: &WorkerCtx, job: &Job) -> JobResult {
             backend,
             seed,
         } => prove_job(ctx, job, graph, *backend, *seed).map(Some),
+        JobKind::ProveSegmented {
+            graph,
+            backend,
+            seed,
+            segments,
+        } => prove_segmented_job(ctx, job, graph, *backend, *seed, *segments).map(Some),
     }
+}
+
+/// Synthetic quantized inputs for a proving job, derived from the request
+/// seed (shared by the monolithic and segmented paths).
+fn synthetic_inputs(graph: &Graph, scale_bits: u32, seed: u64) -> Vec<Tensor<i64>> {
+    let fp = FixedPoint::new(scale_bits);
+    let mut rng = StdRng::seed_from_u64(seed);
+    graph
+        .inputs
+        .iter()
+        .map(|id| {
+            let shape = graph.shape(*id).to_vec();
+            let n: usize = shape.iter().product();
+            Tensor::new(
+                shape,
+                (0..n)
+                    .map(|_| fp.quantize(rng.gen_range(-1.0..1.0)))
+                    .collect(),
+            )
+        })
+        .collect()
 }
 
 fn prove_job(
@@ -426,22 +494,7 @@ fn prove_job(
     // handing it the real inputs that single schedule also carries the
     // witness values for final synthesis.
     let opts = OptimizerOptions::new(backend, ctx.max_k);
-    let fp = FixedPoint::new(opts.numeric.scale_bits);
-    let mut input_rng = StdRng::seed_from_u64(seed);
-    let inputs: Vec<Tensor<i64>> = graph
-        .inputs
-        .iter()
-        .map(|id| {
-            let shape = graph.shape(*id).to_vec();
-            let n: usize = shape.iter().product();
-            Tensor::new(
-                shape,
-                (0..n)
-                    .map(|_| fp.quantize(input_rng.gen_range(-1.0..1.0)))
-                    .collect(),
-            )
-        })
-        .collect();
+    let inputs = synthetic_inputs(graph, opts.numeric.scale_bits, seed);
 
     // Layout search, then synthesis of the winning plan (no re-lowering).
     // An infeasible model (no layout within max_k) fails this job, not the
@@ -521,5 +574,120 @@ fn prove_job(
         public: compiled.instance().first().cloned().unwrap_or_default(),
         cache: cache_outcome,
         prove_ms,
+        segments: 1,
+        bundle: None,
+    })
+}
+
+/// [`KeySource`] over the service's artifact cache: params are memoized per
+/// `(backend, k)` and each segment's proving key is cached under its own
+/// [`ArtifactKey`] (model hash + backend + the segment plan's circuit
+/// digest), so the pk cache shards naturally across segments and a repeat
+/// job skips keygen for every segment.
+struct CacheKeySource<'a> {
+    ctx: &'a WorkerCtx,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl KeySource for CacheKeySource<'_> {
+    fn params(&self, backend: Backend, k: u32) -> Arc<zkml_pcs::Params> {
+        self.ctx.cache.params(backend, k)
+    }
+
+    fn proving_key(
+        &self,
+        model_hash: [u8; 32],
+        backend: Backend,
+        plan: &zkml::LayoutPlan,
+        compiled: &zkml::CompiledCircuit,
+        params: &zkml_pcs::Params,
+    ) -> Result<Arc<zkml_plonk::ProvingKey>, zkml::ZkmlError> {
+        let key = ArtifactKey::for_plan(model_hash, backend, plan);
+        let (pk, outcome) = self.ctx.cache.get_or_generate(
+            key,
+            |pk| pk_matches_circuit(pk, compiled),
+            || compiled.keygen(params),
+        )?;
+        if outcome.is_hit() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.ctx.stats.record_cache_hit();
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.ctx.stats.record_cache_miss();
+        }
+        Ok(pk)
+    }
+}
+
+fn prove_segmented_job(
+    ctx: &WorkerCtx,
+    job: &Job,
+    graph: &Graph,
+    backend: Backend,
+    seed: u64,
+    segments: SegmentSpec,
+) -> Result<ProofArtifacts, ServiceError> {
+    let opts = OptimizerOptions::new(backend, ctx.max_k);
+    let inputs = synthetic_inputs(graph, opts.numeric.scale_bits, seed);
+
+    // One lowering for the whole model; the cutter and every segment's
+    // layout sweep all replay this single schedule.
+    let sched = zkml::layers::lower_graph(graph, &inputs, opts.numeric);
+    let hw = zkml::cost::HardwareStats::cached();
+    let compiled = zkml_shard::compile_segments(&sched, segments, &opts, hw)
+        .map_err(|e| ServiceError::Compile(e.to_string()))?;
+    check_deadline(job)?;
+
+    let keys = CacheKeySource {
+        ctx,
+        hits: AtomicU64::new(0),
+        misses: AtomicU64::new(0),
+    };
+    let model_hash = graph.content_hash();
+    let t = Instant::now();
+    let bundle = zkml_shard::prove_compiled(
+        model_hash,
+        &compiled,
+        &keys,
+        &opts,
+        seed ^ ctx.proof_entropy ^ 0x9E37_79B9_7F4A_7C15,
+    )
+    .map_err(|e| ServiceError::Prove(e.to_string()))?;
+    let prove_ms = t.elapsed().as_millis() as u64;
+    ctx.stats.record_prove_latency_ms(prove_ms);
+
+    // Segmented bundles carry their own chain binding, so they do not go
+    // through the per-proof BatchVerifier (which knows nothing of chains);
+    // the bundle verifier settles all segments with one pairing itself.
+    if ctx.verify_after_prove {
+        match zkml_shard::verify_bundle(&bundle, |b, k| ctx.cache.params(b, k)) {
+            Ok(report) => ctx.stats.record_verified(report.segments as u64, 0),
+            Err(e) => {
+                ctx.stats.record_verified(0, bundle.segments.len() as u64);
+                return Err(ServiceError::Verify(e.to_string()));
+            }
+        }
+    }
+
+    let max_k = bundle.segments.iter().map(|s| s.k).max().unwrap_or(0);
+    let nsegs = bundle.segments.len() as u32;
+    Ok(ProofArtifacts {
+        job_id: job.id,
+        model: graph.name.clone(),
+        backend,
+        k: max_k,
+        proof: bundle.to_bytes(),
+        // Per-segment verifying keys live inside the bundle.
+        vk_bytes: Vec::new(),
+        public: bundle.public_outputs().to_vec(),
+        cache: if keys.misses.load(Ordering::Relaxed) == 0 {
+            CacheOutcome::MemoryHit
+        } else {
+            CacheOutcome::Miss
+        },
+        prove_ms,
+        segments: nsegs,
+        bundle: Some(bundle),
     })
 }

@@ -1,18 +1,25 @@
 //! Batched verification: completed proofs are queued and verified in groups
-//! sharing a verifying key.
+//! sharing a verifying key, with all KZG pairing checks settled at once.
 //!
 //! Grouping by key digest means the per-key work — resolving the SRS,
 //! holding the key's commitments hot in cache, walking the constraint
-//! system — is paid once per batch instead of once per proof. (The pairing
-//! or IPA check itself still runs per proof; the commitment backends do not
-//! currently expose a multi-proof accumulator.)
+//! system — is paid once per batch instead of once per proof. On top of
+//! that, each KZG proof's verification is run *deferred*
+//! ([`zkml_plonk::verify_proof_deferred`]): the transcript replay and MSM
+//! accumulation happen per proof, but the final pairing check is collected
+//! as a [`zkml_pcs::KzgAccumulator`] and the whole flush settles with one
+//! multi-pairing via [`zkml_pcs::batch_check`] — across groups, since the
+//! deterministic SRS shares one tau at every `k`. Only when that batch
+//! check fails are accumulators settled individually to attribute the
+//! failure to specific proofs. IPA has no deferrable tail and verifies
+//! completely per proof.
 
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 use zkml_ff::Fr;
-use zkml_pcs::Params;
-use zkml_plonk::{verify_proof, ProvingKey};
+use zkml_pcs::{batch_check, KzgAccumulator, Params, Verification};
+use zkml_plonk::{verify_proof_deferred, ProvingKey};
 
 /// A proof waiting for verification.
 pub struct PendingProof {
@@ -50,6 +57,9 @@ pub struct BatchReport {
     pub verified: usize,
     /// Proofs that failed.
     pub failed: usize,
+    /// KZG accumulators settled by the single batched multi-pairing
+    /// (0 when the flush was all-IPA or empty).
+    pub kzg_batched: usize,
     /// Per-proof outcomes.
     pub outcomes: Vec<BatchOutcome>,
 }
@@ -58,6 +68,14 @@ pub struct BatchReport {
 #[derive(Default)]
 pub struct BatchVerifier {
     groups: Mutex<HashMap<[u8; 64], Group>>,
+}
+
+/// A proof whose pairing check was deferred: where its outcome slot lives
+/// in the report, plus the accumulator and the SRS to settle against.
+struct DeferredProof {
+    outcome_index: usize,
+    acc: KzgAccumulator,
+    params: Arc<Params>,
 }
 
 impl BatchVerifier {
@@ -87,8 +105,9 @@ impl BatchVerifier {
         self.groups.lock().values().map(|g| g.pending.len()).sum()
     }
 
-    /// Verifies everything queued, one verifying key at a time, and empties
-    /// the queue.
+    /// Verifies everything queued and empties the queue: transcript replay
+    /// per proof (grouped by verifying key), then one batched pairing for
+    /// every deferred KZG check.
     pub fn flush(&self) -> BatchReport {
         let drained: Vec<Group> = {
             let mut groups = self.groups.lock();
@@ -98,16 +117,33 @@ impl BatchVerifier {
             groups: drained.len(),
             ..BatchReport::default()
         };
+        let mut deferred: Vec<DeferredProof> = Vec::new();
+
         for group in drained {
             let vk = &group.pk.vk;
             for p in group.pending {
-                match verify_proof(&group.params, vk, &p.instance, &p.proof) {
-                    Ok(()) => {
+                match verify_proof_deferred(&group.params, vk, &p.instance, &p.proof, &[]) {
+                    Ok(Verification::Complete) => {
                         report.verified += 1;
                         report.outcomes.push(BatchOutcome {
                             job_id: p.job_id,
                             ok: true,
                             error: None,
+                        });
+                    }
+                    Ok(Verification::Deferred(acc)) => {
+                        // Outcome recorded optimistically; the settlement
+                        // pass below downgrades it if the pairing fails.
+                        report.verified += 1;
+                        report.outcomes.push(BatchOutcome {
+                            job_id: p.job_id,
+                            ok: true,
+                            error: None,
+                        });
+                        deferred.push(DeferredProof {
+                            outcome_index: report.outcomes.len() - 1,
+                            acc,
+                            params: Arc::clone(&group.params),
                         });
                     }
                     Err(e) => {
@@ -121,6 +157,56 @@ impl BatchVerifier {
                 }
             }
         }
+
+        self.settle(&mut report, deferred);
         report
+    }
+
+    /// Settles deferred KZG checks: one multi-pairing for every accumulator
+    /// sharing the first proof's tau (with the deterministic SRS, that is
+    /// all of them), then per-proof attribution only on failure.
+    fn settle(&self, report: &mut BatchReport, deferred: Vec<DeferredProof>) {
+        if deferred.is_empty() {
+            return;
+        }
+        fn srs_of(p: &DeferredProof) -> &zkml_pcs::KzgSrs {
+            match p.params.as_ref() {
+                Params::Kzg(s) => s,
+                Params::Ipa(_) => unreachable!("IPA verification is never deferred"),
+            }
+        }
+        let first_tau = srs_of(&deferred[0]).tau_g2;
+        let (foldable, foreign): (Vec<_>, Vec<_>) = deferred
+            .into_iter()
+            .partition(|p| srs_of(p).tau_g2 == first_tau);
+
+        let accs: Vec<KzgAccumulator> = foldable.iter().map(|p| p.acc.clone()).collect();
+        if batch_check(srs_of(&foldable[0]), &accs) {
+            report.kzg_batched = accs.len();
+        } else {
+            // Attribute: settle each accumulator on its own.
+            for p in &foldable {
+                if !p.acc.check(srs_of(p)) {
+                    fail(report, p.outcome_index, "KZG pairing check failed");
+                }
+            }
+        }
+        // Accumulators from a different setup (never the case with the
+        // deterministic SRS) cannot join the fold; settle them directly.
+        for p in &foreign {
+            if !p.acc.check(srs_of(p)) {
+                fail(report, p.outcome_index, "KZG pairing check failed");
+            }
+        }
+    }
+}
+
+fn fail(report: &mut BatchReport, index: usize, msg: &str) {
+    let o = &mut report.outcomes[index];
+    if o.ok {
+        o.ok = false;
+        o.error = Some(msg.to_string());
+        report.verified -= 1;
+        report.failed += 1;
     }
 }

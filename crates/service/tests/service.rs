@@ -93,6 +93,76 @@ fn second_job_hits_artifact_cache_and_verifies() {
     assert!(snap.prove_p50_ms <= snap.prove_p95_ms);
 }
 
+/// Segmented jobs flow through the service end to end: the artifact is a
+/// chained bundle verified inline as one batch, per-segment proving keys
+/// shard into the artifact cache (a second job is a pure memory hit), and
+/// the stats count every segment proof.
+#[test]
+fn segmented_job_proves_verifies_and_shards_cache() {
+    use zkml_shard::{verify_bundle, FreshKeySource, KeySource, SegmentSpec};
+
+    let service = ProvingService::start(ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    let graph = Arc::new(tiny_mlp());
+
+    let first = service
+        .submit(JobSpec::prove_segmented(
+            graph.clone(),
+            Backend::Kzg,
+            1,
+            SegmentSpec::Fixed(2),
+        ))
+        .unwrap()
+        .wait()
+        .unwrap()
+        .expect("segmented jobs produce artifacts");
+    assert_eq!(first.segments, 2);
+    assert_eq!(first.cache, CacheOutcome::Miss);
+    let bundle = first.bundle.as_ref().expect("artifacts carry the bundle");
+    assert_eq!(bundle.segments.len(), 2);
+    assert_eq!(first.proof, bundle.to_bytes());
+    assert!(
+        first.vk_bytes.is_empty(),
+        "per-segment verifying keys live inside the bundle"
+    );
+
+    // The bundle re-verifies out-of-band against freshly generated params.
+    let keys = FreshKeySource::default();
+    let report = verify_bundle(bundle, |b, k| keys.params(b, k)).unwrap();
+    assert_eq!(report.segments, 2);
+    assert_eq!(report.kzg_batched, 2, "one batched pairing for the chain");
+
+    let second = service
+        .submit(JobSpec::prove_segmented(
+            graph.clone(),
+            Backend::Kzg,
+            2,
+            SegmentSpec::Fixed(2),
+        ))
+        .unwrap()
+        .wait()
+        .unwrap()
+        .expect("segmented jobs produce artifacts");
+    assert_eq!(
+        second.cache,
+        CacheOutcome::MemoryHit,
+        "every segment pk shard must be reused"
+    );
+    assert_ne!(
+        second.proof, first.proof,
+        "different seeds, different proofs"
+    );
+
+    let snap = service.snapshot();
+    assert_eq!(snap.jobs_completed, 2);
+    assert_eq!(snap.proofs_verified, 4, "each segment proof is counted");
+    assert_eq!(snap.verify_failures, 0);
+    assert!(snap.cache_hits >= 1);
+}
+
 /// Two layouts of the same model must never share a cache entry: their
 /// circuit digests (and hence artifact keys and spill files) differ even
 /// when the model hash and backend agree, and a cached key that does not

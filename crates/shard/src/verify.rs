@@ -1,0 +1,235 @@
+//! Bundle verification: boundary chaining, per-segment transcript-bound
+//! verification, and one batched KZG settlement for the whole chain.
+
+use crate::bundle::{segment_binding, SegmentedProof};
+use crate::ShardError;
+use std::sync::Arc;
+use zkml_pcs::{batch_check, Backend, KzgSrs, Params, Verification};
+use zkml_plonk::{verify_proof_deferred, VerifyingKey};
+
+/// What a successful [`verify_bundle`] did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BundleReport {
+    /// Segments in the bundle.
+    pub segments: usize,
+    /// KZG accumulators settled by the single batched multi-pairing
+    /// (0 for IPA bundles, which verify completely per segment).
+    pub kzg_batched: usize,
+}
+
+/// Verifies a segmented proof bundle end to end.
+///
+/// Checks, in order:
+///
+/// 1. **Shape** — at least one segment, the first with an empty boundary-in
+///    prefix, every header `k` matching its verifying key.
+/// 2. **Chaining** — segment `i`'s instance past its boundary-in prefix
+///    equals segment `i+1`'s boundary-in prefix, value for value; together
+///    with each segment's proof this pins the bundle's
+///    [`public_outputs`](SegmentedProof::public_outputs) to the composed
+///    model evaluated on the first segment's committed inputs.
+/// 3. **Per-segment proofs** — verified in parallel with the transcript
+///    bound to `(chain digest, position, segment count)` recomputed from
+///    the bundle itself, so reordering, splicing, or tampering with any
+///    segment's public data invalidates every proof's Fiat–Shamir
+///    challenges.
+/// 4. **Settlement** — KZG pairing checks are deferred and folded into
+///    **one** multi-pairing via [`zkml_pcs::batch_check`] (all segments
+///    share the deterministic SRS's tau, whatever their `k`); IPA segments
+///    were already settled in step 3.
+///
+/// `params_for` supplies the commitment params per `(backend, k)` —
+/// typically an artifact cache or a [`crate::FreshKeySource`] closure.
+pub fn verify_bundle<F>(bundle: &SegmentedProof, params_for: F) -> Result<BundleReport, ShardError>
+where
+    F: Fn(Backend, u32) -> Arc<Params> + Sync,
+{
+    let n = bundle.segments.len();
+    if n == 0 {
+        return Err(ShardError::Malformed("bundle has no segments".into()));
+    }
+    if bundle.segments[0].boundary_in_len != 0 {
+        return Err(ShardError::Verify(
+            "first segment claims boundary inputs".into(),
+        ));
+    }
+
+    let mut vks = Vec::with_capacity(n);
+    for (i, s) in bundle.segments.iter().enumerate() {
+        if (s.boundary_in_len as usize) > s.instance.len() {
+            return Err(ShardError::Malformed(format!(
+                "segment {i}: boundary prefix longer than instance column"
+            )));
+        }
+        let vk = VerifyingKey::from_bytes(&s.vk_bytes)
+            .map_err(|e| ShardError::Malformed(format!("segment {i}: bad verifying key: {e}")))?;
+        if vk.k != s.k {
+            return Err(ShardError::Malformed(format!(
+                "segment {i}: header k = {} but verifying key k = {}",
+                s.k, vk.k
+            )));
+        }
+        vks.push(vk);
+    }
+
+    for i in 0..n - 1 {
+        let out = &bundle.segments[i].instance[bundle.segments[i].boundary_in_len as usize..];
+        let next = &bundle.segments[i + 1];
+        let inn = &next.instance[..next.boundary_in_len as usize];
+        if out != inn {
+            return Err(ShardError::Verify(format!(
+                "boundary mismatch between segments {i} and {}",
+                i + 1
+            )));
+        }
+    }
+
+    let chain = bundle.chain_digest();
+    let results: Vec<Result<(Verification, Arc<Params>), ShardError>> = zkml_par::par_map(n, |i| {
+        let s = &bundle.segments[i];
+        let params = params_for(bundle.backend, s.k);
+        let instance = [s.instance.clone()];
+        let binding = segment_binding(&chain, i, n);
+        let v = verify_proof_deferred(&params, &vks[i], &instance, &s.proof, &binding)
+            .map_err(|e| ShardError::Verify(format!("segment {i}: {e}")))?;
+        Ok((v, params))
+    });
+
+    let mut accs = Vec::new();
+    let mut srs: Option<&KzgSrs> = None;
+    let mut held: Vec<Arc<Params>> = Vec::with_capacity(n);
+    for r in &results {
+        match r {
+            Err(e) => {
+                return Err(match e {
+                    ShardError::Verify(s) => ShardError::Verify(s.clone()),
+                    other => ShardError::Malformed(other.to_string()),
+                })
+            }
+            Ok((_, params)) => held.push(Arc::clone(params)),
+        }
+    }
+    for (i, r) in results.iter().enumerate() {
+        let Ok((v, _)) = r else { unreachable!() };
+        match v {
+            Verification::Complete => {}
+            Verification::Deferred(acc) => {
+                let Params::Kzg(s) = held[i].as_ref() else {
+                    return Err(ShardError::Verify(format!(
+                        "segment {i}: deferred verification without KZG params"
+                    )));
+                };
+                match srs {
+                    None => srs = Some(s),
+                    Some(first) => {
+                        // The deterministic setup shares one tau across
+                        // every k; a params source violating that cannot
+                        // be folded into one pairing.
+                        if first.tau_g2 != s.tau_g2 {
+                            return Err(ShardError::Verify(
+                                "segments use incompatible SRS instances".into(),
+                            ));
+                        }
+                    }
+                }
+                accs.push(acc.clone());
+            }
+        }
+    }
+
+    if let Some(s) = srs {
+        if !batch_check(s, &accs) {
+            return Err(ShardError::Verify("batched KZG settlement failed".into()));
+        }
+    }
+
+    Ok(BundleReport {
+        segments: n,
+        kzg_batched: accs.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prove::{compile_segments, prove_compiled, FreshKeySource, KeySource, SegmentSpec};
+    use zkml::{
+        eval_schedule, Gadget, HardwareStats, NumericConfig, OpSchedule, OptimizerOptions,
+        ScheduleBuilder,
+    };
+    use zkml_ff::{Fr, PrimeField};
+
+    /// relu -> dot -> add, enough structure to cut in two.
+    fn toy_schedule() -> OpSchedule {
+        let mut sb = ScheduleBuilder::new(NumericConfig::default_nano());
+        let xs = sb.load_values(&[3, -2, 5, 1, -4, 7, 2, -1]);
+        let ws = sb.load_values(&[2; 8]);
+        let r = sb.relu(&xs);
+        let pairs: Vec<_> = r.iter().zip(&ws).map(|(a, b)| (*a, *b)).collect();
+        let m = sb.arith_pack(Gadget::MulPack, &pairs);
+        let d = sb.dot(&r, &ws, None);
+        let s = sb.sum(&[m[0], m[1], d]);
+        sb.finish(vec![(vec![1], vec![s])])
+    }
+
+    fn setup() -> (OptimizerOptions, &'static HardwareStats) {
+        let opts = OptimizerOptions::new(zkml_pcs::Backend::Kzg, 12);
+        let hw = Box::leak(Box::new(HardwareStats::fixture()));
+        (opts, hw)
+    }
+
+    #[test]
+    fn segmented_roundtrip_batches_and_matches_monolithic() {
+        let sched = toy_schedule();
+        let (opts, hw) = setup();
+        let keys = FreshKeySource::default();
+        let model_hash = [0xA5u8; 32];
+
+        let segs = compile_segments(&sched, SegmentSpec::Fixed(2), &opts, hw).unwrap();
+        assert_eq!(segs.len(), 2, "toy schedule should cut in two");
+        let bundle = prove_compiled(model_hash, &segs, &keys, &opts, 42).unwrap();
+
+        let report = verify_bundle(&bundle, |b, k| keys.params(b, k)).unwrap();
+        assert_eq!(report.segments, 2);
+        assert_eq!(report.kzg_batched, 2, "KZG must settle via the batch");
+
+        // Public outputs match the monolithic evaluation.
+        let vals = eval_schedule(&sched);
+        let expected = Fr::from_i64(*vals.last().unwrap());
+        assert_eq!(bundle.public_outputs(), &[expected]);
+
+        // And the serialized form round-trips to a verifying bundle.
+        let back = SegmentedProof::from_bytes(&bundle.to_bytes()).unwrap();
+        verify_bundle(&back, |b, k| keys.params(b, k)).unwrap();
+    }
+
+    #[test]
+    fn tampered_boundary_and_order_rejected() {
+        let sched = toy_schedule();
+        let (opts, hw) = setup();
+        let keys = FreshKeySource::default();
+        let segs = compile_segments(&sched, SegmentSpec::Fixed(2), &opts, hw).unwrap();
+        let bundle = prove_compiled([1u8; 32], &segs, &keys, &opts, 7).unwrap();
+        let ok = |b: &SegmentedProof| verify_bundle(b, |be, k| keys.params(be, k)).is_ok();
+        assert!(ok(&bundle));
+
+        // Tampering with a boundary instance value breaks the chain (and
+        // the binding).
+        let mut t = bundle.clone();
+        let cut = t.segments[0].boundary_in_len as usize;
+        t.segments[0].instance[cut] += Fr::from_u64(1);
+        assert!(!ok(&t));
+
+        // Swapping segment order must fail even though each proof is
+        // individually valid somewhere.
+        let mut sw = bundle.clone();
+        sw.segments.swap(0, 1);
+        assert!(!ok(&sw));
+
+        // Proof bytes are covered by verification itself.
+        let mut p = bundle.clone();
+        let mid = p.segments[1].proof.len() / 2;
+        p.segments[1].proof[mid] ^= 1;
+        assert!(!ok(&p));
+    }
+}

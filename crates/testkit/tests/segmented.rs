@@ -1,0 +1,140 @@
+//! Adversarial suite for the segmented proving subsystem: every way of
+//! recombining individually-valid segment proofs into a bundle the prover
+//! never produced must fail batch verification — tampered boundary values,
+//! reordered segments, and segments spliced in from a *different* model's
+//! bundle. Alongside the negative cases, the suite pins the determinism
+//! contract: segmented and monolithic proving agree on the public outputs,
+//! and bundles are byte-identical at any thread count.
+//!
+//! Run directly with `cargo test -p zkml-testkit --test segmented`.
+
+use zkml::{
+    eval_schedule, optimize_schedule, Gadget, HardwareStats, NumericConfig, OpSchedule,
+    OptimizerOptions, ScheduleBuilder,
+};
+use zkml_ff::{Fr, PrimeField};
+use zkml_par::{with_pool, Pool};
+use zkml_pcs::Backend;
+use zkml_shard::{
+    compile_segments, prove_compiled, verify_bundle, FreshKeySource, KeySource, SegmentSpec,
+    SegmentedProof,
+};
+
+/// relu -> MulPack + dot -> sum with parameterized weights: two weight
+/// values give two *different models* whose segment-0 circuits (and
+/// boundary values, which are the relu outputs) are identical — the
+/// hardest splice case, because the boundary chain still lines up.
+fn toy_schedule(weight: i64) -> OpSchedule {
+    let mut sb = ScheduleBuilder::new(NumericConfig::default_nano());
+    let xs = sb.load_values(&[3, -2, 5, 1, -4, 7, 2, -1]);
+    let ws = sb.load_values(&[weight; 8]);
+    let r = sb.relu(&xs);
+    let pairs: Vec<_> = r.iter().zip(&ws).map(|(a, b)| (*a, *b)).collect();
+    let m = sb.arith_pack(Gadget::MulPack, &pairs);
+    let d = sb.dot(&r, &ws, None);
+    let s = sb.sum(&[m[0], m[1], d]);
+    sb.finish(vec![(vec![1], vec![s])])
+}
+
+fn setup() -> (OptimizerOptions, &'static HardwareStats) {
+    let opts = OptimizerOptions::new(Backend::Kzg, 12);
+    let hw = Box::leak(Box::new(HardwareStats::fixture()));
+    (opts, hw)
+}
+
+fn prove_toy(weight: i64, model_hash: [u8; 32], keys: &FreshKeySource) -> SegmentedProof {
+    let (opts, hw) = setup();
+    let segs = compile_segments(&toy_schedule(weight), SegmentSpec::Fixed(2), &opts, hw).unwrap();
+    assert_eq!(segs.len(), 2, "toy schedule should cut in two");
+    prove_compiled(model_hash, &segs, keys, &opts, 42).unwrap()
+}
+
+fn verifies(bundle: &SegmentedProof, keys: &FreshKeySource) -> bool {
+    verify_bundle(bundle, |b, k| keys.params(b, k)).is_ok()
+}
+
+#[test]
+fn splice_from_other_models_bundle_rejected() {
+    let keys = FreshKeySource::default();
+    let a = prove_toy(2, [0xAAu8; 32], &keys);
+    let b = prove_toy(3, [0xBBu8; 32], &keys);
+    assert!(verifies(&a, &keys));
+    assert!(verifies(&b, &keys));
+
+    // Both models share inputs, so the relu boundary values chain cleanly
+    // into the foreign tail segment; only the transcript binding (over the
+    // model hash and every segment's public data) can catch the splice.
+    assert_eq!(
+        &a.segments[0].instance, &b.segments[0].instance,
+        "splice precondition: boundaries must collide for the hard case"
+    );
+    let mut spliced = a.clone();
+    spliced.segments[1] = b.segments[1].clone();
+    assert!(!verifies(&spliced, &keys), "cross-model splice must fail");
+
+    // Same segments, relabeled model: the chain digest covers the model
+    // hash, so even a bundle of untouched proofs fails under another hash.
+    let mut relabeled = a.clone();
+    relabeled.model_hash = [0xBBu8; 32];
+    assert!(!verifies(&relabeled, &keys), "model relabeling must fail");
+}
+
+#[test]
+fn tampered_boundary_instance_rejected() {
+    let keys = FreshKeySource::default();
+    let bundle = prove_toy(2, [1u8; 32], &keys);
+    let mut t = bundle.clone();
+    let cut = t.segments[1].boundary_in_len as usize;
+    // Shift one boundary value consistently on *both* sides of the cut, so
+    // the chain equality holds and only the proofs themselves can object.
+    t.segments[0].instance[cut - 1] += Fr::from_u64(1);
+    t.segments[1].instance[cut - 1] += Fr::from_u64(1);
+    assert!(!verifies(&t, &keys), "consistent boundary tamper must fail");
+}
+
+#[test]
+fn swapped_segment_order_rejected() {
+    let keys = FreshKeySource::default();
+    let bundle = prove_toy(2, [2u8; 32], &keys);
+    let mut sw = bundle.clone();
+    sw.segments.swap(0, 1);
+    assert!(!verifies(&sw, &keys), "reordered segments must fail");
+}
+
+#[test]
+fn segmented_and_monolithic_agree_on_public_outputs() {
+    let (opts, hw) = setup();
+    let keys = FreshKeySource::default();
+    let sched = toy_schedule(2);
+
+    let report = optimize_schedule(sched.clone(), &opts, hw).unwrap();
+    let mono = report.synthesize_best().unwrap();
+    let mono_outputs = mono.instance().first().cloned().unwrap_or_default();
+
+    let segs = compile_segments(&sched, SegmentSpec::Fixed(2), &opts, hw).unwrap();
+    let bundle = prove_compiled([3u8; 32], &segs, &keys, &opts, 9).unwrap();
+    assert!(verifies(&bundle, &keys));
+
+    assert_eq!(
+        bundle.public_outputs(),
+        &mono_outputs[..],
+        "segmented bundle must expose the monolithic public outputs"
+    );
+    let expected = Fr::from_i64(*eval_schedule(&sched).last().unwrap());
+    assert_eq!(bundle.public_outputs(), &[expected]);
+}
+
+#[test]
+fn bundles_identical_across_thread_counts() {
+    let keys = FreshKeySource::default();
+    let serial = Pool::new(1);
+    let wide = Pool::new(4);
+    let one = with_pool(&serial, || prove_toy(2, [4u8; 32], &keys));
+    let many = with_pool(&wide, || prove_toy(2, [4u8; 32], &keys));
+    assert_eq!(
+        one.to_bytes(),
+        many.to_bytes(),
+        "segmented proving must be deterministic at any thread count"
+    );
+    assert!(verifies(&one, &keys));
+}

@@ -4,8 +4,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release"
-cargo build --release
+echo "==> cargo build --release (workspace, including the zkml CLI)"
+cargo build --workspace --release
 
 echo "==> cargo test -q (workspace, default ZKML_THREADS)"
 cargo test --workspace -q
@@ -19,6 +19,15 @@ cargo test -p zkml-plonk --test negative_path -q
 
 echo "==> optimizer parity (parallel sweep == serial exhaustive sweep)"
 cargo test -p zkml --test optimizer_parity -q
+
+echo "==> segmented prove/verify round-trip (bundles identical across thread counts)"
+SEG_TMP="$(mktemp -d)"
+trap 'rm -rf "$SEG_TMP"' EXIT
+./target/release/zkml prove MNIST --dir "$SEG_TMP/default" --segments 3 --seed 7
+ZKML_THREADS=1 ./target/release/zkml prove MNIST --dir "$SEG_TMP/serial" --segments 3 --seed 7
+cmp "$SEG_TMP/default/bundle.bin" "$SEG_TMP/serial/bundle.bin"
+./target/release/zkml verify --dir "$SEG_TMP/default"
+ZKML_THREADS=1 ./target/release/zkml verify --dir "$SEG_TMP/serial"
 
 echo "==> cargo doc (workspace, warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
