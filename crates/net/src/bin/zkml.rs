@@ -6,15 +6,23 @@
 //! zkml optimize mnist --backend kzg
 //! zkml prove mnist --dir /tmp/mnist-proof [--backend kzg] [--seed 7]
 //! zkml verify --dir /tmp/mnist-proof
+//! zkml serve --http 127.0.0.1:9944 [--journal J] [--tenant-limit T:R:B:Q]
+//! zkml submit mnist --http 127.0.0.1:9944 [--tenant T] [--wait] [--dir D]
+//! zkml status --http 127.0.0.1:9944 --id 3 [--dir D]
+//! zkml cancel --http 127.0.0.1:9944 --id 3
 //! zkml serve --spool /tmp/zkml-spool [--workers 2] [--once] [--cache-dir D]
 //! zkml submit mnist --spool /tmp/zkml-spool [--seed 7] [--wait]
 //! ```
 //!
-//! `serve`/`submit` speak a spool-directory protocol: `submit` drops a
-//! `<job>.req` file (atomic rename), `serve` picks it up, proves through the
-//! `zkml-service` worker pool, and writes `<job>.out/` with the proof
-//! artifacts and a `status` file. The environment has no network; a spool
-//! directory gives the same queue semantics over a shared filesystem.
+//! The primary serving surface is HTTP (`serve --http`): a std-only
+//! HTTP/1.1 gateway with a durable job journal, per-tenant admission, and
+//! priority lanes (see `zkml-net`). Rejections for backpressure map to
+//! HTTP 429 on the wire and exit code 3 in the client.
+//!
+//! `serve --spool`/`submit --spool` speak the legacy spool-directory
+//! protocol: `submit` drops a `<job>.req` file (atomic rename), `serve`
+//! picks it up, proves through the `zkml-service` worker pool, and writes
+//! `<job>.out/` with the proof artifacts and a `status` file.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -25,6 +33,9 @@ use std::time::{Duration, Instant};
 use zkml::{optimizer, OptimizerOptions};
 use zkml_ff::PrimeField;
 use zkml_model::Graph;
+use zkml_net::{
+    decode_hex, http_request, AdmissionConfig, Gateway, GatewayConfig, Json, JsonObj, TenantPolicy,
+};
 use zkml_pcs::{Backend, Params};
 use zkml_plonk::VerifyingKey;
 use zkml_service::{
@@ -34,10 +45,13 @@ use zkml_service::{
 use zkml_shard::{FreshKeySource, KeySource, SegmentSpec, SegmentedProof};
 use zkml_tensor::{FixedPoint, Tensor};
 
-/// A CLI failure: either a usage error (exit 2) or a runtime error (exit 1).
+/// A CLI failure: a usage error (exit 2), a runtime error (exit 1), or a
+/// retryable backpressure rejection — rate limit, quota, queue full —
+/// (exit 3, so scripts can distinguish "try again later" from "broken").
 enum CliError {
     Usage,
     Msg(String),
+    Backoff(String),
 }
 
 impl From<String> for CliError {
@@ -57,6 +71,15 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// All values of a repeatable flag (e.g. `--tenant-limit A:.. --tenant-limit B:..`).
+fn flag_values(args: &[String], flag: &str) -> Vec<String> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| *a == flag)
+        .filter_map(|(i, _)| args.get(i + 1).cloned())
+        .collect()
 }
 
 fn has_flag(args: &[String], flag: &str) -> bool {
@@ -96,9 +119,18 @@ fn usage() -> &'static str {
      zkml prove <model|path.zkml> --dir <out-dir> [--backend kzg|ipa] [--seed N]\n             \
      [--segments N|auto] [--max-k K]\n  \
      zkml verify --dir <dir>\n  \
-     zkml serve --spool <dir> [--workers N] [--queue N] [--cache-dir <dir>]\n             \
+     zkml serve --http <addr> [--workers N] [--queue N] [--cache-dir <dir>]\n             \
+     [--journal <file>] [--port-file <file>] [--handlers N] [--lane-cap N]\n             \
+     [--rate R] [--burst B] [--quota Q] [--tenant-limit NAME:RATE:BURST:QUOTA]...\n             \
+     [--deadline-s S] [--verify-batch N] [--no-verify]\n  \
+     zkml submit <model> --http <addr> [--tenant T] [--priority interactive|batch]\n             \
+     [--backend kzg|ipa] [--seed N] [--segments N|auto] [--wait] [--timeout-s S]\n             \
+     [--dir <out-dir>]\n  \
+     zkml status --http <addr> --id <job> [--dir <out-dir>]\n  \
+     zkml cancel --http <addr> --id <job>\n  \
+     zkml serve --spool <dir> [--workers N] [--queue N] [--cache-dir <dir>]   (legacy)\n             \
      [--once] [--poll-ms M] [--deadline-s S] [--verify-batch N] [--no-verify]\n  \
-     zkml submit <model> --spool <dir> [--backend kzg|ipa] [--seed N]\n             \
+     zkml submit <model> --spool <dir> [--backend kzg|ipa] [--seed N]         (legacy)\n             \
      [--segments N|auto] [--wait] [--timeout-s S]"
 }
 
@@ -144,6 +176,10 @@ fn main() -> ExitCode {
         Err(CliError::Msg(msg)) => {
             eprintln!("error: {msg}");
             ExitCode::FAILURE
+        }
+        Err(CliError::Backoff(msg)) => {
+            eprintln!("rejected (retry later): {msg}");
+            ExitCode::from(3)
         }
     }
 }
@@ -215,8 +251,12 @@ fn run(args: &[String]) -> Result<(), CliError> {
             let dir = flag_value(args, "--dir").ok_or(CliError::Usage)?;
             verify_flow(Path::new(&dir))
         }
+        Some("serve") if has_flag(args, "--http") => serve_http_flow(args),
         Some("serve") => serve_flow(args),
+        Some("submit") if has_flag(args, "--http") => submit_http_flow(args),
         Some("submit") => submit_flow(args),
+        Some("status") => status_http_flow(args),
+        Some("cancel") => cancel_http_flow(args),
         _ => Err(CliError::Usage),
     }
 }
@@ -803,5 +843,331 @@ fn submit_flow(args: &[String]) -> Result<(), CliError> {
             std::thread::sleep(Duration::from_millis(100));
         }
     }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// HTTP protocol: serve / submit / status / cancel.
+// ---------------------------------------------------------------------------
+
+/// Set by SIGINT/SIGTERM; the serve loop polls it and shuts down gracefully
+/// (drain the lanes, settle verification, fsync the journal).
+static SHUTDOWN_REQUESTED: std::sync::atomic::AtomicBool =
+    std::sync::atomic::AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_shutdown_handler() {
+    unsafe extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    extern "C" fn on_signal(_signum: i32) {
+        SHUTDOWN_REQUESTED.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let handler = on_signal as extern "C" fn(i32) as usize;
+    unsafe {
+        signal(SIGINT, handler);
+        signal(SIGTERM, handler);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_shutdown_handler() {}
+
+/// Parses `NAME:RATE:BURST:QUOTA` into a per-tenant policy override.
+fn parse_tenant_limit(spec: &str) -> Result<(String, TenantPolicy), CliError> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let bad = || {
+        CliError::Msg(format!(
+            "bad --tenant-limit '{spec}' (want NAME:RATE:BURST:QUOTA)"
+        ))
+    };
+    if parts.len() != 4 || parts[0].is_empty() {
+        return Err(bad());
+    }
+    let rate: f64 = parts[1].parse().map_err(|_| bad())?;
+    let burst: f64 = parts[2].parse().map_err(|_| bad())?;
+    let quota: usize = parts[3].parse().map_err(|_| bad())?;
+    if rate.is_nan() || burst.is_nan() || rate <= 0.0 || burst < 1.0 {
+        return Err(bad());
+    }
+    Ok((
+        parts[0].to_string(),
+        TenantPolicy {
+            rate_per_s: rate,
+            burst,
+            max_in_flight: quota,
+        },
+    ))
+}
+
+fn serve_http_flow(args: &[String]) -> Result<(), CliError> {
+    let addr = flag_value(args, "--http").ok_or(CliError::Usage)?;
+    let deadline_s: u64 = parsed_flag(args, "--deadline-s", 0)?;
+    let service = ServiceConfig {
+        workers: parsed_flag(args, "--workers", 2usize)?,
+        queue_capacity: parsed_flag(args, "--queue", 16usize)?,
+        default_deadline: (deadline_s > 0).then(|| Duration::from_secs(deadline_s)),
+        cache_dir: flag_value(args, "--cache-dir").map(PathBuf::from),
+        verify_after_prove: !has_flag(args, "--no-verify"),
+        ..ServiceConfig::default()
+    };
+    let default_policy = TenantPolicy {
+        rate_per_s: parsed_flag(args, "--rate", 50.0f64)?,
+        burst: parsed_flag(args, "--burst", 100.0f64)?,
+        max_in_flight: parsed_flag(args, "--quota", 32usize)?,
+    };
+    let overrides = flag_values(args, "--tenant-limit")
+        .iter()
+        .map(|s| parse_tenant_limit(s))
+        .collect::<Result<Vec<_>, _>>()?;
+    let admission = AdmissionConfig {
+        default_policy,
+        overrides,
+        lane_capacity: parsed_flag(args, "--lane-cap", 256usize)?,
+        ..AdmissionConfig::default()
+    };
+    let cfg = GatewayConfig {
+        addr,
+        service,
+        admission,
+        journal: flag_value(args, "--journal").map(PathBuf::from),
+        handler_threads: parsed_flag(args, "--handlers", 4usize)?,
+        verify_batch: parsed_flag(args, "--verify-batch", 4usize)?,
+    };
+    install_shutdown_handler();
+    let gateway = Gateway::start(cfg).map_err(|e| CliError::Msg(format!("start gateway: {e}")))?;
+    let bound = gateway.local_addr();
+    println!("serving http on {bound}");
+    // Publish the bound address for scripts that asked for port 0.
+    if let Some(port_file) = flag_value(args, "--port-file") {
+        std::fs::write(&port_file, format!("{bound}\n"))
+            .map_err(|e| CliError::Msg(format!("write {port_file}: {e}")))?;
+    }
+    while !SHUTDOWN_REQUESTED.load(std::sync::atomic::Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    println!("shutdown requested; draining");
+    let stats = gateway.stats_json();
+    gateway.shutdown();
+    println!("{stats}");
+    Ok(())
+}
+
+/// Maps an HTTP error response to a CLI error; 429s become `Backoff`.
+fn http_error(resp: &zkml_net::HttpResponse, what: &str) -> CliError {
+    let detail = Json::parse(&resp.body)
+        .ok()
+        .and_then(|v| v.get("error").and_then(|e| e.as_str().map(String::from)))
+        .unwrap_or_else(|| resp.body.clone());
+    if resp.status == 429 {
+        let retry = resp
+            .header("retry-after")
+            .map(|v| format!(" (retry after {v}s)"))
+            .unwrap_or_default();
+        CliError::Backoff(format!("{what}: {detail}{retry}"))
+    } else {
+        CliError::Msg(format!("{what}: HTTP {}: {detail}", resp.status))
+    }
+}
+
+/// Writes a completed job's artifacts (fetched as hex over HTTP) into a
+/// proof directory that `zkml verify --dir` accepts.
+fn write_proof_dir_from_status(dir: &Path, status: &Json) -> Result<(), CliError> {
+    let hex_field = |name: &str| -> Result<Vec<u8>, CliError> {
+        let h = status
+            .get(name)
+            .and_then(Json::as_str)
+            .ok_or_else(|| CliError::Msg(format!("job status missing {name}")))?;
+        decode_hex(h).map_err(|e| CliError::Msg(format!("{name}: {e}")))
+    };
+    std::fs::create_dir_all(dir)
+        .map_err(|e| CliError::Msg(format!("create {}: {e}", dir.display())))?;
+    let write = |name: &str, bytes: &[u8]| -> Result<(), CliError> {
+        std::fs::write(dir.join(name), bytes)
+            .map_err(|e| CliError::Msg(format!("write {name}: {e}")))
+    };
+    let bundled = status
+        .get("bundle")
+        .and_then(Json::as_bool)
+        .unwrap_or(false);
+    if bundled {
+        // Segmented bundles carry their own per-segment verifying keys.
+        write("bundle.bin", &hex_field("proof_hex")?)?;
+    } else {
+        write("proof.bin", &hex_field("proof_hex")?)?;
+        write("vk.bin", &hex_field("vk_hex")?)?;
+    }
+    write("public.bin", &hex_field("public_hex")?)?;
+    println!("wrote proof artifacts to {}", dir.display());
+    Ok(())
+}
+
+fn fetch_status(addr: &str, id: u64) -> Result<Json, CliError> {
+    let resp = http_request(addr, "GET", &format!("/v1/jobs/{id}"), None).map_err(CliError::Msg)?;
+    if resp.status != 200 {
+        return Err(http_error(&resp, &format!("job {id}")));
+    }
+    Json::parse(&resp.body).map_err(|e| CliError::Msg(format!("bad status json: {e}")))
+}
+
+/// Polls a job until it reaches a terminal state; returns its final status
+/// document. Completed jobs optionally download artifacts into `--dir`.
+fn wait_for_job(
+    addr: &str,
+    id: u64,
+    timeout: Duration,
+    dir: Option<&Path>,
+) -> Result<(), CliError> {
+    let start = Instant::now();
+    loop {
+        let status = fetch_status(addr, id)?;
+        let state = status
+            .get("status")
+            .and_then(Json::as_str)
+            .unwrap_or("unknown")
+            .to_string();
+        match state.as_str() {
+            "completed" => {
+                println!(
+                    "job {id} completed (k={}, {} segment(s), {} ms)",
+                    status.get("k").and_then(Json::as_u64).unwrap_or(0),
+                    status.get("segments").and_then(Json::as_u64).unwrap_or(0),
+                    status.get("prove_ms").and_then(Json::as_u64).unwrap_or(0),
+                );
+                if let Some(dir) = dir {
+                    write_proof_dir_from_status(dir, &status)?;
+                }
+                return Ok(());
+            }
+            "failed" => {
+                let err = status
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown error");
+                return Err(CliError::Msg(format!("job {id} failed: {err}")));
+            }
+            "cancelled" => return Err(CliError::Msg(format!("job {id} was cancelled"))),
+            _ => {}
+        }
+        if start.elapsed() > timeout {
+            return Err(CliError::Msg(format!(
+                "timed out after {timeout:?} waiting for job {id} (last state: {state})"
+            )));
+        }
+        std::thread::sleep(Duration::from_millis(200));
+    }
+}
+
+fn submit_http_flow(args: &[String]) -> Result<(), CliError> {
+    let model = args
+        .get(1)
+        .filter(|m| !m.starts_with("--"))
+        .ok_or(CliError::Usage)?;
+    let addr = flag_value(args, "--http").ok_or(CliError::Usage)?;
+    let seed: u64 = parsed_flag(args, "--seed", 1)?;
+    let mut body = JsonObj::new();
+    if let Some(tenant) = flag_value(args, "--tenant") {
+        body = body.str("tenant", &tenant);
+    }
+    if let Some(priority) = flag_value(args, "--priority") {
+        body = body.str("priority", &priority);
+    }
+    let sleep_ms: u64 = parsed_flag(args, "--sleep-ms", 0)?;
+    if model.as_str() == "sleep" {
+        // A no-op job, useful for exercising admission without proving.
+        body = body.str("kind", "sleep").u64("sleep_ms", sleep_ms);
+    } else {
+        body = body
+            .str("model", model)
+            .str(
+                "backend",
+                match parse_backend(args) {
+                    Backend::Kzg => "kzg",
+                    Backend::Ipa => "ipa",
+                },
+            )
+            .u64("seed", seed);
+        match parse_segments(args)? {
+            Some(SegmentSpec::Auto) => {
+                body = body.str("kind", "prove_segmented").str("segments", "auto")
+            }
+            Some(SegmentSpec::Fixed(n)) => {
+                body = body
+                    .str("kind", "prove_segmented")
+                    .u64("segments", n as u64)
+            }
+            None => body = body.str("kind", "prove"),
+        }
+    }
+    let resp =
+        http_request(&addr, "POST", "/v1/jobs", Some(&body.finish())).map_err(CliError::Msg)?;
+    if resp.status != 202 {
+        return Err(http_error(&resp, "submit"));
+    }
+    let accepted =
+        Json::parse(&resp.body).map_err(|e| CliError::Msg(format!("bad response json: {e}")))?;
+    let id = accepted
+        .get("job_id")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| CliError::Msg("response missing job_id".to_string()))?;
+    println!("submitted job {id} ({model}, seed {seed})");
+    if has_flag(args, "--wait") {
+        let timeout = Duration::from_secs(parsed_flag(args, "--timeout-s", 600u64)?);
+        let dir = flag_value(args, "--dir").map(PathBuf::from);
+        wait_for_job(&addr, id, timeout, dir.as_deref())?;
+    }
+    Ok(())
+}
+
+fn status_http_flow(args: &[String]) -> Result<(), CliError> {
+    let addr = flag_value(args, "--http").ok_or(CliError::Usage)?;
+    let id: u64 = flag_value(args, "--id")
+        .ok_or(CliError::Usage)?
+        .parse()
+        .map_err(|_| CliError::Msg("bad --id".to_string()))?;
+    let status = fetch_status(&addr, id)?;
+    let state = status
+        .get("status")
+        .and_then(Json::as_str)
+        .unwrap_or("unknown");
+    println!(
+        "job {id}: {state} (tenant {}, {} {})",
+        status.get("tenant").and_then(Json::as_str).unwrap_or("?"),
+        status.get("priority").and_then(Json::as_str).unwrap_or("?"),
+        status.get("kind").and_then(Json::as_str).unwrap_or("?"),
+    );
+    if let Some(err) = status.get("error").and_then(Json::as_str) {
+        println!("error: {err}");
+    }
+    if state == "completed" {
+        if let Some(dir) = flag_value(args, "--dir") {
+            write_proof_dir_from_status(Path::new(&dir), &status)?;
+        }
+    }
+    if state == "failed" || state == "cancelled" {
+        return Err(CliError::Msg(format!("job {id} is {state}")));
+    }
+    Ok(())
+}
+
+fn cancel_http_flow(args: &[String]) -> Result<(), CliError> {
+    let addr = flag_value(args, "--http").ok_or(CliError::Usage)?;
+    let id: u64 = flag_value(args, "--id")
+        .ok_or(CliError::Usage)?
+        .parse()
+        .map_err(|_| CliError::Msg("bad --id".to_string()))?;
+    let resp =
+        http_request(&addr, "DELETE", &format!("/v1/jobs/{id}"), None).map_err(CliError::Msg)?;
+    if resp.status != 200 && resp.status != 202 {
+        return Err(http_error(&resp, &format!("cancel job {id}")));
+    }
+    let doc =
+        Json::parse(&resp.body).map_err(|e| CliError::Msg(format!("bad response json: {e}")))?;
+    println!(
+        "job {id}: {}",
+        doc.get("status").and_then(Json::as_str).unwrap_or("?")
+    );
     Ok(())
 }

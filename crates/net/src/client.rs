@@ -1,0 +1,109 @@
+//! A tiny blocking HTTP/1.1 client for the CLI (`zkml submit --http`,
+//! `zkml status --http`) and the benches. One request per connection,
+//! mirroring the server's connection-close policy.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A decoded HTTP response.
+#[derive(Debug)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: u16,
+    /// Headers with lowercased names.
+    pub headers: Vec<(String, String)>,
+    /// Body as text (the API always answers JSON).
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// First header with the given (lowercase) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Performs one HTTP request against `addr` (a `host:port` string). A JSON
+/// body may be supplied for POST.
+pub fn http_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<HttpResponse, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .and_then(|()| stream.set_write_timeout(Some(Duration::from_secs(30))))
+        .map_err(|e| format!("socket timeout: {e}"))?;
+    let body = body.unwrap_or("");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| format!("send request: {e}"))?;
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| format!("read response: {e}"))?;
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &[u8]) -> Result<HttpResponse, String> {
+    let split = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or("response missing header terminator")?;
+    let head = std::str::from_utf8(&raw[..split]).map_err(|_| "non-utf8 response headers")?;
+    let body_bytes = &raw[split + 4..];
+    let mut lines = head.lines();
+    let status_line = lines.next().ok_or("empty response")?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line '{status_line}'"))?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if let Some((k, v)) = line.split_once(':') {
+            headers.push((k.trim().to_ascii_lowercase(), v.trim().to_string()));
+        }
+    }
+    // connection: close — the body is everything up to EOF, but honor
+    // content-length when present (defensive against trailing bytes).
+    let body = match headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok())
+    {
+        Some(n) if n <= body_bytes.len() => &body_bytes[..n],
+        _ => body_bytes,
+    };
+    Ok(HttpResponse {
+        status,
+        headers,
+        body: String::from_utf8_lossy(body).into_owned(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_response() {
+        let r = parse_response(
+            b"HTTP/1.1 429 Too Many Requests\r\nRetry-After: 2\r\nContent-Length: 7\r\n\r\n{\"e\":1}",
+        )
+        .unwrap();
+        assert_eq!(r.status, 429);
+        assert_eq!(r.header("retry-after"), Some("2"));
+        assert_eq!(r.body, "{\"e\":1}");
+    }
+}

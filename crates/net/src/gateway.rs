@@ -1,0 +1,1044 @@
+//! The HTTP gateway: a std-only threaded HTTP/1.1 server (accept loop +
+//! fixed handler pool, no async runtime) layered over the proving service.
+//!
+//! Request path: `POST /v1/jobs` → admission (token bucket, quota, lane
+//! bound) → journal `submitted` → priority lane. A single dispatcher
+//! thread drains the lanes by weighted round-robin into the service's
+//! bounded queue (journaling `started`), polls in-flight handles, joins
+//! batched verification outcomes, and appends exactly one terminal record
+//! per job. `GET /v1/jobs/{id}` serves status and (hex-encoded) artifacts,
+//! `DELETE /v1/jobs/{id}` cancels cooperatively, `GET /v1/stats` merges the
+//! service snapshot with per-tenant admission counters.
+
+use crate::admission::{Admission, AdmissionConfig, Priority, ReleaseOutcome};
+use crate::http::{read_request, write_json_response, ParseError, Request};
+use crate::journal::{replay, JobDesc, Journal, Record, ReplayState};
+use crate::json::{decode_hex, encode_hex, Json, JsonObj};
+use std::collections::{HashMap, VecDeque};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use zkml_ff::Fr;
+use zkml_model::Graph;
+use zkml_pcs::Backend;
+use zkml_service::{
+    decode_public, encode_public, CancelToken, JobHandle, JobKind, JobSpec, ProofArtifacts,
+    ProvingService, ServiceConfig, ServiceError,
+};
+use zkml_shard::SegmentSpec;
+
+/// Gateway construction parameters.
+#[derive(Clone)]
+pub struct GatewayConfig {
+    /// Listen address, e.g. `127.0.0.1:0` (port 0 binds an ephemeral port;
+    /// read it back via [`Gateway::local_addr`]).
+    pub addr: String,
+    /// The proving-service configuration behind the gateway.
+    pub service: ServiceConfig,
+    /// Admission policies, lane weights, and lane capacity.
+    pub admission: AdmissionConfig,
+    /// Journal file; `None` runs without durability (tests, benches).
+    pub journal: Option<PathBuf>,
+    /// HTTP handler threads.
+    pub handler_threads: usize,
+    /// Flush batched verification once this many proofs are pending.
+    pub verify_batch: usize,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            service: ServiceConfig::default(),
+            admission: AdmissionConfig::default(),
+            journal: None,
+            handler_threads: 4,
+            verify_batch: 4,
+        }
+    }
+}
+
+/// A job's externally visible state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobState {
+    Queued,
+    Running,
+    Completed,
+    Failed,
+    Cancelled,
+}
+
+impl JobState {
+    fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Completed => "completed",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    fn terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Completed | JobState::Failed | JobState::Cancelled
+        )
+    }
+}
+
+/// Payload of a standalone verify job (not journaled; too large).
+#[derive(Clone)]
+struct VerifyPayload {
+    backend: Backend,
+    vk: Vec<u8>,
+    public: Vec<Fr>,
+    proof: Vec<u8>,
+}
+
+struct JobEntry {
+    tenant: String,
+    priority: Priority,
+    desc: JobDesc,
+    state: JobState,
+    cancel: CancelToken,
+    graph: Option<Arc<Graph>>,
+    verify_payload: Option<VerifyPayload>,
+    artifacts: Option<ProofArtifacts>,
+    error: Option<String>,
+    /// True when the job reached `Completed` in this process, so its
+    /// artifacts (if any) are actually servable. Jobs replayed from the
+    /// journal keep their terminal state but not their bytes.
+    result_available: bool,
+}
+
+#[derive(Default)]
+struct Lanes {
+    interactive: VecDeque<u64>,
+    batch: VecDeque<u64>,
+}
+
+impl Lanes {
+    fn lane_mut(&mut self, p: Priority) -> &mut VecDeque<u64> {
+        match p {
+            Priority::Interactive => &mut self.interactive,
+            Priority::Batch => &mut self.batch,
+        }
+    }
+}
+
+struct Inner {
+    service: ProvingService,
+    admission: Admission,
+    lanes: Mutex<Lanes>,
+    registry: Mutex<HashMap<u64, JobEntry>>,
+    journal: Option<Journal>,
+    next_id: AtomicU64,
+    shutdown: AtomicBool,
+    interactive_weight: usize,
+    batch_weight: usize,
+    lane_capacity: usize,
+    verify_batch: usize,
+    verify_after_prove: bool,
+    started: Instant,
+}
+
+impl Inner {
+    fn journal_append(&self, rec: &Record) -> std::io::Result<()> {
+        match &self.journal {
+            Some(j) => j.append(rec),
+            None => Ok(()),
+        }
+    }
+
+    /// Appends a journal record where failure cannot fail the job anymore
+    /// (terminal records); IO errors are reported but not fatal.
+    fn journal_note(&self, rec: &Record) {
+        if let Err(e) = self.journal_append(rec) {
+            eprintln!("journal append failed: {e}");
+        }
+    }
+}
+
+/// How a job left the system, from the dispatcher's point of view.
+enum Outcome {
+    Completed(Option<ProofArtifacts>),
+    Failed(String),
+    Cancelled,
+}
+
+/// The running HTTP gateway. Dropping it performs a graceful shutdown:
+/// stop accepting, drain both lanes and all in-flight jobs, flush batched
+/// verification, fsync the journal.
+pub struct Gateway {
+    inner: Arc<Inner>,
+    local_addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+    dispatch_thread: Option<JoinHandle<()>>,
+    handler_threads: Vec<JoinHandle<()>>,
+}
+
+impl Gateway {
+    /// Binds the listener, replays the journal, starts the proving service,
+    /// the dispatcher, and the handler pool.
+    pub fn start(cfg: GatewayConfig) -> std::io::Result<Gateway> {
+        let verify_after_prove = cfg.service.verify_after_prove;
+        let (journal, records) = match &cfg.journal {
+            Some(path) => {
+                let (j, recs) = Journal::open(path)?;
+                (Some(j), recs)
+            }
+            None => (None, Vec::new()),
+        };
+        let service = ProvingService::start(cfg.service)?;
+        let admission = Admission::new(&cfg.admission);
+        let inner = Arc::new(Inner {
+            service,
+            admission,
+            lanes: Mutex::new(Lanes::default()),
+            registry: Mutex::new(HashMap::new()),
+            journal,
+            next_id: AtomicU64::new(1),
+            shutdown: AtomicBool::new(false),
+            interactive_weight: cfg.admission.interactive_weight.max(1),
+            batch_weight: cfg.admission.batch_weight.max(1),
+            lane_capacity: cfg.admission.lane_capacity.max(1),
+            verify_batch: cfg.verify_batch.max(1),
+            verify_after_prove,
+            started: Instant::now(),
+        });
+        replay_into(&inner, &records);
+
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let (conn_tx, conn_rx) = std::sync::mpsc::channel::<TcpStream>();
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+        let handler_threads = (0..cfg.handler_threads.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&conn_rx);
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("zkml-http-{i}"))
+                    .spawn(move || handler_loop(rx, inner))
+                    .expect("spawn http handler")
+            })
+            .collect();
+        let accept_thread = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("zkml-accept".to_string())
+                .spawn(move || accept_loop(listener, conn_tx, inner))
+                .expect("spawn accept loop")
+        };
+        let dispatch_thread = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("zkml-dispatch".to_string())
+                .spawn(move || dispatcher_loop(inner))
+                .expect("spawn dispatcher")
+        };
+        Ok(Gateway {
+            inner,
+            local_addr,
+            accept_thread: Some(accept_thread),
+            dispatch_thread: Some(dispatch_thread),
+            handler_threads,
+        })
+    }
+
+    /// The bound listen address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The merged stats document served at `GET /v1/stats`.
+    pub fn stats_json(&self) -> String {
+        stats_json(&self.inner)
+    }
+
+    /// Graceful shutdown: stop accepting, drain lanes and in-flight jobs,
+    /// flush verification, fsync the journal. Blocks until done.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join(); // exiting drops the conn sender
+        }
+        for t in self.handler_threads.drain(..) {
+            let _ = t.join();
+        }
+        if let Some(t) = self.dispatch_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(j) = &self.inner.journal {
+            let _ = j.sync();
+        }
+    }
+}
+
+impl Drop for Gateway {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+/// Rebuilds registry, lanes, and admission state from journal records.
+/// Policy: terminal jobs stay terminal (without artifact bytes); jobs that
+/// were queued re-enter their lane and re-run; jobs that were in flight
+/// when the process died are deterministically failed (the journal gains
+/// their terminal record immediately, so a second replay agrees).
+fn replay_into(inner: &Arc<Inner>, records: &[crate::journal::Record]) {
+    let (jobs, next_id) = replay(records);
+    inner.next_id.store(next_id, Ordering::SeqCst);
+    let mut registry = inner.registry.lock().unwrap();
+    let mut lanes = inner.lanes.lock().unwrap();
+    for job in jobs {
+        let mut entry = JobEntry {
+            tenant: job.tenant.clone(),
+            priority: job.priority,
+            desc: job.desc.clone(),
+            state: JobState::Queued,
+            cancel: CancelToken::new(),
+            graph: None,
+            verify_payload: None,
+            artifacts: None,
+            error: None,
+            result_available: false,
+        };
+        match job.state {
+            ReplayState::Completed { .. } => entry.state = JobState::Completed,
+            ReplayState::Failed(err) => {
+                entry.state = JobState::Failed;
+                entry.error = Some(err);
+            }
+            ReplayState::Cancelled => entry.state = JobState::Cancelled,
+            ReplayState::InFlight => {
+                // The crash interrupted this job mid-run. Re-fail it
+                // deterministically rather than re-running: its submitter
+                // may already be acting on the uncertainty, and a re-run
+                // could complete a job the client has given up on.
+                let error = "interrupted by server restart while running".to_string();
+                entry.state = JobState::Failed;
+                entry.error = Some(error.clone());
+                inner.journal_note(&Record::Failed { job: job.id, error });
+            }
+            ReplayState::Queued => match &job.desc {
+                JobDesc::Verify => {
+                    // Verify payloads are not journaled, so a queued verify
+                    // job cannot be reconstructed.
+                    let error = "verify job payload not durable across restart".to_string();
+                    entry.state = JobState::Failed;
+                    entry.error = Some(error.clone());
+                    inner.journal_note(&Record::Failed { job: job.id, error });
+                }
+                JobDesc::Prove { model, .. } => match zkml_model::zoo::by_name(model) {
+                    Some(graph) => {
+                        entry.graph = Some(Arc::new(graph));
+                        inner.admission.restore(&job.tenant);
+                        lanes.lane_mut(job.priority).push_back(job.id);
+                    }
+                    None => {
+                        let error = format!("unknown model '{model}' at replay");
+                        entry.state = JobState::Failed;
+                        entry.error = Some(error.clone());
+                        inner.journal_note(&Record::Failed { job: job.id, error });
+                    }
+                },
+                JobDesc::Sleep { .. } => {
+                    inner.admission.restore(&job.tenant);
+                    lanes.lane_mut(job.priority).push_back(job.id);
+                }
+            },
+        }
+        registry.insert(job.id, entry);
+    }
+}
+
+fn accept_loop(listener: TcpListener, conn_tx: Sender<TcpStream>, inner: Arc<Inner>) {
+    loop {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+                let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+                if conn_tx.send(stream).is_err() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn handler_loop(rx: Arc<Mutex<Receiver<TcpStream>>>, inner: Arc<Inner>) {
+    loop {
+        // Hold the lock only while receiving, so handlers serve connections
+        // concurrently.
+        let conn = { rx.lock().unwrap().recv() };
+        match conn {
+            Ok(mut stream) => handle_connection(&inner, &mut stream),
+            Err(_) => break, // accept loop gone and queue drained
+        }
+    }
+}
+
+fn handle_connection(inner: &Arc<Inner>, stream: &mut TcpStream) {
+    let request = match read_request(stream) {
+        Ok(r) => r,
+        Err(ParseError::ConnectionClosed) | Err(ParseError::Io(_)) => return,
+        Err(ParseError::TooLarge) => {
+            let body = JsonObj::new()
+                .str("error", "request body too large")
+                .finish();
+            let _ = write_json_response(stream, 413, &[], &body);
+            return;
+        }
+        Err(ParseError::Bad(msg)) => {
+            let body = JsonObj::new().str("error", &msg).finish();
+            let _ = write_json_response(stream, 400, &[], &body);
+            return;
+        }
+    };
+    let (status, extra, body) = route(inner, &request);
+    let extra_refs: Vec<(&str, String)> = extra.iter().map(|(k, v)| (*k, v.clone())).collect();
+    let _ = write_json_response(stream, status, &extra_refs, &body);
+}
+
+type RouteResult = (u16, Vec<(&'static str, String)>, String);
+
+fn err_body(msg: &str) -> String {
+    JsonObj::new().str("error", msg).finish()
+}
+
+fn route(inner: &Arc<Inner>, req: &Request) -> RouteResult {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/v1/healthz") => {
+            let body = JsonObj::new()
+                .bool("ok", true)
+                .bool("draining", inner.shutdown.load(Ordering::SeqCst))
+                .finish();
+            (200, vec![], body)
+        }
+        ("GET", "/v1/stats") => (200, vec![], stats_json(inner)),
+        ("POST", "/v1/jobs") => submit_route(inner, &req.body),
+        (_, "/v1/jobs") | (_, "/v1/healthz") | (_, "/v1/stats") => {
+            (405, vec![], err_body("method not allowed"))
+        }
+        (method, path) if path.starts_with("/v1/jobs/") => {
+            let id = match path["/v1/jobs/".len()..].parse::<u64>() {
+                Ok(id) => id,
+                Err(_) => return (404, vec![], err_body("no such job")),
+            };
+            match method {
+                "GET" => job_status_route(inner, id),
+                "DELETE" => cancel_route(inner, id),
+                _ => (405, vec![], err_body("method not allowed")),
+            }
+        }
+        _ => (404, vec![], err_body("not found")),
+    }
+}
+
+fn stats_json(inner: &Arc<Inner>) -> String {
+    let snap = inner.service.snapshot();
+    let (ni, nb) = {
+        let lanes = inner.lanes.lock().unwrap();
+        (lanes.interactive.len() as u64, lanes.batch.len() as u64)
+    };
+    JsonObj::new()
+        .raw("service", &snap.to_json())
+        .raw(
+            "lanes",
+            &JsonObj::new()
+                .u64("interactive", ni)
+                .u64("batch", nb)
+                .finish(),
+        )
+        .raw("tenants", &inner.admission.tenants_json())
+        .u64("uptime_s", inner.started.elapsed().as_secs())
+        .bool("draining", inner.shutdown.load(Ordering::SeqCst))
+        .finish()
+}
+
+/// A validated submission: tenant, priority, durable description, and the
+/// non-durable payloads (resolved graph, verify bytes).
+type Submission = (
+    String,
+    Priority,
+    JobDesc,
+    Option<Arc<Graph>>,
+    Option<VerifyPayload>,
+);
+
+/// Parses and validates a submission body into a job description.
+fn parse_submission(body: &[u8]) -> Result<Submission, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not utf-8".to_string())?;
+    let v = Json::parse(text).map_err(|e| format!("bad json: {e}"))?;
+
+    let tenant = match v.get("tenant") {
+        None => "anonymous".to_string(),
+        Some(t) => {
+            let t = t.as_str().ok_or("tenant must be a string")?;
+            if t.is_empty() || t.len() > 64 || !t.chars().all(|c| c.is_ascii_graphic()) {
+                return Err("tenant must be 1..=64 printable ascii chars".into());
+            }
+            t.to_string()
+        }
+    };
+    let priority = match v.get("priority") {
+        None => Priority::Interactive,
+        Some(p) => p
+            .as_str()
+            .and_then(Priority::parse)
+            .ok_or("priority must be \"interactive\" or \"batch\"")?,
+    };
+    let kind = match v.get("kind") {
+        None => {
+            // Infer: a segments field means a segmented prove.
+            if v.get("segments").is_some() {
+                "prove_segmented"
+            } else {
+                "prove"
+            }
+        }
+        Some(k) => k.as_str().ok_or("kind must be a string")?,
+    };
+
+    match kind {
+        "prove" | "prove_segmented" => {
+            let model = v
+                .get("model")
+                .and_then(Json::as_str)
+                .ok_or("prove jobs need a \"model\"")?
+                .to_string();
+            let graph = zkml_model::zoo::by_name(&model)
+                .ok_or_else(|| format!("unknown model '{model}'"))?;
+            let backend = match v.get("backend").and_then(Json::as_str) {
+                None | Some("kzg") => Backend::Kzg,
+                Some("ipa") => Backend::Ipa,
+                Some(other) => return Err(format!("unknown backend '{other}'")),
+            };
+            let seed = match v.get("seed") {
+                None => 1,
+                Some(s) => s.as_u64().ok_or("seed must be a non-negative integer")?,
+            };
+            let segments = if kind == "prove_segmented" {
+                Some(match v.get("segments") {
+                    None => SegmentSpec::Auto,
+                    Some(Json::Str(s)) if s == "auto" => SegmentSpec::Auto,
+                    Some(n) => match n.as_u64() {
+                        Some(n) if n >= 1 => SegmentSpec::Fixed(n as usize),
+                        _ => return Err("segments must be \"auto\" or a count >= 1".into()),
+                    },
+                })
+            } else {
+                None
+            };
+            Ok((
+                tenant,
+                priority,
+                JobDesc::Prove {
+                    model,
+                    backend,
+                    seed,
+                    segments,
+                },
+                Some(Arc::new(graph)),
+                None,
+            ))
+        }
+        "sleep" => {
+            let ms = match v.get("sleep_ms") {
+                None => 0,
+                Some(s) => s
+                    .as_u64()
+                    .ok_or("sleep_ms must be a non-negative integer")?,
+            };
+            if ms > 60_000 {
+                return Err("sleep_ms capped at 60000".into());
+            }
+            Ok((tenant, priority, JobDesc::Sleep { ms }, None, None))
+        }
+        "verify" => {
+            let hex_field = |name: &str| -> Result<Vec<u8>, String> {
+                match v.get(name).and_then(Json::as_str) {
+                    Some(h) => decode_hex(h).map_err(|e| format!("{name}: {e}")),
+                    None => Err(format!("verify jobs need \"{name}\"")),
+                }
+            };
+            let payload = if v.get("bundle_hex").is_some() {
+                let bundle = hex_field("bundle_hex")?;
+                VerifyPayload {
+                    backend: Backend::Kzg, // the bundle carries its own
+                    vk: Vec::new(),
+                    public: Vec::new(),
+                    proof: bundle,
+                }
+            } else {
+                let proof = hex_field("proof_hex")?;
+                let vk = hex_field("vk_hex")?;
+                if vk.is_empty() {
+                    return Err("vk_hex must not be empty".into());
+                }
+                let public_bytes = hex_field("public_hex")?;
+                let (backend, public) =
+                    decode_public(&public_bytes).map_err(|e| format!("public_hex: {e}"))?;
+                VerifyPayload {
+                    backend,
+                    vk,
+                    public,
+                    proof,
+                }
+            };
+            Ok((tenant, priority, JobDesc::Verify, None, Some(payload)))
+        }
+        other => Err(format!("unknown job kind '{other}'")),
+    }
+}
+
+fn submit_route(inner: &Arc<Inner>, body: &[u8]) -> RouteResult {
+    if inner.shutdown.load(Ordering::SeqCst) {
+        return (503, vec![], err_body("server is draining"));
+    }
+    let (tenant, priority, desc, graph, verify_payload) = match parse_submission(body) {
+        Ok(parts) => parts,
+        Err(msg) => return (400, vec![], err_body(&msg)),
+    };
+
+    // Admission and enqueue under the lane lock, so the lane bound and the
+    // tenant's slot accounting cannot race.
+    let mut lanes = inner.lanes.lock().unwrap();
+    if let Err(e) = inner.admission.admit(&tenant) {
+        let secs = e.retry_after().as_secs_f64();
+        let body = JsonObj::new()
+            .str("error", &e.to_string())
+            .f64("retry_after_s", secs)
+            .finish();
+        return (
+            429,
+            vec![("retry-after", format!("{}", secs.ceil().max(1.0) as u64))],
+            body,
+        );
+    }
+    let lane = lanes.lane_mut(priority);
+    if lane.len() >= inner.lane_capacity {
+        inner.admission.refund_lane_full(&tenant);
+        let body = JsonObj::new()
+            .str(
+                "error",
+                &format!("queue lane full ({} waiting)", inner.lane_capacity),
+            )
+            .f64("retry_after_s", 1.0)
+            .finish();
+        return (429, vec![("retry-after", "1".to_string())], body);
+    }
+
+    let id = inner.next_id.fetch_add(1, Ordering::SeqCst);
+    // Write-ahead: the submission is durable before the 202 goes out.
+    if let Err(e) = inner.journal_append(&Record::Submitted {
+        job: id,
+        tenant: tenant.clone(),
+        priority,
+        desc: desc.clone(),
+    }) {
+        inner.admission.refund_lane_full(&tenant);
+        return (500, vec![], err_body(&format!("journal write failed: {e}")));
+    }
+    let entry = JobEntry {
+        tenant,
+        priority,
+        desc,
+        state: JobState::Queued,
+        cancel: CancelToken::new(),
+        graph,
+        verify_payload,
+        artifacts: None,
+        error: None,
+        result_available: false,
+    };
+    inner.registry.lock().unwrap().insert(id, entry);
+    lane.push_back(id);
+    let body = JsonObj::new()
+        .u64("job_id", id)
+        .str("status", "queued")
+        .finish();
+    (202, vec![], body)
+}
+
+fn job_status_route(inner: &Arc<Inner>, id: u64) -> RouteResult {
+    let registry = inner.registry.lock().unwrap();
+    let Some(entry) = registry.get(&id) else {
+        return (404, vec![], err_body("no such job"));
+    };
+    let mut obj = JsonObj::new()
+        .u64("job_id", id)
+        .str("tenant", &entry.tenant)
+        .str("priority", entry.priority.as_str())
+        .str("kind", entry.desc.kind())
+        .str("status", entry.state.as_str())
+        .bool("result_available", entry.result_available);
+    if let JobDesc::Prove { model, .. } = &entry.desc {
+        obj = obj.str("model", model);
+    }
+    obj = match &entry.error {
+        Some(e) => obj.str("error", e),
+        None => obj.null("error"),
+    };
+    if entry.state == JobState::Completed && entry.result_available {
+        if let Some(a) = &entry.artifacts {
+            obj = obj
+                .u64("k", u64::from(a.k))
+                .u64("segments", u64::from(a.segments))
+                .u64("prove_ms", a.prove_ms)
+                .str("cache", &format!("{:?}", a.cache))
+                .bool("bundle", a.bundle.is_some())
+                .str("proof_hex", &encode_hex(&a.proof))
+                .str("vk_hex", &encode_hex(&a.vk_bytes))
+                .str(
+                    "public_hex",
+                    &encode_hex(&encode_public(a.backend, &a.public)),
+                );
+        }
+    }
+    (200, vec![], obj.finish())
+}
+
+fn cancel_route(inner: &Arc<Inner>, id: u64) -> RouteResult {
+    // Lock order everywhere: lanes, then registry.
+    let mut lanes = inner.lanes.lock().unwrap();
+    let mut registry = inner.registry.lock().unwrap();
+    let Some(entry) = registry.get_mut(&id) else {
+        return (404, vec![], err_body("no such job"));
+    };
+    if entry.state.terminal() {
+        let body = JsonObj::new()
+            .u64("job_id", id)
+            .str("status", entry.state.as_str())
+            .str("error", "job already terminal")
+            .finish();
+        return (409, vec![], body);
+    }
+    entry.cancel.cancel();
+    if entry.state == JobState::Queued {
+        let lane = lanes.lane_mut(entry.priority);
+        if let Some(pos) = lane.iter().position(|&j| j == id) {
+            // Still in its lane: cancel synchronously.
+            lane.remove(pos);
+            entry.state = JobState::Cancelled;
+            inner.journal_note(&Record::Cancelled { job: id });
+            inner
+                .admission
+                .release(&entry.tenant, ReleaseOutcome::Cancelled);
+            let body = JsonObj::new()
+                .u64("job_id", id)
+                .str("status", "cancelled")
+                .finish();
+            return (200, vec![], body);
+        }
+        // Popped by the dispatcher already; the token will stop it at the
+        // next stage boundary and the dispatcher writes the terminal state.
+    }
+    let body = JsonObj::new()
+        .u64("job_id", id)
+        .str("status", "cancelling")
+        .finish();
+    (202, vec![], body)
+}
+
+/// Picks the next job id by weighted round-robin over the two lanes: the
+/// repeating pattern serves `interactive_weight` interactive slots then
+/// `batch_weight` batch slots; an empty primary lane yields its slot to the
+/// other, so neither lane can starve while work is waiting.
+fn pop_weighted(inner: &Inner, cursor: &mut usize) -> Option<u64> {
+    let mut lanes = inner.lanes.lock().unwrap();
+    let period = inner.interactive_weight + inner.batch_weight;
+    let interactive_first = (*cursor % period) < inner.interactive_weight;
+    let id = if interactive_first {
+        lanes
+            .interactive
+            .pop_front()
+            .or_else(|| lanes.batch.pop_front())
+    } else {
+        lanes
+            .batch
+            .pop_front()
+            .or_else(|| lanes.interactive.pop_front())
+    };
+    if id.is_some() {
+        *cursor += 1;
+    }
+    id
+}
+
+/// What the dispatcher needs to hand a job to the service.
+struct DispatchInfo {
+    tenant: String,
+    spec: JobSpec,
+    joins_batch_verify: bool,
+}
+
+/// What to do with a job popped from a lane.
+enum Dispatch {
+    /// Hand it to the service.
+    Ready(Box<DispatchInfo>),
+    /// Already handled elsewhere (e.g. cancelled and finalized); drop it.
+    Skip,
+    /// Finalize it with this outcome instead of running it.
+    Abort(String, Box<Outcome>),
+}
+
+fn build_dispatch(inner: &Inner, id: u64) -> Dispatch {
+    let registry = inner.registry.lock().unwrap();
+    let Some(entry) = registry.get(&id) else {
+        return Dispatch::Skip; // cancelled and removed concurrently
+    };
+    if entry.state != JobState::Queued {
+        return Dispatch::Skip;
+    }
+    let tenant = entry.tenant.clone();
+    if entry.cancel.is_cancelled() {
+        return Dispatch::Abort(tenant, Box::new(Outcome::Cancelled));
+    }
+    let mut joins_batch_verify = false;
+    let kind = match &entry.desc {
+        JobDesc::Prove {
+            backend,
+            seed,
+            segments,
+            ..
+        } => {
+            let graph = match &entry.graph {
+                Some(g) => Arc::clone(g),
+                None => {
+                    return Dispatch::Abort(
+                        tenant,
+                        Box::new(Outcome::Failed(
+                            "job lost its resolved model graph".to_string(),
+                        )),
+                    )
+                }
+            };
+            match segments {
+                Some(spec) => JobKind::ProveSegmented {
+                    graph,
+                    backend: *backend,
+                    seed: *seed,
+                    segments: *spec,
+                },
+                None => {
+                    joins_batch_verify = inner.verify_after_prove;
+                    JobKind::Prove {
+                        graph,
+                        backend: *backend,
+                        seed: *seed,
+                    }
+                }
+            }
+        }
+        JobDesc::Sleep { ms } => JobKind::Sleep(Duration::from_millis(*ms)),
+        JobDesc::Verify => match &entry.verify_payload {
+            Some(p) => JobKind::Verify {
+                backend: p.backend,
+                vk: p.vk.clone(),
+                public: p.public.clone(),
+                proof: p.proof.clone(),
+            },
+            None => {
+                return Dispatch::Abort(
+                    tenant,
+                    Box::new(Outcome::Failed("verify job payload missing".to_string())),
+                )
+            }
+        },
+    };
+    let spec = JobSpec::new(kind).with_cancel(entry.cancel.clone());
+    Dispatch::Ready(Box::new(DispatchInfo {
+        tenant,
+        spec,
+        joins_batch_verify,
+    }))
+}
+
+/// Applies a terminal outcome: registry state, journal record, tenant slot.
+fn finish(inner: &Inner, id: u64, tenant: &str, outcome: Outcome) {
+    let mut registry = inner.registry.lock().unwrap();
+    let Some(entry) = registry.get_mut(&id) else {
+        return;
+    };
+    if entry.state.terminal() {
+        return; // exactly-once: ignore late duplicates
+    }
+    match outcome {
+        Outcome::Completed(artifacts) => {
+            entry.state = JobState::Completed;
+            entry.result_available = true;
+            if let Some(a) = artifacts {
+                entry.artifacts = Some(a);
+            }
+            let (k, segments, prove_ms) = entry
+                .artifacts
+                .as_ref()
+                .map(|a| (a.k, a.segments, a.prove_ms))
+                .unwrap_or((0, 0, 0));
+            inner.journal_note(&Record::Completed {
+                job: id,
+                k,
+                segments,
+                prove_ms,
+            });
+            inner.admission.release(tenant, ReleaseOutcome::Completed);
+        }
+        Outcome::Failed(error) => {
+            entry.state = JobState::Failed;
+            entry.error = Some(error.clone());
+            inner.journal_note(&Record::Failed { job: id, error });
+            inner.admission.release(tenant, ReleaseOutcome::Failed);
+        }
+        Outcome::Cancelled => {
+            entry.state = JobState::Cancelled;
+            inner.journal_note(&Record::Cancelled { job: id });
+            inner.admission.release(tenant, ReleaseOutcome::Cancelled);
+        }
+    }
+}
+
+fn dispatcher_loop(inner: Arc<Inner>) {
+    // (gateway id, tenant, handle, joins batch verify)
+    let mut inflight: Vec<(u64, String, JobHandle, bool)> = Vec::new();
+    // service job id -> gateway job id, for joining batch-verify outcomes.
+    let mut awaiting_verify: HashMap<u64, u64> = HashMap::new();
+    let mut cursor = 0usize;
+    loop {
+        let draining = inner.shutdown.load(Ordering::SeqCst);
+
+        // 1. Feed the service from the lanes (weighted round-robin) until
+        //    it pushes back.
+        while let Some(id) = pop_weighted(&inner, &mut cursor) {
+            let info = match build_dispatch(&inner, id) {
+                Dispatch::Ready(info) => info,
+                Dispatch::Skip => continue,
+                Dispatch::Abort(tenant, outcome) => {
+                    finish(&inner, id, &tenant, *outcome);
+                    continue;
+                }
+            };
+            match inner.service.submit(info.spec) {
+                Ok(handle) => {
+                    // `started` is journaled only once the service actually
+                    // holds the job. A crash in the gap between accept and
+                    // append replays the job as queued and re-runs it; once
+                    // the record lands, a crash deterministically fails it.
+                    inner.journal_note(&Record::Started { job: id });
+                    if let Some(entry) = inner.registry.lock().unwrap().get_mut(&id) {
+                        entry.state = JobState::Running;
+                    }
+                    inflight.push((id, info.tenant, handle, info.joins_batch_verify));
+                }
+                Err(ServiceError::Busy { .. }) => {
+                    // Backpressure from the bounded queue: put the job back
+                    // at the front of its lane and stop feeding this round.
+                    // The cursor rewinds so the weighted pattern counts
+                    // dispatches, not attempts.
+                    cursor -= 1;
+                    let mut lanes = inner.lanes.lock().unwrap();
+                    let registry = inner.registry.lock().unwrap();
+                    if let Some(entry) = registry.get(&id) {
+                        lanes.lane_mut(entry.priority).push_front(id);
+                    }
+                    break;
+                }
+                Err(e) => {
+                    finish(&inner, id, &info.tenant, Outcome::Failed(e.to_string()));
+                }
+            }
+        }
+
+        // 2. Poll in-flight jobs without blocking long.
+        let mut still = Vec::new();
+        for (id, tenant, handle, joins) in inflight {
+            match handle.wait_timeout(Duration::from_millis(1)) {
+                None => still.push((id, tenant, handle, joins)),
+                Some(Ok(Some(artifacts))) => {
+                    if joins {
+                        // Completed but unverified: hold at Running until
+                        // the batched verifier rules.
+                        awaiting_verify.insert(artifacts.job_id, id);
+                        if let Some(entry) = inner.registry.lock().unwrap().get_mut(&id) {
+                            entry.artifacts = Some(artifacts);
+                        }
+                    } else {
+                        finish(&inner, id, &tenant, Outcome::Completed(Some(artifacts)));
+                    }
+                }
+                Some(Ok(None)) => finish(&inner, id, &tenant, Outcome::Completed(None)),
+                Some(Err(ServiceError::Cancelled)) => {
+                    finish(&inner, id, &tenant, Outcome::Cancelled)
+                }
+                Some(Err(e)) => finish(&inner, id, &tenant, Outcome::Failed(e.to_string())),
+            }
+        }
+        inflight = still;
+
+        // 3. Settle batched verification. A job's `completed` record is
+        //    written only after its proof actually verified.
+        if inner.verify_after_prove {
+            let pending = inner.service.pending_verifications();
+            if pending >= inner.verify_batch || (pending > 0 && inflight.is_empty()) {
+                let report = inner.service.flush_verifications();
+                for outcome in &report.outcomes {
+                    let Some(gid) = awaiting_verify.remove(&outcome.job_id) else {
+                        continue;
+                    };
+                    let tenant = inner
+                        .registry
+                        .lock()
+                        .unwrap()
+                        .get(&gid)
+                        .map(|e| e.tenant.clone())
+                        .unwrap_or_default();
+                    if outcome.ok {
+                        finish(&inner, gid, &tenant, Outcome::Completed(None));
+                    } else {
+                        let msg = outcome
+                            .error
+                            .clone()
+                            .unwrap_or_else(|| "proof rejected".to_string());
+                        finish(
+                            &inner,
+                            gid,
+                            &tenant,
+                            Outcome::Failed(format!("proof failed verification: {msg}")),
+                        );
+                    }
+                }
+            }
+        }
+
+        // 4. Drain-and-exit on shutdown.
+        if draining && inflight.is_empty() && awaiting_verify.is_empty() {
+            let lanes_empty = {
+                let lanes = inner.lanes.lock().unwrap();
+                lanes.interactive.is_empty() && lanes.batch.is_empty()
+            };
+            if lanes_empty && inner.service.pending_verifications() == 0 {
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}

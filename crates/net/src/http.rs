@@ -1,0 +1,221 @@
+//! Hand-rolled minimal HTTP/1.1, server side: just enough of RFC 9112 for
+//! the JSON API — request-line + headers + `Content-Length` bodies, no
+//! chunked transfer, no keep-alive (every response closes the connection).
+//! Staying std-only is a workspace ground rule; the subset here is what the
+//! CLI client and `curl` both speak.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Largest accepted header block.
+const MAX_HEADER_BYTES: usize = 16 * 1024;
+/// Largest accepted request body (verify jobs carry hex-encoded bundles).
+pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, `DELETE`, ...).
+    pub method: String,
+    /// Path component only; any query string is stripped.
+    pub path: String,
+    /// Headers with lowercased names.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty without `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header with the given (lowercase) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be parsed; maps to a 4xx.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Connection closed before a full request arrived.
+    ConnectionClosed,
+    /// Malformed request line or headers.
+    Bad(String),
+    /// Body longer than [`MAX_BODY_BYTES`].
+    TooLarge,
+    /// Socket error while reading.
+    Io(std::io::Error),
+}
+
+/// Reads one request from the stream.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
+    let mut reader = BufReader::new(stream);
+    let mut head = Vec::new();
+    // Read the header block up to the blank line.
+    loop {
+        let mut line = Vec::new();
+        reader
+            .read_until(b'\n', &mut line)
+            .map_err(ParseError::Io)?;
+        if line.is_empty() {
+            return Err(ParseError::ConnectionClosed);
+        }
+        head.extend_from_slice(&line);
+        if head.len() > MAX_HEADER_BYTES {
+            return Err(ParseError::Bad("header block too large".into()));
+        }
+        if line == b"\r\n" || line == b"\n" {
+            break;
+        }
+    }
+    let head = String::from_utf8(head).map_err(|_| ParseError::Bad("non-utf8 headers".into()))?;
+    let mut lines = head.lines();
+    let request_line = lines.next().ok_or(ParseError::ConnectionClosed)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| ParseError::Bad("empty request line".into()))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| ParseError::Bad("missing request target".into()))?;
+    let version = parts.next().unwrap_or("HTTP/1.1");
+    if !version.starts_with("HTTP/1.") {
+        return Err(ParseError::Bad(format!("unsupported version {version}")));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| ParseError::Bad(format!("bad header line '{line}'")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length: usize = match headers.iter().find(|(k, _)| k == "content-length") {
+        Some((_, v)) => v
+            .parse()
+            .map_err(|_| ParseError::Bad("bad content-length".into()))?,
+        None => 0,
+    };
+    if content_length > MAX_BODY_BYTES {
+        return Err(ParseError::TooLarge);
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(ParseError::Io)?;
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
+}
+
+/// The reason phrase for the handful of status codes the API uses.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Content Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete JSON response and flushes. `extra` headers are emitted
+/// verbatim (used for `Retry-After`).
+pub fn write_json_response(
+    stream: &mut TcpStream,
+    status: u16,
+    extra: &[(&str, String)],
+    body: &str,
+) -> std::io::Result<()> {
+    let mut out = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n",
+        reason(status),
+        body.len()
+    );
+    for (k, v) in extra {
+        out.push_str(k);
+        out.push_str(": ");
+        out.push_str(v);
+        out.push_str("\r\n");
+    }
+    out.push_str("\r\n");
+    stream.write_all(out.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn roundtrip(raw: &[u8]) -> Result<Request, ParseError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        let req = read_request(&mut conn);
+        writer.join().unwrap();
+        req
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req =
+            roundtrip(b"POST /v1/jobs?x=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 4\r\n\r\nbody")
+                .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/jobs");
+        assert_eq!(req.header("host"), Some("h"));
+        assert_eq!(req.body, b"body");
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = roundtrip(b"GET /v1/healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/v1/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(matches!(roundtrip(b""), Err(ParseError::ConnectionClosed)));
+        assert!(matches!(
+            roundtrip(b"GET /x SPDY/3\r\n\r\n"),
+            Err(ParseError::Bad(_))
+        ));
+        assert!(matches!(
+            roundtrip(b"GET /x HTTP/1.1\r\nbadheader\r\n\r\n"),
+            Err(ParseError::Bad(_))
+        ));
+        assert!(matches!(
+            roundtrip(
+                format!(
+                    "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+                    MAX_BODY_BYTES + 1
+                )
+                .as_bytes()
+            ),
+            Err(ParseError::TooLarge)
+        ));
+    }
+}

@@ -1,0 +1,555 @@
+//! The durable job journal: an append-only file of JSON-line records that
+//! lets a restarted (or crashed) server reconstruct every job's fate.
+//!
+//! Write-ahead discipline: `submitted` is appended (and fsynced) before the
+//! client's 202 is sent, `started` before the job enters the proving
+//! service, and exactly one terminal record (`completed` / `failed` /
+//! `cancelled`) after. Replay is therefore simple: a job whose last record
+//! is `submitted` was queued but never picked up → re-run it; a job whose
+//! last record is `started` was in flight when the process died → fail it
+//! deterministically (the submitter can retry); terminal jobs stay
+//! terminal. Proof bytes are deliberately not journaled — a replayed job
+//! regenerates them from its (model, backend, seed) description.
+
+use crate::admission::Priority;
+use crate::json::{escape, Json, JsonObj};
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use zkml_pcs::Backend;
+use zkml_shard::SegmentSpec;
+
+/// A replayable description of what a job does. Verification jobs carry
+/// proof payloads too large to journal; they are recorded for bookkeeping
+/// but marked non-replayable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobDesc {
+    /// Prove one inference of a zoo model (monolithic when `segments` is
+    /// `None`, segmented otherwise).
+    Prove {
+        /// Zoo model name.
+        model: String,
+        /// Commitment backend.
+        backend: Backend,
+        /// Input/proof seed.
+        seed: u64,
+        /// Segmentation request.
+        segments: Option<SegmentSpec>,
+    },
+    /// Occupy a worker (health checks, benches, tests).
+    Sleep {
+        /// Sleep duration in milliseconds.
+        ms: u64,
+    },
+    /// Verify a client-supplied proof. The payload is not journaled, so a
+    /// verify job interrupted by a crash is re-failed, never re-run.
+    Verify,
+}
+
+impl JobDesc {
+    /// Short kind tag used on the wire and in the journal.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JobDesc::Prove {
+                segments: Some(_), ..
+            } => "prove_segmented",
+            JobDesc::Prove { .. } => "prove",
+            JobDesc::Sleep { .. } => "sleep",
+            JobDesc::Verify => "verify",
+        }
+    }
+}
+
+/// One journal record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// A job was admitted; carries everything needed to re-run it.
+    Submitted {
+        /// The gateway-assigned job id.
+        job: u64,
+        /// Submitting tenant.
+        tenant: String,
+        /// Requested lane.
+        priority: Priority,
+        /// What the job does.
+        desc: JobDesc,
+    },
+    /// The job entered the proving service.
+    Started {
+        /// The job id.
+        job: u64,
+    },
+    /// Terminal: the job finished (and, for proofs, verified).
+    Completed {
+        /// The job id.
+        job: u64,
+        /// Circuit size exponent (0 for non-proving jobs).
+        k: u32,
+        /// Segment count (0 for non-proving jobs).
+        segments: u32,
+        /// Proving wall time (0 for non-proving jobs).
+        prove_ms: u64,
+    },
+    /// Terminal: the job failed.
+    Failed {
+        /// The job id.
+        job: u64,
+        /// The failure message.
+        error: String,
+    },
+    /// Terminal: the job was cancelled.
+    Cancelled {
+        /// The job id.
+        job: u64,
+    },
+}
+
+fn backend_str(b: Backend) -> &'static str {
+    match b {
+        Backend::Kzg => "kzg",
+        Backend::Ipa => "ipa",
+    }
+}
+
+impl Record {
+    /// Renders the record as one JSON line (no trailing newline).
+    pub fn encode(&self) -> String {
+        match self {
+            Record::Submitted {
+                job,
+                tenant,
+                priority,
+                desc,
+            } => {
+                let mut obj = JsonObj::new()
+                    .str("rec", "submitted")
+                    .u64("job", *job)
+                    .str("tenant", tenant)
+                    .str("priority", priority.as_str())
+                    .str("kind", desc.kind());
+                match desc {
+                    JobDesc::Prove {
+                        model,
+                        backend,
+                        seed,
+                        segments,
+                    } => {
+                        obj = obj
+                            .str("model", model)
+                            .str("backend", backend_str(*backend))
+                            .u64("seed", *seed);
+                        match segments {
+                            Some(SegmentSpec::Auto) => obj = obj.str("segments", "auto"),
+                            Some(SegmentSpec::Fixed(n)) => obj = obj.u64("segments", *n as u64),
+                            None => {}
+                        }
+                    }
+                    JobDesc::Sleep { ms } => obj = obj.u64("sleep_ms", *ms),
+                    JobDesc::Verify => {}
+                }
+                obj.finish()
+            }
+            Record::Started { job } => JsonObj::new()
+                .str("rec", "started")
+                .u64("job", *job)
+                .finish(),
+            Record::Completed {
+                job,
+                k,
+                segments,
+                prove_ms,
+            } => JsonObj::new()
+                .str("rec", "completed")
+                .u64("job", *job)
+                .u64("k", u64::from(*k))
+                .u64("segments", u64::from(*segments))
+                .u64("prove_ms", *prove_ms)
+                .finish(),
+            Record::Failed { job, error } => JsonObj::new()
+                .str("rec", "failed")
+                .u64("job", *job)
+                .str("error", error)
+                .finish(),
+            Record::Cancelled { job } => JsonObj::new()
+                .str("rec", "cancelled")
+                .u64("job", *job)
+                .finish(),
+        }
+    }
+
+    /// Parses one journal line.
+    pub fn decode(line: &str) -> Result<Record, String> {
+        let v = Json::parse(line)?;
+        let job = v
+            .get("job")
+            .and_then(Json::as_u64)
+            .ok_or("record missing job id")?;
+        let rec = v
+            .get("rec")
+            .and_then(Json::as_str)
+            .ok_or("record missing rec tag")?;
+        match rec {
+            "submitted" => {
+                let tenant = v
+                    .get("tenant")
+                    .and_then(Json::as_str)
+                    .ok_or("submitted missing tenant")?
+                    .to_string();
+                let priority = v
+                    .get("priority")
+                    .and_then(Json::as_str)
+                    .and_then(Priority::parse)
+                    .ok_or("submitted missing priority")?;
+                let kind = v
+                    .get("kind")
+                    .and_then(Json::as_str)
+                    .ok_or("submitted missing kind")?;
+                let desc = match kind {
+                    "prove" | "prove_segmented" => {
+                        let model = v
+                            .get("model")
+                            .and_then(Json::as_str)
+                            .ok_or("prove missing model")?
+                            .to_string();
+                        let backend = match v.get("backend").and_then(Json::as_str) {
+                            Some("kzg") => Backend::Kzg,
+                            Some("ipa") => Backend::Ipa,
+                            _ => return Err("prove missing backend".into()),
+                        };
+                        let seed = v
+                            .get("seed")
+                            .and_then(Json::as_u64)
+                            .ok_or("prove missing seed")?;
+                        let segments = match v.get("segments") {
+                            None => None,
+                            Some(Json::Str(s)) if s == "auto" => Some(SegmentSpec::Auto),
+                            Some(n) => Some(SegmentSpec::Fixed(
+                                n.as_u64().ok_or("bad segments")? as usize
+                            )),
+                        };
+                        JobDesc::Prove {
+                            model,
+                            backend,
+                            seed,
+                            segments,
+                        }
+                    }
+                    "sleep" => JobDesc::Sleep {
+                        ms: v
+                            .get("sleep_ms")
+                            .and_then(Json::as_u64)
+                            .ok_or("sleep missing sleep_ms")?,
+                    },
+                    "verify" => JobDesc::Verify,
+                    other => return Err(format!("unknown job kind '{other}'")),
+                };
+                Ok(Record::Submitted {
+                    job,
+                    tenant,
+                    priority,
+                    desc,
+                })
+            }
+            "started" => Ok(Record::Started { job }),
+            "completed" => Ok(Record::Completed {
+                job,
+                k: v.get("k").and_then(Json::as_u64).unwrap_or(0) as u32,
+                segments: v.get("segments").and_then(Json::as_u64).unwrap_or(0) as u32,
+                prove_ms: v.get("prove_ms").and_then(Json::as_u64).unwrap_or(0),
+            }),
+            "failed" => Ok(Record::Failed {
+                job,
+                error: v
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown")
+                    .to_string(),
+            }),
+            "cancelled" => Ok(Record::Cancelled { job }),
+            other => Err(format!("unknown record '{}'", escape(other))),
+        }
+    }
+}
+
+/// The append side of the journal. Every append flushes and fsyncs before
+/// returning, so an acknowledged record survives a crash.
+pub struct Journal {
+    file: Mutex<File>,
+    path: PathBuf,
+}
+
+impl Journal {
+    /// Opens (or creates) the journal at `path`, returning the handle and
+    /// every record already present. A torn final line — the signature of a
+    /// crash mid-append — is tolerated and dropped; corruption anywhere
+    /// else is an error.
+    pub fn open(path: &Path) -> std::io::Result<(Journal, Vec<Record>)> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut records = Vec::new();
+        if path.exists() {
+            let reader = BufReader::new(File::open(path)?);
+            let lines: Vec<String> = reader.lines().collect::<Result<_, _>>()?;
+            let last_nonempty = lines.iter().rposition(|l| !l.trim().is_empty());
+            for (i, line) in lines.iter().enumerate() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match Record::decode(line) {
+                    Ok(rec) => records.push(rec),
+                    Err(e) if Some(i) == last_nonempty => {
+                        // Torn tail from a crash mid-append; the record was
+                        // never acknowledged, so dropping it is safe.
+                        eprintln!("journal: dropping torn final record: {e}");
+                    }
+                    Err(e) => {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            format!("journal {} line {}: {e}", path.display(), i + 1),
+                        ));
+                    }
+                }
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok((
+            Journal {
+                file: Mutex::new(file),
+                path: path.to_path_buf(),
+            },
+            records,
+        ))
+    }
+
+    /// Appends one record durably (write + flush + fsync).
+    pub fn append(&self, record: &Record) -> std::io::Result<()> {
+        let mut file = self.file.lock().unwrap();
+        file.write_all(record.encode().as_bytes())?;
+        file.write_all(b"\n")?;
+        file.flush()?;
+        file.sync_data()
+    }
+
+    /// Forces the journal to disk (a no-op given per-append fsync, kept as
+    /// the explicit shutdown barrier).
+    pub fn sync(&self) -> std::io::Result<()> {
+        self.file.lock().unwrap().sync_all()
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// A job reconstructed from the journal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayJob {
+    /// The job's id (preserved across restarts).
+    pub id: u64,
+    /// Submitting tenant.
+    pub tenant: String,
+    /// Requested lane.
+    pub priority: Priority,
+    /// What the job does.
+    pub desc: JobDesc,
+    /// Where the job stood when the journal ended.
+    pub state: ReplayState,
+}
+
+/// A job's state at the end of the journal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplayState {
+    /// Submitted but never started: safe to re-run.
+    Queued,
+    /// Started but no terminal record: the process died with the job in
+    /// flight.
+    InFlight,
+    /// Completed (artifact bytes are not journaled).
+    Completed {
+        /// Circuit size exponent.
+        k: u32,
+        /// Segment count.
+        segments: u32,
+        /// Proving wall time.
+        prove_ms: u64,
+    },
+    /// Failed with the recorded error.
+    Failed(String),
+    /// Cancelled.
+    Cancelled,
+}
+
+/// Folds raw records into per-job replay states (in submission order) and
+/// the next free job id. Records for unknown job ids (a truncated journal
+/// head) are ignored rather than fatal.
+pub fn replay(records: &[Record]) -> (Vec<ReplayJob>, u64) {
+    let mut jobs: Vec<ReplayJob> = Vec::new();
+    let mut next_id = 1;
+    for rec in records {
+        match rec {
+            Record::Submitted {
+                job,
+                tenant,
+                priority,
+                desc,
+            } => {
+                next_id = next_id.max(job + 1);
+                jobs.push(ReplayJob {
+                    id: *job,
+                    tenant: tenant.clone(),
+                    priority: *priority,
+                    desc: desc.clone(),
+                    state: ReplayState::Queued,
+                });
+            }
+            Record::Started { job } => {
+                if let Some(j) = jobs.iter_mut().find(|j| j.id == *job) {
+                    if j.state == ReplayState::Queued {
+                        j.state = ReplayState::InFlight;
+                    }
+                }
+            }
+            Record::Completed {
+                job,
+                k,
+                segments,
+                prove_ms,
+            } => {
+                if let Some(j) = jobs.iter_mut().find(|j| j.id == *job) {
+                    j.state = ReplayState::Completed {
+                        k: *k,
+                        segments: *segments,
+                        prove_ms: *prove_ms,
+                    };
+                }
+            }
+            Record::Failed { job, error } => {
+                if let Some(j) = jobs.iter_mut().find(|j| j.id == *job) {
+                    j.state = ReplayState::Failed(error.clone());
+                }
+            }
+            Record::Cancelled { job } => {
+                if let Some(j) = jobs.iter_mut().find(|j| j.id == *job) {
+                    j.state = ReplayState::Cancelled;
+                }
+            }
+        }
+    }
+    (jobs, next_id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tempfile(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "zkml-journal-test-{tag}-{}-{:?}.log",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    fn sample_records() -> Vec<Record> {
+        vec![
+            Record::Submitted {
+                job: 1,
+                tenant: "alice".into(),
+                priority: Priority::Interactive,
+                desc: JobDesc::Prove {
+                    model: "mnist".into(),
+                    backend: Backend::Kzg,
+                    seed: 7,
+                    segments: Some(SegmentSpec::Auto),
+                },
+            },
+            Record::Submitted {
+                job: 2,
+                tenant: "bob".into(),
+                priority: Priority::Batch,
+                desc: JobDesc::Sleep { ms: 5 },
+            },
+            Record::Started { job: 1 },
+            Record::Completed {
+                job: 1,
+                k: 11,
+                segments: 3,
+                prove_ms: 1200,
+            },
+            Record::Submitted {
+                job: 3,
+                tenant: "alice".into(),
+                priority: Priority::Interactive,
+                desc: JobDesc::Prove {
+                    model: "lenet".into(),
+                    backend: Backend::Ipa,
+                    seed: 9,
+                    segments: None,
+                },
+            },
+            Record::Started { job: 3 },
+        ]
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for rec in sample_records() {
+            let line = rec.encode();
+            assert_eq!(Record::decode(&line).unwrap(), rec, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn replay_states() {
+        let (jobs, next_id) = replay(&sample_records());
+        assert_eq!(next_id, 4);
+        assert_eq!(jobs.len(), 3);
+        assert_eq!(
+            jobs[0].state,
+            ReplayState::Completed {
+                k: 11,
+                segments: 3,
+                prove_ms: 1200
+            }
+        );
+        assert_eq!(jobs[1].state, ReplayState::Queued, "never started");
+        assert_eq!(jobs[2].state, ReplayState::InFlight, "started, no terminal");
+    }
+
+    #[test]
+    fn journal_survives_reopen_and_torn_tail() {
+        let path = tempfile("torn");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (journal, existing) = Journal::open(&path).unwrap();
+            assert!(existing.is_empty());
+            for rec in sample_records() {
+                journal.append(&rec).unwrap();
+            }
+        }
+        // Simulate a crash mid-append: a torn, unparseable final line.
+        {
+            use std::io::Write;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"{\"rec\":\"submitted\",\"job\":4,\"ten")
+                .unwrap();
+        }
+        let (_, records) = Journal::open(&path).unwrap();
+        assert_eq!(records, sample_records(), "torn tail dropped, rest intact");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corruption_mid_journal_is_fatal() {
+        let path = tempfile("corrupt");
+        let _ = std::fs::remove_file(&path);
+        std::fs::write(&path, "garbage line\n{\"rec\":\"started\",\"job\":1}\n").unwrap();
+        assert!(Journal::open(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -26,6 +26,9 @@ pub enum ServiceError {
     /// The worker processing this job panicked; the service itself keeps
     /// running and the panic payload is reported here.
     WorkerPanicked(String),
+    /// The job was cancelled by its submitter (see `JobHandle::cancel` /
+    /// `CancelToken`); workers notice the flag between pipeline stages.
+    Cancelled,
     /// The service is shutting down and no longer accepts or answers jobs.
     Shutdown,
     /// Reading or writing a service artifact (spool file, cache entry).
@@ -48,9 +51,20 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Prove(msg) => write!(f, "proving failed: {msg}"),
             ServiceError::Verify(msg) => write!(f, "verification failed: {msg}"),
             ServiceError::WorkerPanicked(msg) => write!(f, "worker panicked: {msg}"),
+            ServiceError::Cancelled => write!(f, "job cancelled"),
             ServiceError::Shutdown => write!(f, "service is shutting down"),
             ServiceError::Io(msg) => write!(f, "io error: {msg}"),
         }
+    }
+}
+
+impl ServiceError {
+    /// True for rejections that are pure backpressure: the request was
+    /// well-formed and would likely succeed if retried after a backoff.
+    /// Front-ends map these to distinct exit codes / HTTP 429 so callers
+    /// can tell "try again later" apart from "this job is broken".
+    pub fn is_backpressure(&self) -> bool {
+        matches!(self, ServiceError::Busy { .. })
     }
 }
 

@@ -31,7 +31,8 @@ pub use artifact::{decode_public, encode_public, write_proof_dir};
 pub use cache::{pk_matches_circuit, ArtifactCache, ArtifactKey, CacheOutcome, SRS_SEED};
 pub use error::ServiceError;
 pub use service::{
-    JobHandle, JobKind, JobResult, JobSpec, ProofArtifacts, ProvingService, ServiceConfig,
+    CancelToken, JobHandle, JobKind, JobResult, JobSpec, ProofArtifacts, ProvingService,
+    ServiceConfig,
 };
 pub use stats::{ServiceStats, StatsSnapshot};
 pub use verify::{BatchOutcome, BatchReport, BatchVerifier, PendingProof};

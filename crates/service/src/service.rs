@@ -11,7 +11,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -79,10 +79,51 @@ pub enum JobKind {
         /// How many segments to cut into.
         segments: SegmentSpec,
     },
+    /// Verify an already-produced proof: a monolithic `(vk, public, proof)`
+    /// triple when `vk` is non-empty, otherwise `proof` is a serialized
+    /// [`SegmentedProof`] bundle (which carries its own verifying keys).
+    /// Succeeds with no artifacts; a rejected proof fails the job with
+    /// [`ServiceError::Verify`].
+    Verify {
+        /// Commitment backend the proof targets.
+        backend: Backend,
+        /// Serialized verifying key; empty for segmented bundles.
+        vk: Vec<u8>,
+        /// Public values (first instance column).
+        public: Vec<Fr>,
+        /// Proof bytes, or the serialized bundle when `vk` is empty.
+        proof: Vec<u8>,
+    },
     /// Occupy a worker for the given duration (health checks and tests).
     Sleep(Duration),
     /// Panic inside the worker (tests the panic-isolation path).
     Panic,
+}
+
+/// A shared cooperative cancellation flag. Cloning shares the flag: the
+/// submitter keeps one end (via [`JobHandle::cancel`] or directly) and the
+/// worker checks the other between pipeline stages (compile → keygen →
+/// prove → verify), so a cancelled job stops at the next stage boundary
+/// instead of running to completion after its caller gave up on it.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; takes effect at the job's next
+    /// stage boundary (a job mid-MSM finishes that stage first).
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
 }
 
 /// A job specification: what to do and how long it may take.
@@ -91,6 +132,9 @@ pub struct JobSpec {
     pub kind: JobKind,
     /// Deadline measured from submission; `None` uses the service default.
     pub deadline: Option<Duration>,
+    /// Cooperative cancellation flag, checked between pipeline stages. The
+    /// submitted job's [`JobHandle`] shares this token.
+    pub cancel: CancelToken,
 }
 
 impl JobSpec {
@@ -99,19 +143,17 @@ impl JobSpec {
         Self {
             kind,
             deadline: None,
+            cancel: CancelToken::new(),
         }
     }
 
     /// A proving job for `graph`.
     pub fn prove(graph: Arc<Graph>, backend: Backend, seed: u64) -> Self {
-        Self {
-            kind: JobKind::Prove {
-                graph,
-                backend,
-                seed,
-            },
-            deadline: None,
-        }
+        Self::new(JobKind::Prove {
+            graph,
+            backend,
+            seed,
+        })
     }
 
     /// A segmented proving job for `graph`.
@@ -121,20 +163,24 @@ impl JobSpec {
         seed: u64,
         segments: SegmentSpec,
     ) -> Self {
-        Self {
-            kind: JobKind::ProveSegmented {
-                graph,
-                backend,
-                seed,
-                segments,
-            },
-            deadline: None,
-        }
+        Self::new(JobKind::ProveSegmented {
+            graph,
+            backend,
+            seed,
+            segments,
+        })
     }
 
     /// Sets a per-job deadline.
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Shares an externally held cancellation token (e.g. one kept in a
+    /// front-end's job registry so `DELETE /v1/jobs/{id}` can reach it).
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
         self
     }
 }
@@ -184,12 +230,27 @@ struct Job {
 pub struct JobHandle {
     id: u64,
     rx: Receiver<JobResult>,
+    cancel: CancelToken,
 }
 
 impl JobHandle {
     /// The job's id (also stamped into its artifacts).
     pub fn id(&self) -> u64 {
         self.id
+    }
+
+    /// Requests cooperative cancellation of this job. If the job is still
+    /// queued it fails with [`ServiceError::Cancelled`] at pickup; if it is
+    /// running it stops at the next stage boundary. The usual pairing is
+    /// with [`Self::wait_timeout`]: a caller that gives up on a slow job
+    /// cancels it so it stops burning a worker.
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    /// The job's shared cancellation token.
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
     }
 
     /// Blocks until the job finishes.
@@ -300,6 +361,7 @@ impl ProvingService {
         let tx = self.tx.as_ref().ok_or(ServiceError::Shutdown)?;
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let (reply_tx, reply_rx) = channel::unbounded();
+        let cancel = spec.cancel.clone();
         let job = Job {
             id,
             spec,
@@ -310,7 +372,11 @@ impl ProvingService {
             Ok(()) => {
                 self.ctx.stats.record_submitted();
                 self.ctx.stats.set_queue_depth(tx.len());
-                Ok(JobHandle { id, rx: reply_rx })
+                Ok(JobHandle {
+                    id,
+                    rx: reply_rx,
+                    cancel,
+                })
             }
             Err(TrySendError::Full(_)) => {
                 self.ctx.stats.record_rejected_busy();
@@ -414,6 +480,7 @@ fn worker_loop(rx: Receiver<Job>, ctx: Arc<WorkerCtx>) {
                 ctx.stats.record_timed_out();
                 ctx.stats.record_failed();
             }
+            Err(ServiceError::Cancelled) => ctx.stats.record_cancelled(),
             Err(_) => ctx.stats.record_failed(),
         }
         // The submitter may have dropped its handle; that is not an error.
@@ -440,7 +507,18 @@ fn check_deadline(job: &Job) -> Result<(), ServiceError> {
     }
 }
 
+/// The cooperative cancellation point, placed at every stage boundary of
+/// the proving pipeline (pickup → compile → keygen → prove → verify).
+fn check_cancelled(job: &Job) -> Result<(), ServiceError> {
+    if job.spec.cancel.is_cancelled() {
+        Err(ServiceError::Cancelled)
+    } else {
+        Ok(())
+    }
+}
+
 fn run_job(ctx: &WorkerCtx, job: &Job) -> JobResult {
+    check_cancelled(job)?;
     check_deadline(job)?;
     match &job.spec.kind {
         JobKind::Sleep(d) => {
@@ -459,6 +537,53 @@ fn run_job(ctx: &WorkerCtx, job: &Job) -> JobResult {
             seed,
             segments,
         } => prove_segmented_job(ctx, job, graph, *backend, *seed, *segments).map(Some),
+        JobKind::Verify {
+            backend,
+            vk,
+            public,
+            proof,
+        } => verify_job(ctx, *backend, vk, public, proof).map(|()| None),
+    }
+}
+
+/// Runs a standalone verification job: a monolithic triple when `vk` is
+/// non-empty, a segmented bundle otherwise. Params come from the shared
+/// cache, so repeated verify jobs skip SRS regeneration.
+fn verify_job(
+    ctx: &WorkerCtx,
+    backend: Backend,
+    vk: &[u8],
+    public: &[Fr],
+    proof: &[u8],
+) -> Result<(), ServiceError> {
+    if vk.is_empty() {
+        let bundle = SegmentedProof::from_bytes(proof)
+            .map_err(|e| ServiceError::Verify(format!("parse bundle: {e}")))?;
+        match zkml_shard::verify_bundle(&bundle, |b, k| ctx.cache.params(b, k)) {
+            Ok(report) => {
+                ctx.stats.record_verified(report.segments as u64, 0);
+                Ok(())
+            }
+            Err(e) => {
+                ctx.stats.record_verified(0, bundle.segments.len() as u64);
+                Err(ServiceError::Verify(e.to_string()))
+            }
+        }
+    } else {
+        let vk = zkml_plonk::VerifyingKey::from_bytes(vk)
+            .map_err(|e| ServiceError::Verify(format!("parse vk: {e}")))?;
+        let params = ctx.cache.params(backend, vk.k);
+        let instance = public.to_vec();
+        match zkml_plonk::verify_proof(&params, &vk, std::slice::from_ref(&instance), proof) {
+            Ok(()) => {
+                ctx.stats.record_verified(1, 0);
+                Ok(())
+            }
+            Err(e) => {
+                ctx.stats.record_verified(0, 1);
+                Err(ServiceError::Verify(e.to_string()))
+            }
+        }
     }
 }
 
@@ -505,6 +630,7 @@ fn prove_job(
     let compiled = report
         .synthesize_best()
         .map_err(|e| ServiceError::Compile(e.to_string()))?;
+    check_cancelled(job)?;
     check_deadline(job)?;
 
     // Key material, through the artifact cache. The key pins the circuit
@@ -534,6 +660,7 @@ fn prove_job(
     } else {
         ctx.stats.record_cache_miss();
     }
+    check_cancelled(job)?;
     check_deadline(job)?;
 
     // Prove. No deadline check afterwards: a finished proof is returned
@@ -637,6 +764,7 @@ fn prove_segmented_job(
     let hw = zkml::cost::HardwareStats::cached();
     let compiled = zkml_shard::compile_segments(&sched, segments, &opts, hw)
         .map_err(|e| ServiceError::Compile(e.to_string()))?;
+    check_cancelled(job)?;
     check_deadline(job)?;
 
     let keys = CacheKeySource {
@@ -660,6 +788,7 @@ fn prove_segmented_job(
     // Segmented bundles carry their own chain binding, so they do not go
     // through the per-proof BatchVerifier (which knows nothing of chains);
     // the bundle verifier settles all segments with one pairing itself.
+    check_cancelled(job)?;
     if ctx.verify_after_prove {
         match zkml_shard::verify_bundle(&bundle, |b, k| ctx.cache.params(b, k)) {
             Ok(report) => ctx.stats.record_verified(report.segments as u64, 0),

@@ -18,6 +18,7 @@ pub struct ServiceStats {
     jobs_failed: AtomicU64,
     jobs_rejected_busy: AtomicU64,
     jobs_timed_out: AtomicU64,
+    jobs_cancelled: AtomicU64,
     worker_panics: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
@@ -47,6 +48,9 @@ impl ServiceStats {
     }
     pub(crate) fn record_timed_out(&self) {
         self.jobs_timed_out.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn record_cancelled(&self) {
+        self.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
     }
     pub(crate) fn record_worker_panic(&self) {
         self.worker_panics.fetch_add(1, Ordering::Relaxed);
@@ -87,6 +91,7 @@ impl ServiceStats {
             jobs_failed: self.jobs_failed.load(Ordering::Relaxed),
             jobs_rejected_busy: self.jobs_rejected_busy.load(Ordering::Relaxed),
             jobs_timed_out: self.jobs_timed_out.load(Ordering::Relaxed),
+            jobs_cancelled: self.jobs_cancelled.load(Ordering::Relaxed),
             worker_panics: self.worker_panics.load(Ordering::Relaxed),
             cache_hits: hits,
             cache_misses: misses,
@@ -138,6 +143,8 @@ pub struct StatsSnapshot {
     pub jobs_rejected_busy: u64,
     /// Jobs abandoned for missing their deadline.
     pub jobs_timed_out: u64,
+    /// Jobs cancelled by their submitter before finishing.
+    pub jobs_cancelled: u64,
     /// Worker panics survived (a subset of `jobs_failed`).
     pub worker_panics: u64,
     /// Artifact-cache hits (memory or disk; keygen skipped).
@@ -167,7 +174,8 @@ impl StatsSnapshot {
                 "{{\"threads\":{},\"par_tasks_executed\":{},\"par_steals\":{},",
                 "\"par_busy_fraction\":{:.4},",
                 "\"jobs_submitted\":{},\"jobs_completed\":{},\"jobs_failed\":{},",
-                "\"jobs_rejected_busy\":{},\"jobs_timed_out\":{},\"worker_panics\":{},",
+                "\"jobs_rejected_busy\":{},\"jobs_timed_out\":{},\"jobs_cancelled\":{},",
+                "\"worker_panics\":{},",
                 "\"cache_hits\":{},\"cache_misses\":{},\"cache_hit_rate\":{:.4},",
                 "\"proofs_verified\":{},\"verify_failures\":{},\"queue_depth\":{},",
                 "\"prove_p50_ms\":{},\"prove_p95_ms\":{}}}"
@@ -181,6 +189,7 @@ impl StatsSnapshot {
             self.jobs_failed,
             self.jobs_rejected_busy,
             self.jobs_timed_out,
+            self.jobs_cancelled,
             self.worker_panics,
             self.cache_hits,
             self.cache_misses,

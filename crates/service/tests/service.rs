@@ -8,8 +8,8 @@ use zkml::{compile, CircuitConfig, LayoutChoices};
 use zkml_model::{Activation, Graph, GraphBuilder, Op};
 use zkml_pcs::Backend;
 use zkml_service::{
-    pk_matches_circuit, ArtifactCache, ArtifactKey, CacheOutcome, JobKind, JobSpec, ProvingService,
-    ServiceConfig, ServiceError,
+    pk_matches_circuit, ArtifactCache, ArtifactKey, CacheOutcome, CancelToken, JobKind, JobSpec,
+    ProvingService, ServiceConfig, ServiceError,
 };
 use zkml_tensor::Tensor;
 
@@ -405,4 +405,102 @@ fn infeasible_layout_fails_job_without_crashing_worker() {
     assert_eq!(snap.worker_panics, 0, "infeasibility must not panic");
     assert_eq!(snap.jobs_failed, 1);
     assert_eq!(snap.jobs_completed, 1);
+}
+
+/// A job whose cancel token is set before a worker picks it up is cancelled
+/// at the first stage boundary and never proves anything.
+#[test]
+fn pre_cancelled_job_never_runs() {
+    let service = ProvingService::start(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    let cancel = CancelToken::new();
+    cancel.cancel();
+    let handle = service
+        .submit(JobSpec::prove(Arc::new(tiny_mlp()), Backend::Kzg, 1).with_cancel(cancel))
+        .unwrap();
+    match handle.wait() {
+        Err(ServiceError::Cancelled) => {}
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+    let snap = service.snapshot();
+    assert_eq!(snap.jobs_cancelled, 1);
+    assert_eq!(snap.jobs_completed, 0);
+    assert_eq!(snap.jobs_failed, 0);
+}
+
+/// `JobHandle::cancel` stops a queued job: with a single busy worker, the
+/// second job's token is set while it waits, so the worker drops it at the
+/// run_job entry check instead of proving. This is the fix for wait_timeout
+/// leaving jobs running after the caller gave up on them.
+#[test]
+fn handle_cancel_stops_queued_job() {
+    let service = ProvingService::start(ServiceConfig {
+        workers: 1,
+        queue_capacity: 4,
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    let blocker = service
+        .submit(JobSpec::new(JobKind::Sleep(Duration::from_millis(300))))
+        .unwrap();
+    let victim = service
+        .submit(JobSpec::prove(Arc::new(tiny_mlp()), Backend::Kzg, 1))
+        .unwrap();
+    // The caller times out quickly, then cancels instead of leaking the job.
+    assert!(victim.wait_timeout(Duration::from_millis(10)).is_none());
+    victim.cancel();
+    assert!(victim.cancel_token().is_cancelled());
+    match victim.wait() {
+        Err(ServiceError::Cancelled) => {}
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+    blocker.wait().unwrap();
+    let snap = service.snapshot();
+    assert_eq!(snap.jobs_cancelled, 1);
+    assert_eq!(snap.jobs_completed, 1); // the blocker
+}
+
+/// Standalone verify jobs: a valid proof verifies, a corrupted one fails.
+#[test]
+fn verify_job_accepts_good_and_rejects_bad_proofs() {
+    let service = ProvingService::start(ServiceConfig {
+        workers: 1,
+        verify_after_prove: false,
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    let artifacts = service
+        .submit(JobSpec::prove(Arc::new(tiny_mlp()), Backend::Kzg, 1))
+        .unwrap()
+        .wait()
+        .unwrap()
+        .unwrap();
+
+    let good = service
+        .submit(JobSpec::new(JobKind::Verify {
+            backend: artifacts.backend,
+            vk: artifacts.vk_bytes.clone(),
+            public: artifacts.public.clone(),
+            proof: artifacts.proof.clone(),
+        }))
+        .unwrap();
+    assert!(good.wait().is_ok());
+
+    let mut bad_proof = artifacts.proof.clone();
+    bad_proof[0] ^= 1;
+    let bad = service
+        .submit(JobSpec::new(JobKind::Verify {
+            backend: artifacts.backend,
+            vk: artifacts.vk_bytes.clone(),
+            public: artifacts.public.clone(),
+            proof: bad_proof,
+        }))
+        .unwrap();
+    assert!(bad.wait().is_err());
+    let snap = service.snapshot();
+    assert_eq!(snap.proofs_verified, 1);
+    assert_eq!(snap.verify_failures, 1);
 }

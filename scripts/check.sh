@@ -29,6 +29,36 @@ cmp "$SEG_TMP/default/bundle.bin" "$SEG_TMP/serial/bundle.bin"
 ./target/release/zkml verify --dir "$SEG_TMP/default"
 ZKML_THREADS=1 ./target/release/zkml verify --dir "$SEG_TMP/serial"
 
+echo "==> HTTP serving round-trip (submit, poll, download, verify, 429, drain)"
+NET_TMP="$(mktemp -d)"
+trap 'rm -rf "$SEG_TMP" "$NET_TMP"; [ -n "${SERVER_PID:-}" ] && kill "$SERVER_PID" 2>/dev/null || true' EXIT
+./target/release/zkml serve --http 127.0.0.1:0 \
+  --journal "$NET_TMP/journal.jsonl" --port-file "$NET_TMP/port" \
+  --workers 2 --tenant-limit throttled:0.1:1:8 &
+SERVER_PID=$!
+for _ in $(seq 1 100); do [ -s "$NET_TMP/port" ] && break; sleep 0.1; done
+ADDR="$(cat "$NET_TMP/port")"
+# Monolithic prove over HTTP: submit, wait, download artifacts, verify.
+./target/release/zkml submit MNIST --http "$ADDR" --tenant ci --seed 7 \
+  --wait --timeout-s 600 --dir "$NET_TMP/proof"
+./target/release/zkml verify --dir "$NET_TMP/proof"
+# Segmented prove over HTTP: same round-trip with a 3-segment bundle.
+./target/release/zkml submit MNIST --http "$ADDR" --tenant ci --seed 7 \
+  --segments 3 --wait --timeout-s 600 --dir "$NET_TMP/bundle"
+./target/release/zkml verify --dir "$NET_TMP/bundle"
+# Admission: the throttled tenant's second submit must be a 429 (exit 3).
+./target/release/zkml submit sleep --http "$ADDR" --tenant throttled
+if ./target/release/zkml submit sleep --http "$ADDR" --tenant throttled; then
+  echo "expected a 429 rejection for tenant 'throttled'" >&2; exit 1
+else
+  [ $? -eq 3 ] || { echo "429 should map to exit code 3" >&2; exit 1; }
+fi
+# Graceful drain: SIGTERM, server exits 0 with the journal settled.
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID"
+SERVER_PID=""
+grep -q '"rec":"completed"' "$NET_TMP/journal.jsonl"
+
 echo "==> cargo doc (workspace, warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
