@@ -14,6 +14,7 @@
 use crate::config::CircuitConfig;
 use crate::tables::{nonlin_entries, TableFn};
 use std::collections::HashMap;
+use zkml_analyze::RegionSpan;
 use zkml_ff::{Fr, PrimeField};
 use zkml_plonk::{CellRef, Column, ConstraintSystem, Expression, Rotation, BLINDING_FACTORS};
 
@@ -143,6 +144,13 @@ pub struct CircuitBuilder {
     /// Every advice/instance cell written during real synthesis, in write
     /// order — the mutation surface for the adversarial soundness harness.
     assigned: Vec<CellRef>,
+    /// Home cells created by [`CircuitBuilder::load_values`] — the circuit
+    /// inputs the static analyzer exempts from its determinism requirement
+    /// (they are constrained at use sites through copies).
+    inputs: Vec<CellRef>,
+    /// Labelled layout regions (gadget rows, input rows) for attributing
+    /// analyzer findings back to the gadget that allocated the cell.
+    regions: Vec<RegionSpan>,
 }
 
 impl CircuitBuilder {
@@ -200,6 +208,8 @@ impl CircuitBuilder {
             copy_count: 0,
             freivalds_jobs: Vec::new(),
             assigned: Vec::new(),
+            inputs: Vec::new(),
+            regions: Vec::new(),
         }
     }
 
@@ -282,11 +292,34 @@ impl CircuitBuilder {
         AValue { cell, v }
     }
 
+    /// Records a labelled grid row for analyzer attribution. Rows are
+    /// allocated in ascending order, so runs of the same label merge into
+    /// one span. Skipped in placement mode (plans carry no witness to
+    /// analyze).
+    fn note_region(&mut self, label: &str, row: usize) {
+        if self.count_only {
+            return;
+        }
+        let columns = self.grid[0]..self.grid[self.grid.len() - 1] + 1;
+        if let Some(last) = self.regions.last_mut() {
+            if last.rows.end == row && last.label == label && last.columns == columns {
+                last.rows.end = row + 1;
+                return;
+            }
+        }
+        self.regions.push(RegionSpan {
+            label: label.to_string(),
+            columns,
+            rows: row..row + 1,
+        });
+    }
+
     fn alloc_row(&mut self, gadget: Gadget) -> usize {
         let r = self.row;
         self.row += 1;
         let sel = self.selector(gadget);
         self.set_fixed(sel, r, Fr::ONE);
+        self.note_region(&format!("{gadget:?}"), r);
         r
     }
 
@@ -295,6 +328,7 @@ impl CircuitBuilder {
     fn alloc_free_row(&mut self) -> usize {
         let r = self.row;
         self.row += 1;
+        self.note_region("inputs", r);
         r
     }
 
@@ -330,7 +364,9 @@ impl CircuitBuilder {
         for chunk in values.chunks(n) {
             let row = self.alloc_free_row();
             for (j, &v) in chunk.iter().enumerate() {
-                out.push(self.fresh(j, row, v));
+                let a = self.fresh(j, row, v);
+                self.inputs.push(a.cell);
+                out.push(a);
             }
         }
         out
@@ -1129,6 +1165,12 @@ impl CircuitBuilder {
     }
     pub(crate) fn take_assigned(&mut self) -> Vec<CellRef> {
         std::mem::take(&mut self.assigned)
+    }
+    pub(crate) fn take_inputs(&mut self) -> Vec<CellRef> {
+        std::mem::take(&mut self.inputs)
+    }
+    pub(crate) fn take_regions(&mut self) -> Vec<RegionSpan> {
+        std::mem::take(&mut self.regions)
     }
     pub(crate) fn push_freivalds_job(&mut self, job: crate::freivalds::FreivaldsJob) {
         self.freivalds_jobs.push(job);

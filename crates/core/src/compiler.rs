@@ -19,6 +19,7 @@ use crate::config::CircuitConfig;
 use crate::freivalds::{fill_jobs, FreivaldsJob};
 use crate::schedule::{run_schedule, OpSchedule};
 use rand::RngCore;
+use zkml_analyze::{AnalysisInput, AnalysisReport, RegionSpan};
 use zkml_ff::Fr;
 use zkml_model::Graph;
 use zkml_pcs::Params;
@@ -42,6 +43,14 @@ pub enum ZkmlError {
     },
     /// Synthesis produced a different circuit than the supplied plan.
     PlanMismatch(String),
+    /// The static analyzer found advice cells not uniquely determined by
+    /// the circuit inputs (see [`CompiledCircuit::ensure_determined`]).
+    Underconstrained {
+        /// How many free cells were reported.
+        free_cells: usize,
+        /// The analyzer's rendered report.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for ZkmlError {
@@ -53,6 +62,12 @@ impl std::fmt::Display for ZkmlError {
                 write!(f, "no feasible layout found within max_k = {max_k}")
             }
             ZkmlError::PlanMismatch(s) => write!(f, "plan mismatch: {s}"),
+            ZkmlError::Underconstrained { free_cells, detail } => {
+                write!(
+                    f,
+                    "underconstrained circuit ({free_cells} free cells): {detail}"
+                )
+            }
         }
     }
 }
@@ -149,6 +164,8 @@ pub struct CompiledCircuit {
     p1_rows: usize,
     jobs: Vec<FreivaldsJob>,
     assigned: Vec<zkml_plonk::CellRef>,
+    inputs: Vec<zkml_plonk::CellRef>,
+    regions: Vec<RegionSpan>,
 }
 
 struct ZkmlWitness<'a> {
@@ -314,9 +331,20 @@ fn finalize(
 
     let p1_rows = bld.p1_rows_used();
     let assigned = bld.take_assigned();
+    let inputs = bld.take_inputs();
+    let mut regions = bld.take_regions();
     let jobs = bld.take_freivalds_jobs();
     let grid: Vec<usize> = bld.grid_cols().to_vec();
     let p1_cols: Vec<usize> = bld.p1_cols().to_vec();
+    if let (Some(first), Some(last)) = (p1_cols.first(), p1_cols.last()) {
+        if p1_rows > 0 {
+            regions.push(RegionSpan {
+                label: "freivalds".to_string(),
+                columns: *first..*last + 1,
+                rows: 0..p1_rows,
+            });
+        }
+    }
     let num_fixed = bld.num_fixed_cols();
     let (cs, mut fixed_vals, advice_vals, copies, instance_vals) = bld.take_parts();
 
@@ -343,7 +371,16 @@ fn finalize(
         p1_rows,
         jobs,
         assigned,
+        inputs,
+        regions,
     })
+}
+
+/// Synthesizes a schedule under a plan and runs the static analyzer over
+/// the result — the optimizer-sweep entry point for checking that a
+/// *candidate* layout (not just the winner) is fully constrained.
+pub fn analyze_plan(sched: &OpSchedule, plan: &LayoutPlan) -> Result<AnalysisReport, ZkmlError> {
+    Ok(synthesize(sched, plan)?.analyze())
 }
 
 impl CompiledCircuit {
@@ -414,6 +451,49 @@ impl CompiledCircuit {
         Ok(zkml_plonk::MockProver::run(
             self.k, &self.cs, &self.pre, &witness,
         )?)
+    }
+
+    /// Runs the static underconstrained-circuit analyzer over this
+    /// circuit: proves every assigned advice cell is uniquely determined
+    /// by the instance/fixed data and the declared input cells, or reports
+    /// the cells that are not (see `zkml-analyze` for the rule set).
+    pub fn analyze(&self) -> AnalysisReport {
+        let assigned = self.assigned_cells();
+        zkml_analyze::analyze(&AnalysisInput {
+            cs: &self.cs,
+            pre: &self.pre,
+            k: self.k,
+            assigned: &assigned,
+            inputs: &self.inputs,
+            regions: &self.regions,
+        })
+    }
+
+    /// Fails with [`ZkmlError::Underconstrained`] unless
+    /// [`analyze`](CompiledCircuit::analyze) comes back clean. The service
+    /// runs this before proving so a layout bug surfaces as a typed
+    /// compile error instead of an unsound proof.
+    pub fn ensure_determined(&self) -> Result<(), ZkmlError> {
+        let report = self.analyze();
+        if report.is_clean() {
+            Ok(())
+        } else {
+            Err(ZkmlError::Underconstrained {
+                free_cells: report.free.len(),
+                detail: report.to_string(),
+            })
+        }
+    }
+
+    /// The declared input home cells (written by `load_values`).
+    pub fn input_cells(&self) -> &[zkml_plonk::CellRef] {
+        &self.inputs
+    }
+
+    /// Labelled layout regions (gadget rows, input rows, the Freivalds
+    /// phase-1 plane) for attributing cells to gadgets.
+    pub fn regions(&self) -> &[RegionSpan] {
+        &self.regions
     }
 
     /// Every witness cell assigned during synthesis: the phase-0 cells the

@@ -37,9 +37,29 @@ pub fn lower_graph(g: &Graph, inputs: &[Tensor<i64>], numeric: NumericConfig) ->
         let cells = sb.load_values(t.data());
         tensors[*id] = Some(Tensor::new(t.shape().to_vec(), cells));
     }
-    // Load weights (single-scale; biases are re-quantized per use site).
+    // Load weights (single-scale). Biases are re-quantized at double scale
+    // per use site by `load_bias2`, so a weight consumed *only* as the bias
+    // input of a linear layer must not be loaded here: the single-scale
+    // copy would have no consumer, leaving dead unconstrained cells that
+    // the static analyzer rightly flags as underconstrained.
+    let mut non_bias_use = vec![false; g.tensors.len()];
+    for id in &g.outputs {
+        non_bias_use[*id] = true;
+    }
+    for node in &g.nodes {
+        for (i, id) in node.inputs.iter().enumerate() {
+            let bias_slot = i == 2
+                && matches!(
+                    node.op,
+                    Op::FullyConnected { .. } | Op::Conv2D { .. } | Op::DepthwiseConv2D { .. }
+                );
+            if !bias_slot {
+                non_bias_use[*id] = true;
+            }
+        }
+    }
     for (id, meta) in g.tensors.iter().enumerate() {
-        if meta.kind == TensorKind::Weight {
+        if meta.kind == TensorKind::Weight && non_bias_use[id] {
             let w = g.weights[id].as_ref().expect("weight values");
             let q = fp.quantize_tensor(w);
             let cells = sb.load_values(q.data());

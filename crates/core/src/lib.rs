@@ -41,7 +41,7 @@ pub mod tables;
 
 pub use builder::{AValue, BuildError, CircuitBuilder, Gadget, LayoutStats};
 pub use compiler::{
-    compile, compile_with, place, synthesize, CompiledCircuit, LayoutPlan, ZkmlError,
+    analyze_plan, compile, compile_with, place, synthesize, CompiledCircuit, LayoutPlan, ZkmlError,
 };
 pub use config::{
     ArithImpl, CircuitConfig, DotImpl, LayoutChoices, MatmulImpl, NumericConfig, Objective,

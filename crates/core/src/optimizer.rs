@@ -104,6 +104,28 @@ impl OptimizerReport {
     pub fn synthesize_best(&self) -> Result<CompiledCircuit, ZkmlError> {
         synthesize(&self.schedule, &self.best_plan)
     }
+
+    /// Runs the static underconstrained-circuit analyzer over **every**
+    /// layout the sweep evaluated — not just the winner — by re-placing
+    /// each evaluated configuration (placement is deterministic, so this
+    /// reproduces the exact candidate plan), synthesizing it, and
+    /// analyzing the result. Layouts are processed in parallel on the
+    /// `zkml-par` pool; results come back in sweep order as
+    /// `(configuration, report)` pairs.
+    ///
+    /// This is the gadget-zoo guarantee extended to the optimizer: a
+    /// layout bug that only manifests at one column count or gadget mix
+    /// cannot hide in a candidate the cost model happened to reject.
+    pub fn analyze_all_layouts(
+        &self,
+    ) -> Result<Vec<(CircuitConfig, zkml_analyze::AnalysisReport)>, ZkmlError> {
+        let results = zkml_par::par_map(self.all.len(), |i| {
+            let cfg = self.all[i].cfg;
+            let plan = place(&self.schedule, cfg)?;
+            Ok((cfg, crate::compiler::analyze_plan(&self.schedule, &plan)?))
+        });
+        results.into_iter().collect()
+    }
 }
 
 /// Zero-valued inputs with the graph's declared shapes. Layouts are

@@ -125,6 +125,22 @@ impl OpSchedule {
     pub fn num_values(&self) -> usize {
         self.num_vals
     }
+
+    /// Number of compute ops — everything except `Load`/`Const`, which
+    /// carry raw data and are rematerialized (not threaded) across segment
+    /// boundaries. Segmentation partitions exactly these.
+    pub fn num_compute_ops(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|o| !matches!(o, SchedOp::Load { .. } | SchedOp::Const { .. }))
+            .count()
+    }
+
+    /// Model outputs as `(shape, value ids)` per output tensor (read-only
+    /// view for tests and segmentation tooling).
+    pub fn outputs(&self) -> &[(Vec<usize>, Vec<u32>)] {
+        &self.outputs
+    }
 }
 
 /// Process-wide count of schedules built (i.e. `lower_graph` executions).

@@ -24,6 +24,16 @@ pub struct Lookup {
     pub table: Vec<Expression>,
 }
 
+impl Lookup {
+    /// True when every table expression is built from fixed columns and
+    /// constants only, so the table's contents are part of the preprocessed
+    /// circuit rather than the witness. All ZKML gadget tables satisfy
+    /// this; static analyses rely on it to evaluate tables concretely.
+    pub fn table_is_fixed_only(&self) -> bool {
+        self.table.iter().all(|e| e.references_only_fixed())
+    }
+}
+
 /// The static structure of a circuit.
 ///
 /// Derives structural equality so a placement plan's skeleton can be

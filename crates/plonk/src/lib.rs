@@ -29,7 +29,7 @@ pub mod verifier;
 pub use circuit::{
     CellRef, ConstraintSystem, Gate, Lookup, Preprocessed, WitnessSource, BLINDING_FACTORS,
 };
-pub use expression::{Column, Expression, Rotation};
+pub use expression::{Column, Expression, Linearity, Rotation};
 pub use keygen::{keygen, ExtendedDomain, ProvingKey, VerifyingKey};
 pub use mock::{GridWitness, MockProver, VerifyFailure};
 pub use prover::{create_proof, create_proof_bound, create_proof_with_rng};

@@ -19,6 +19,10 @@ pub enum ServiceError {
     UnknownModel(String),
     /// Lowering the model to a circuit failed.
     Compile(String),
+    /// The static analyzer found advice cells not uniquely determined by
+    /// the instance and fixed cells; proving is refused because such a
+    /// circuit admits multiple witnesses for the same public statement.
+    Underconstrained(String),
     /// Key generation or proof creation failed.
     Prove(String),
     /// A proof failed verification.
@@ -48,6 +52,9 @@ impl std::fmt::Display for ServiceError {
                 write!(f, "unknown model '{name}' (try `zkml models`)")
             }
             ServiceError::Compile(msg) => write!(f, "compile failed: {msg}"),
+            ServiceError::Underconstrained(msg) => {
+                write!(f, "refusing to prove: {msg}")
+            }
             ServiceError::Prove(msg) => write!(f, "proving failed: {msg}"),
             ServiceError::Verify(msg) => write!(f, "verification failed: {msg}"),
             ServiceError::WorkerPanicked(msg) => write!(f, "worker panicked: {msg}"),

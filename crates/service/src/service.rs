@@ -630,6 +630,11 @@ fn prove_job(
     let compiled = report
         .synthesize_best()
         .map_err(|e| ServiceError::Compile(e.to_string()))?;
+    // Determinism gate: never spend keygen/proving time on a layout the
+    // static analyzer can show is underconstrained.
+    compiled
+        .ensure_determined()
+        .map_err(|e| ServiceError::Underconstrained(e.to_string()))?;
     check_cancelled(job)?;
     check_deadline(job)?;
 
@@ -764,6 +769,13 @@ fn prove_segmented_job(
     let hw = zkml::cost::HardwareStats::cached();
     let compiled = zkml_shard::compile_segments(&sched, segments, &opts, hw)
         .map_err(|e| ServiceError::Compile(e.to_string()))?;
+    // Each segment is an independent circuit; all must pass the static
+    // determinism check before any key material is touched.
+    for (i, seg) in compiled.iter().enumerate() {
+        seg.compiled
+            .ensure_determined()
+            .map_err(|e| ServiceError::Underconstrained(format!("segment {i}: {e}")))?;
+    }
     check_cancelled(job)?;
     check_deadline(job)?;
 

@@ -29,6 +29,10 @@ pub struct MutationReport {
     pub lookup_flips: usize,
     /// Mutations the checker did NOT reject (underconstrained cells).
     pub survivors: Vec<String>,
+    /// The cells behind `survivors` (witness mutations only, not lookup
+    /// flips), for cross-checking against the static analyzer's free-cell
+    /// report.
+    pub survivor_cells: Vec<CellRef>,
 }
 
 /// Mutates every assigned cell of `compiled` by +1 and collects survivors.
@@ -52,11 +56,13 @@ pub fn mutate_compiled(
     }
     let cells = compiled.assigned_cells();
     let mut survivors = Vec::new();
+    let mut survivor_cells = Vec::new();
     for cell in &cells {
         let orig = mock.cell(*cell);
         mock.set_cell(*cell, orig + Fr::ONE);
         if mock.check_affected(*cell).is_empty() {
             survivors.push(format!("{name}: cell {cell:?} mutation survived"));
+            survivor_cells.push(*cell);
         }
         mock.set_cell(*cell, orig);
     }
@@ -68,6 +74,7 @@ pub fn mutate_compiled(
         cells_mutated: cells.len(),
         lookup_flips,
         survivors,
+        survivor_cells,
     })
 }
 

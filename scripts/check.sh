@@ -20,6 +20,18 @@ cargo test -p zkml-plonk --test negative_path -q
 echo "==> optimizer parity (parallel sweep == serial exhaustive sweep)"
 cargo test -p zkml --test optimizer_parity -q
 
+echo "==> static analyzer (rule unit tests, default + ZKML_THREADS=1)"
+cargo test -p zkml-analyze -q
+ZKML_THREADS=1 cargo test -p zkml-analyze -q
+
+echo "==> analyzer enrollment (zoo clean, toy fixture flagged, every optimizer layout clean)"
+# The enrollment suite sweeps all 15 zoo gadgets, asserts the committed
+# underconstrained fixture is flagged with exactly its two free cells, and
+# analyzes every candidate layout the optimizer evaluated for the example
+# models — an expected-failure fixture plus an exhaustive clean sweep.
+cargo test -p zkml-testkit --test analyze -q
+cargo test -p zkml-testkit --test affected -q
+
 echo "==> segmented prove/verify round-trip (bundles identical across thread counts)"
 SEG_TMP="$(mktemp -d)"
 trap 'rm -rf "$SEG_TMP"' EXIT
