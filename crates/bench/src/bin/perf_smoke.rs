@@ -1,0 +1,153 @@
+//! Fast perf-smoke gate for `scripts/check.sh`.
+//!
+//! Runs the scaling kernels at a small size and fails (exit 1) if any
+//! measured ratio regresses past the thresholds stored in
+//! `PERF_THRESHOLDS.json` at the repository root (alongside
+//! `BENCH_PAR.json`). Three ratios are gated:
+//!
+//! - `min_msm_kernel_ratio`: serial jacobian-bucket MSM time over serial
+//!   batch-affine MSM time — the single-thread kernel win, meaningful on
+//!   any hardware.
+//! - `min_par4_msm_ratio` / `min_par4_fft_ratio`: 1-thread time over
+//!   4-thread time for MSM and FFT. On a multi-core host these gate the
+//!   parallel speedup; on a single-core host they sit near 1.0 and still
+//!   catch catastrophic regressions (oversubscription, pool deadlock,
+//!   lost-parallelism bugs that serialize with extra overhead).
+//!
+//! Thresholds are hardware-dependent, so the file records the core count
+//! they were measured on. If the current machine's core count differs, the
+//! parallel gates are skipped with a warning (the kernel gate still runs);
+//! re-record with `ZKML_PERF_RECORD=1 cargo run --release -p zkml-bench
+//! --bin perf_smoke`, which rewrites the file with freshly measured ratios
+//! minus a noise margin.
+
+use zkml_bench::scaling::{cores, msm_inputs, time_with_pool};
+use zkml_curves::{msm, msm_jacobian};
+use zkml_ff::{Field, Fr};
+use zkml_poly::EvaluationDomain;
+
+/// Grid size for the smoke kernels: large enough that the batch-affine and
+/// parallel paths engage, small enough to finish in seconds.
+const SMOKE_K: u32 = 13;
+/// Repetitions per timing (median taken) to damp scheduler noise.
+const REPS: usize = 5;
+/// Fraction of a freshly measured ratio kept when recording thresholds,
+/// leaving headroom for run-to-run timing noise.
+const RECORD_MARGIN: f64 = 0.6;
+
+fn thresholds_path() -> &'static str {
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../PERF_THRESHOLDS.json")
+}
+
+/// Extracts `"key": <number>` from a flat JSON object without a JSON
+/// dependency (the bench crate stays dependency-free).
+fn json_number(body: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\"");
+    let at = body.find(&pat)? + pat.len();
+    let rest = body[at..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+struct Measured {
+    kernel_ratio: f64,
+    par4_msm_ratio: f64,
+    par4_fft_ratio: f64,
+}
+
+fn measure() -> Measured {
+    let serial = zkml_par::Pool::new(1);
+    let quad = zkml_par::Pool::new(4);
+
+    let (bases, scalars) = msm_inputs(SMOKE_K);
+    let (jac_ms, _) = time_with_pool(&serial, REPS, || msm_jacobian(&bases, &scalars));
+    let (msm1_ms, _) = time_with_pool(&serial, REPS, || msm(&bases, &scalars));
+    let (msm4_ms, _) = time_with_pool(&quad, REPS, || msm(&bases, &scalars));
+
+    let domain = EvaluationDomain::<Fr>::new(SMOKE_K + 3);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(31);
+    let vals: Vec<Fr> = (0..domain.n).map(|_| Fr::random(&mut rng)).collect();
+    let twiddles = domain.twiddles();
+    let run_fft = || {
+        let mut v = vals.clone();
+        zkml_poly::fft::fft_in_place_with(&mut v, domain.k, &twiddles);
+        v
+    };
+    let (fft1_ms, _) = time_with_pool(&serial, REPS + 4, run_fft);
+    let (fft4_ms, _) = time_with_pool(&quad, REPS + 4, run_fft);
+
+    println!(
+        "perf-smoke k={SMOKE_K}: msm jacobian {jac_ms:.2} ms, batch-affine {msm1_ms:.2} ms \
+         (kernel {:.2}x); msm 4-thread {msm4_ms:.2} ms ({:.2}x); \
+         fft 1-thread {fft1_ms:.2} ms, 4-thread {fft4_ms:.2} ms ({:.2}x)",
+        jac_ms / msm1_ms,
+        msm1_ms / msm4_ms,
+        fft1_ms / fft4_ms
+    );
+    Measured {
+        kernel_ratio: jac_ms / msm1_ms,
+        par4_msm_ratio: msm1_ms / msm4_ms,
+        par4_fft_ratio: fft1_ms / fft4_ms,
+    }
+}
+
+fn record(m: &Measured) {
+    let body = format!(
+        "{{\n  \"cores\": {},\n  \"k\": {SMOKE_K},\n  \"min_msm_kernel_ratio\": {:.2},\n  \
+         \"min_par4_msm_ratio\": {:.2},\n  \"min_par4_fft_ratio\": {:.2}\n}}\n",
+        cores(),
+        m.kernel_ratio * RECORD_MARGIN,
+        m.par4_msm_ratio * RECORD_MARGIN,
+        m.par4_fft_ratio * RECORD_MARGIN,
+    );
+    std::fs::write(thresholds_path(), &body).expect("write PERF_THRESHOLDS.json");
+    println!("recorded thresholds:\n{body}");
+}
+
+fn main() {
+    let m = measure();
+    if std::env::var("ZKML_PERF_RECORD").is_ok_and(|v| v == "1") {
+        record(&m);
+        return;
+    }
+    let body = match std::fs::read_to_string(thresholds_path()) {
+        Ok(b) => b,
+        Err(_) => {
+            eprintln!(
+                "perf-smoke: no PERF_THRESHOLDS.json; run with ZKML_PERF_RECORD=1 to baseline"
+            );
+            std::process::exit(1);
+        }
+    };
+    let stored_cores = json_number(&body, "cores").unwrap_or(0.0) as usize;
+    let mut failed = false;
+    let mut gate = |name: &str, measured: f64| {
+        let Some(min) = json_number(&body, name) else {
+            eprintln!("perf-smoke: threshold '{name}' missing from PERF_THRESHOLDS.json");
+            failed = true;
+            return;
+        };
+        if measured < min {
+            eprintln!("perf-smoke FAIL: {name}: measured {measured:.2} < threshold {min:.2}");
+            failed = true;
+        } else {
+            println!("perf-smoke ok: {name}: {measured:.2} >= {min:.2}");
+        }
+    };
+    gate("min_msm_kernel_ratio", m.kernel_ratio);
+    if stored_cores == cores() {
+        gate("min_par4_msm_ratio", m.par4_msm_ratio);
+        gate("min_par4_fft_ratio", m.par4_fft_ratio);
+    } else {
+        println!(
+            "perf-smoke: thresholds recorded on {stored_cores} cores, this machine has {} — \
+             skipping parallel-ratio gates (re-record with ZKML_PERF_RECORD=1)",
+            cores()
+        );
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -7,6 +7,7 @@
 //! crossovers), which is what the binaries report alongside the paper's
 //! original numbers.
 
+pub mod scaling;
 pub mod tables;
 
 use rand::rngs::StdRng;

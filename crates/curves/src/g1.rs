@@ -115,6 +115,19 @@ impl G1Affine {
         })
     }
 
+    /// Negates the point (reflection across the x-axis).
+    pub fn negate(&self) -> Self {
+        if self.infinity {
+            *self
+        } else {
+            Self {
+                x: self.x,
+                y: -self.y,
+                infinity: false,
+            }
+        }
+    }
+
     /// Deterministically hashes a seed to a curve point (try-and-increment).
     ///
     /// G1 has cofactor 1, so any on-curve point is in the prime-order group.
@@ -359,6 +372,12 @@ impl Sub for G1Projective {
     }
 }
 impl Neg for G1Projective {
+    type Output = Self;
+    fn neg(self) -> Self {
+        self.negate()
+    }
+}
+impl Neg for G1Affine {
     type Output = Self;
     fn neg(self) -> Self {
         self.negate()

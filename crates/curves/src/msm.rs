@@ -1,16 +1,527 @@
 //! Multi-scalar multiplication via Pippenger's bucket method.
+//!
+//! The default kernel ([`msm`]) uses **signed-digit windows** — digits in
+//! `[-(2^(c-1) - 1), 2^(c-1)]`, which halve the bucket count relative to the
+//! unsigned method because `-d * P = d * (-P)` and negating an affine point
+//! is free — and accumulates buckets with **batch-affine additions**: the
+//! per-window scheduler collects independent bucket additions into rounds
+//! and resolves each round with one Montgomery batch inversion, so an
+//! addition costs ~6 field multiplications instead of a full Jacobian mixed
+//! addition (~13). A point whose bucket is already scheduled in the current
+//! round is deferred to the next round; pathological streams that keep
+//! colliding (e.g. every point in one bucket) fall back to Jacobian
+//! accumulation after [`MAX_SCHED_ROUNDS`] rounds, bounding the worst case
+//! at the old kernel's cost.
+//!
+//! Windows run in parallel on the zkml-par pool. Each window's schedule is a
+//! deterministic function of the inputs alone (point order, fixed batch
+//! boundaries), so the result — and therefore every commitment and proof
+//! byte downstream — is bit-identical at any thread count.
+//!
+//! The previous unsigned Jacobian kernel is kept as [`msm_jacobian`]; the
+//! scaling study in `BENCH_PAR.json` records both so the batch-affine
+//! speedup is a tracked regression gate.
 
 use crate::g1::{G1Affine, G1Projective};
-use zkml_ff::{Fr, PrimeField};
+use zkml_ff::{batch_invert_with_scratch, Field, Fq, Fr, PrimeField};
 use zkml_par as par;
 
 /// Points below which the bucket method loses to the naive sum: with `n`
-/// points Pippenger still touches `254/c` windows of `2^c - 1` buckets each,
-/// so for tiny inputs the setup dwarfs the saved additions.
+/// points Pippenger still touches `254/c` windows of buckets each, so for
+/// tiny inputs the setup dwarfs the saved additions.
 const NAIVE_CUTOFF: usize = 32;
 
+/// Batch-affine additions resolved per batch inversion. Large enough to
+/// amortize the single field inversion (~1 inversion ≈ 250 muls) to noise,
+/// small enough that the entry buffer stays cache-resident.
+const BATCH_ADDS: usize = 2048;
+
+/// Scheduler rounds before heavily-colliding leftovers fall back to Jacobian
+/// accumulation. Random inputs clear their collisions in 2–3 rounds; only
+/// adversarial streams (thousands of hits on one bucket) reach the cap.
+const MAX_SCHED_ROUNDS: usize = 16;
+
 /// Selects the bucket window width for an MSM of `n` points.
+///
+/// Tuned against the batch-affine kernel (see the `probe_window_bits` perf
+/// test): signed digits halve the bucket count and batch-affine additions
+/// make per-point work cheap relative to the `2^(c-1)` bucket reduction, so
+/// the optimum sits near `log2(n) - 1`, one to two bits wider than the old
+/// Jacobian-tuned table.
 fn window_bits(n: usize) -> usize {
+    match n {
+        0..=127 => 4,
+        128..=511 => 6,
+        512..=2047 => 9,
+        2048..=8191 => 11,
+        8192..=32767 => 12,
+        32768..=131071 => 14,
+        131072..=524287 => 15,
+        _ => 16,
+    }
+}
+
+/// Extracts the unsigned `c`-bit digit of `scalar` starting at `bit`
+/// (windows past the top of the scalar read as zero).
+fn digit(scalar: &[u64; 4], bit: usize, c: usize) -> usize {
+    let limb = bit / 64;
+    if limb >= 4 {
+        return 0;
+    }
+    let shift = bit % 64;
+    let mut v = scalar[limb] >> shift;
+    if shift + c > 64 && limb + 1 < 4 {
+        v |= scalar[limb + 1] << (64 - shift);
+    }
+    (v as usize) & ((1 << c) - 1)
+}
+
+/// Number of signed `c`-bit windows covering a 254-bit scalar. The final
+/// carry folds into the top window: because no `c` in `4..=16` divides 254,
+/// the top window holds at most `c - 1` significant scalar bits, so its
+/// digit plus the carry never exceeds `2^(c-1)` and no extra window is
+/// needed.
+fn num_windows(c: usize) -> usize {
+    debug_assert_ne!(
+        254 % c,
+        0,
+        "top-window carry fold requires c to not divide 254"
+    );
+    254usize.div_ceil(c)
+}
+
+/// Writes the signed-digit decomposition of one scalar into `out` (length
+/// `num_windows(c)`): digits are in `[-(2^(c-1) - 1), 2^(c-1)]` and satisfy
+/// `sum_w out[w] * 2^(w*c) == scalar`. All windows but the last are signed;
+/// the last absorbs the carry unsigned (see [`num_windows`]).
+fn decompose_signed(repr: &[u64; 4], c: usize, out: &mut [i32]) {
+    let half = 1i64 << (c - 1);
+    let full = 1i64 << c;
+    let mut carry = 0i64;
+    let last = out.len() - 1;
+    for (w, slot) in out.iter_mut().enumerate().take(last) {
+        let raw = digit(repr, w * c, c) as i64 + carry;
+        let d = if raw > half {
+            carry = 1;
+            raw - full
+        } else {
+            carry = 0;
+            raw
+        };
+        *slot = d as i32;
+    }
+    let top = digit(repr, last * c, c) as i64 + carry;
+    debug_assert!(top <= half, "top digit {top} exceeds bucket range");
+    out[last] = top as i32;
+}
+
+/// Sign flag packed into a scheduler entry's base-index word: set means the
+/// addend is the negated base (the digit was negative).
+const SIGN_BIT: u32 = 1 << 31;
+
+/// Materializes the addend a packed entry refers to.
+#[inline]
+fn addend(bases: &[G1Affine], code: u32) -> G1Affine {
+    let base = bases[(code & !SIGN_BIT) as usize];
+    if code & SIGN_BIT != 0 {
+        base.negate()
+    } else {
+        base
+    }
+}
+
+/// Per-window batch-affine bucket accumulator.
+///
+/// Scheduled additions are stored as packed `(bucket, base index | sign)`
+/// pairs — 8 bytes instead of two point copies — and resolved by reading the
+/// bucket and base arrays directly: within one batch a bucket appears at
+/// most once, so its value at resolve time is its value at schedule time.
+struct Scheduler {
+    /// Bucket values; `infinity` marks an empty bucket.
+    buckets: Vec<G1Affine>,
+    /// Round stamp per bucket: `busy[b] == round` means bucket `b` already
+    /// has a pending addition in the current round.
+    busy: Vec<u32>,
+    round: u32,
+    entries: Vec<(u32, u32)>,
+    /// Entries whose bucket was busy; re-queued next round.
+    deferred: Vec<(u32, u32)>,
+    /// Denominators for the round's batch inversion.
+    dens: Vec<Fq>,
+    /// Prefix-product scratch reused across inversions.
+    scratch: Vec<Fq>,
+}
+
+impl Scheduler {
+    fn new(nbuckets: usize) -> Self {
+        Self {
+            buckets: vec![G1Affine::identity(); nbuckets],
+            busy: vec![0; nbuckets],
+            round: 1,
+            entries: Vec::with_capacity(BATCH_ADDS),
+            deferred: Vec::new(),
+            dens: Vec::with_capacity(BATCH_ADDS),
+            scratch: Vec::with_capacity(BATCH_ADDS),
+        }
+    }
+
+    /// Adds the packed entry `code` into bucket `b`: direct fill if the
+    /// bucket is empty, a scheduled batch addition if it is occupied and
+    /// free this round, deferred otherwise.
+    #[inline]
+    fn push(&mut self, b: u32, code: u32, bases: &[G1Affine]) {
+        if self.busy[b as usize] == self.round {
+            self.deferred.push((b, code));
+            return;
+        }
+        if self.buckets[b as usize].infinity {
+            // Direct fill needs no field math; the bucket stays schedulable
+            // this round (resolution reads the filled value).
+            self.buckets[b as usize] = addend(bases, code);
+        } else {
+            self.busy[b as usize] = self.round;
+            self.entries.push((b, code));
+            if self.entries.len() >= BATCH_ADDS {
+                self.flush(bases);
+            }
+        }
+    }
+
+    /// Resolves all pending additions with one batch inversion and starts a
+    /// new round.
+    fn flush(&mut self, bases: &[G1Affine]) {
+        if self.entries.is_empty() {
+            self.round += 1;
+            return;
+        }
+        self.dens.clear();
+        for &(b, code) in &self.entries {
+            let cur = &self.buckets[b as usize];
+            let base = &bases[(code & !SIGN_BIT) as usize];
+            let den = if cur.x != base.x {
+                base.x - cur.x
+            } else {
+                let add_y = if code & SIGN_BIT != 0 {
+                    -base.y
+                } else {
+                    base.y
+                };
+                if cur.y == add_y {
+                    // Doubling: divide by 2y (never zero — G1 has odd prime
+                    // order, so no affine point has y = 0).
+                    cur.y.double()
+                } else {
+                    // P + (-P): the result is the identity; keep the batch
+                    // inversion free of zeros with a placeholder.
+                    Fq::ONE
+                }
+            };
+            self.dens.push(den);
+        }
+        batch_invert_with_scratch(&mut self.dens, &mut self.scratch);
+        for (&(b, code), den_inv) in self.entries.iter().zip(self.dens.iter()) {
+            let out = &mut self.buckets[b as usize];
+            let base = &bases[(code & !SIGN_BIT) as usize];
+            let add_y = if code & SIGN_BIT != 0 {
+                -base.y
+            } else {
+                base.y
+            };
+            if out.x != base.x {
+                let lambda = (add_y - out.y) * *den_inv;
+                let x3 = lambda.square() - out.x - base.x;
+                out.y = lambda * (out.x - x3) - out.y;
+                out.x = x3;
+            } else if out.y == add_y {
+                let xx = out.x.square();
+                let lambda = (xx + xx + xx) * *den_inv;
+                let x3 = lambda.square() - out.x.double();
+                out.y = lambda * (out.x - x3) - out.y;
+                out.x = x3;
+            } else {
+                *out = G1Affine::identity();
+            }
+        }
+        self.entries.clear();
+        self.round += 1;
+    }
+}
+
+/// Denominator of the general affine addition `a + b`: the value whose
+/// inverse the resolved formulas need, or a placeholder `1` when no division
+/// happens (identity operand or exact cancellation).
+#[inline]
+fn affine_den(a: &G1Affine, b: &G1Affine) -> Fq {
+    if a.infinity || b.infinity {
+        return Fq::ONE;
+    }
+    if a.x != b.x {
+        return b.x - a.x;
+    }
+    if a.y == b.y {
+        // Doubling: 2y, never zero on an odd-prime-order curve.
+        return a.y.double();
+    }
+    Fq::ONE
+}
+
+/// Resolves the general affine addition `a + b` given the batch-inverted
+/// denominator from [`affine_den`].
+#[inline]
+fn affine_add_resolved(a: &G1Affine, b: &G1Affine, inv: &Fq) -> G1Affine {
+    if b.infinity {
+        return *a;
+    }
+    if a.infinity {
+        return *b;
+    }
+    if a.x != b.x {
+        let lambda = (b.y - a.y) * *inv;
+        let x3 = lambda.square() - a.x - b.x;
+        G1Affine {
+            x: x3,
+            y: lambda * (a.x - x3) - a.y,
+            infinity: false,
+        }
+    } else if a.y == b.y {
+        let xx = a.x.square();
+        let lambda = (xx + xx + xx) * *inv;
+        let x3 = lambda.square() - a.x.double();
+        G1Affine {
+            x: x3,
+            y: lambda * (a.x - x3) - a.y,
+            infinity: false,
+        }
+    } else {
+        G1Affine::identity()
+    }
+}
+
+/// Batch-affine running-sum reduction: `sum_j (j+1) * buckets[j]`.
+///
+/// The buckets split into `K` interleaved chains — chain `g` owns buckets
+/// `{g, g+K, g+2K, ...}` so each step reads one contiguous row — and every
+/// step advances all chains by one plain-sum and one weighted-sum affine
+/// addition: `2K` independent additions sharing a single batch inversion,
+/// versus one Jacobian mixed plus one full addition per bucket serially.
+/// With `W_g` / `P_g` the per-chain weighted / plain sums, the identity
+/// `sum_j (j+1) B_j = K * sum_g W_g + sum_g (g+1) P_g` recombines the
+/// chains with ~3K Jacobian operations.
+fn reduce_buckets_batch(
+    buckets: &[G1Affine],
+    dens: &mut Vec<Fq>,
+    scratch: &mut Vec<Fq>,
+) -> G1Projective {
+    let m = buckets.len();
+    let k = (m / 16).clamp(8, 256).min(m);
+    debug_assert_eq!(m % k, 0, "chain count must divide the bucket count");
+    let l = m / k;
+    let mut w = vec![G1Affine::identity(); k];
+    let mut p = vec![G1Affine::identity(); k];
+    for u in (0..l).rev() {
+        let row = &buckets[u * k..(u + 1) * k];
+        dens.clear();
+        for g in 0..k {
+            dens.push(affine_den(&w[g], &p[g]));
+        }
+        for g in 0..k {
+            dens.push(affine_den(&p[g], &row[g]));
+        }
+        batch_invert_with_scratch(dens, scratch);
+        // W before P: the weighted chain must read this step's pre-update
+        // plain sum (W += P_old; P += B), which is what makes
+        // W_g + P_g = sum_u (u+1) B_{uK+g} hold.
+        for g in 0..k {
+            w[g] = affine_add_resolved(&w[g], &p[g], &dens[g]);
+        }
+        for g in 0..k {
+            p[g] = affine_add_resolved(&p[g], &row[g], &dens[k + g]);
+        }
+    }
+    let mut s1 = G1Projective::identity();
+    for wg in &w {
+        s1 = s1.add_affine(wg);
+    }
+    let mut run = G1Projective::identity();
+    let mut s2 = G1Projective::identity();
+    for pg in p.iter().rev() {
+        run = run.add_affine(pg);
+        s2 += run;
+    }
+    for _ in 0..k.trailing_zeros() {
+        s1 = s1.double();
+    }
+    s1 += s2;
+    s1
+}
+
+/// Accumulates one window's buckets (batch-affine with Jacobian fallback)
+/// and reduces them with the running-sum trick. `digits` is the scalar-major
+/// digit table; window `w`'s digit for point `i` is `digits[i * nwin + w]`.
+fn window_sum(bases: &[G1Affine], digits: &[i32], w: usize, nwin: usize, c: usize) -> G1Projective {
+    let nbuckets = 1usize << (c - 1);
+    let mut sched = Scheduler::new(nbuckets);
+    for (i, (base, d)) in bases
+        .iter()
+        .zip(digits[w..].iter().step_by(nwin))
+        .enumerate()
+    {
+        let d = *d;
+        if d == 0 || base.infinity {
+            continue;
+        }
+        let b = d.unsigned_abs() - 1;
+        let code = i as u32 | if d < 0 { SIGN_BIT } else { 0 };
+        sched.push(b, code, bases);
+    }
+    sched.flush(bases);
+    let mut rounds = 0;
+    while !sched.deferred.is_empty() && rounds < MAX_SCHED_ROUNDS {
+        rounds += 1;
+        let queue = std::mem::take(&mut sched.deferred);
+        for (b, code) in queue {
+            sched.push(b, code, bases);
+        }
+        sched.flush(bases);
+    }
+    // Collision fallback: anything still deferred after the round cap is a
+    // degenerate stream hammering few buckets — absorb it with plain
+    // Jacobian mixed additions.
+    let mut jac: Vec<G1Projective> = Vec::new();
+    if !sched.deferred.is_empty() {
+        jac = vec![G1Projective::identity(); nbuckets];
+        for (b, code) in sched.deferred.drain(..) {
+            jac[b as usize] = jac[b as usize].add_affine(&addend(bases, code));
+        }
+    }
+
+    // Running-sum trick: sum_j (j+1) * bucket_j. The common (no-fallback)
+    // case uses the batch-affine chain reduction; windows that needed the
+    // Jacobian fallback merge both bucket sets serially.
+    if jac.is_empty() && nbuckets >= 128 {
+        return reduce_buckets_batch(&sched.buckets, &mut sched.dens, &mut sched.scratch);
+    }
+    let mut running = G1Projective::identity();
+    let mut acc = G1Projective::identity();
+    for b in (0..nbuckets).rev() {
+        running = running.add_affine(&sched.buckets[b]);
+        if let Some(j) = jac.get(b) {
+            if !j.is_identity() {
+                running += *j;
+            }
+        }
+        acc += running;
+    }
+    acc
+}
+
+/// Accumulates the top (carry-fold) window with plain Jacobian buckets.
+///
+/// The top window's digits span only `topbits` significant bits plus the
+/// carry, all non-negative, so for large inputs its few buckets collide on
+/// nearly every point and the batch-affine scheduler degrades into deferral
+/// churn; the classic Jacobian walk has no collision concept and is faster
+/// there.
+fn window_sum_top(
+    bases: &[G1Affine],
+    digits: &[i32],
+    w: usize,
+    nwin: usize,
+    topbits: usize,
+) -> G1Projective {
+    // Digits lie in [0, 2^topbits], so 2^topbits buckets indexed by d - 1.
+    let nbuckets = 1usize << topbits;
+    let mut buckets = vec![G1Projective::identity(); nbuckets];
+    for (base, d) in bases.iter().zip(digits[w..].iter().step_by(nwin)) {
+        let d = *d;
+        if d == 0 || base.infinity {
+            continue;
+        }
+        debug_assert!(d > 0, "top window digit must be non-negative");
+        let b = (d - 1) as usize;
+        buckets[b] = buckets[b].add_affine(base);
+    }
+    let mut running = G1Projective::identity();
+    let mut acc = G1Projective::identity();
+    for b in buckets.iter().rev() {
+        running += *b;
+        acc += running;
+    }
+    acc
+}
+
+/// Dispatches one window to the right accumulator: the carry-fold top window
+/// of a large MSM goes to the Jacobian walk, everything else to the
+/// batch-affine scheduler. The choice depends only on `(n, c, w)`, so it is
+/// deterministic at any thread count.
+fn accumulate_window(
+    bases: &[G1Affine],
+    digits: &[i32],
+    w: usize,
+    nwin: usize,
+    c: usize,
+) -> G1Projective {
+    let topbits = 254 - (nwin - 1) * c;
+    // Route to the Jacobian walk once the expected hits per top bucket
+    // (n / 2^topbits) would drown the scheduler in deferral rounds.
+    if w == nwin - 1 && bases.len() >= (8usize << topbits) {
+        window_sum_top(bases, digits, w, nwin, topbits)
+    } else {
+        window_sum(bases, digits, w, nwin, c)
+    }
+}
+
+/// Computes `sum_i scalars[i] * bases[i]` with signed-digit windows and
+/// batch-affine bucket accumulation; windows are processed in parallel.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn msm(bases: &[G1Affine], scalars: &[Fr]) -> G1Projective {
+    assert_eq!(bases.len(), scalars.len(), "msm length mismatch");
+    let n = bases.len();
+    if n == 0 {
+        return G1Projective::identity();
+    }
+    if n < NAIVE_CUTOFF {
+        return msm_naive(bases, scalars);
+    }
+    assert!(
+        n < (1 << 31),
+        "msm: scheduler entries pack the index in 31 bits"
+    );
+    let c = window_bits(n);
+    let nwin = num_windows(c);
+
+    // Scalar-major signed-digit table: digits[i * nwin + w]. Decomposition
+    // parallelizes over disjoint per-scalar rows; window tasks read their
+    // column with a short stride.
+    let mut digits = vec![0i32; n * nwin];
+    par::for_each_chunk_exact(&mut digits, 1024 * nwin, |_, start, rows| {
+        let first = start / nwin;
+        for (j, row) in rows.chunks_exact_mut(nwin).enumerate() {
+            let repr = scalars[first + j].to_canonical();
+            decompose_signed(&repr, c, row);
+        }
+    });
+
+    let window_sums: Vec<G1Projective> =
+        par::par_map(nwin, |w| accumulate_window(bases, &digits, w, nwin, c));
+
+    // Combine: acc = sum_w 2^(w*c) * window_sums[w].
+    let mut acc = G1Projective::identity();
+    for ws in window_sums.iter().rev() {
+        for _ in 0..c {
+            acc = acc.double();
+        }
+        acc += *ws;
+    }
+    acc
+}
+
+/// Selects the bucket window width for the Jacobian reference kernel (the
+/// pre-batch-affine heuristic, kept so the baseline stays comparable).
+fn window_bits_jacobian(n: usize) -> usize {
     match n {
         0..=63 => 3,
         64..=127 => 4,
@@ -22,26 +533,10 @@ fn window_bits(n: usize) -> usize {
     }
 }
 
-/// Extracts the `c`-bit digit of `scalar` starting at `bit`.
-fn digit(scalar: &[u64; 4], bit: usize, c: usize) -> usize {
-    let limb = bit / 64;
-    let shift = bit % 64;
-    let mut v = scalar[limb] >> shift;
-    if shift + c > 64 && limb + 1 < 4 {
-        v |= scalar[limb + 1] << (64 - shift);
-    }
-    (v as usize) & ((1 << c) - 1)
-}
-
-/// Computes `sum_i scalars[i] * bases[i]`.
-///
-/// Windows are processed in parallel; each window accumulates buckets and a
-/// running-sum reduction.
-///
-/// # Panics
-///
-/// Panics if the slices have different lengths.
-pub fn msm(bases: &[G1Affine], scalars: &[Fr]) -> G1Projective {
+/// The previous unsigned-window Jacobian-bucket Pippenger kernel. Kept as
+/// the measured baseline for the batch-affine speedup gate in
+/// `BENCH_PAR.json` and as a cross-check oracle in tests.
+pub fn msm_jacobian(bases: &[G1Affine], scalars: &[Fr]) -> G1Projective {
     assert_eq!(bases.len(), scalars.len(), "msm length mismatch");
     if bases.is_empty() {
         return G1Projective::identity();
@@ -49,11 +544,11 @@ pub fn msm(bases: &[G1Affine], scalars: &[Fr]) -> G1Projective {
     if bases.len() < NAIVE_CUTOFF {
         return msm_naive(bases, scalars);
     }
-    let c = window_bits(bases.len());
-    let num_windows = 254usize.div_ceil(c);
+    let c = window_bits_jacobian(bases.len());
+    let nwin = 254usize.div_ceil(c);
     let repr: Vec<[u64; 4]> = scalars.iter().map(|s| s.to_canonical()).collect();
 
-    let window_sums: Vec<G1Projective> = par::par_map(num_windows, |w| {
+    let window_sums: Vec<G1Projective> = par::par_map(nwin, |w| {
         let bit = w * c;
         let mut buckets = vec![G1Projective::identity(); (1 << c) - 1];
         for (base, s) in bases.iter().zip(repr.iter()) {
@@ -65,7 +560,6 @@ pub fn msm(bases: &[G1Affine], scalars: &[Fr]) -> G1Projective {
                 buckets[d - 1] = buckets[d - 1].add_affine(base);
             }
         }
-        // Running-sum trick: sum_j j * bucket_j.
         let mut running = G1Projective::identity();
         let mut acc = G1Projective::identity();
         for b in buckets.iter().rev() {
@@ -75,7 +569,6 @@ pub fn msm(bases: &[G1Affine], scalars: &[Fr]) -> G1Projective {
         acc
     });
 
-    // Combine: acc = sum_w 2^(w*c) * window_sums[w].
     let mut acc = G1Projective::identity();
     for ws in window_sums.iter().rev() {
         for _ in 0..c {
@@ -130,6 +623,47 @@ mod tests {
         assert_eq!(msm(&pts, &scalars), msm_naive(&pts, &scalars));
     }
 
+    /// Adversarial inputs above the naive cutoff: zero scalars, identity
+    /// points, tiny scalars (digit 1 in window 0 only), and scalar pairs
+    /// `s, -s` on the same base (forces the `P + (-P)` cancellation branch).
+    #[test]
+    fn adversarial_inputs_match_jacobian() {
+        let mut rng = StdRng::seed_from_u64(45);
+        let (mut pts, mut scalars) = random_points(96, &mut rng);
+        scalars[0] = Fr::zero();
+        scalars[1] = Fr::one();
+        scalars[2] = Fr::from_u64(2);
+        pts[3] = G1Affine::identity();
+        // Same base with s and -s: bucket hits that cancel exactly.
+        pts[10] = pts[11];
+        scalars[11] = -scalars[10];
+        // Same base with equal scalars: forces the in-batch doubling branch.
+        pts[20] = pts[21];
+        scalars[21] = scalars[20];
+        assert_eq!(msm(&pts, &scalars), msm_jacobian(&pts, &scalars));
+        assert_eq!(msm(&pts, &scalars), msm_naive(&pts, &scalars));
+    }
+
+    /// Every point in the same bucket of every window: the scheduler defers
+    /// everything, hits the round cap, and falls back to Jacobian
+    /// accumulation — the result must still be exact.
+    #[test]
+    fn all_same_base_and_scalar_collision_storm() {
+        let mut rng = StdRng::seed_from_u64(46);
+        let base = G1Projective::generator()
+            .mul_scalar(&Fr::random(&mut rng))
+            .to_affine();
+        let s = Fr::random(&mut rng);
+        let n = 200;
+        let pts = vec![base; n];
+        let scalars = vec![s; n];
+        assert_eq!(msm(&pts, &scalars), msm_jacobian(&pts, &scalars));
+        // And all-same-base with distinct scalars (colliding buckets only
+        // sometimes).
+        let scalars2: Vec<Fr> = (0..n).map(|_| Fr::random(&mut rng)).collect();
+        assert_eq!(msm(&pts, &scalars2), msm_jacobian(&pts, &scalars2));
+    }
+
     #[test]
     fn empty_is_identity() {
         assert_eq!(msm(&[], &[]), G1Projective::identity());
@@ -152,6 +686,76 @@ mod tests {
         }
     }
 
+    /// Crossover table: at every window-width boundary of the tuned
+    /// heuristic, the batch-affine kernel (which switches `c` there) must
+    /// agree with the Jacobian reference, and the width table must be
+    /// monotone non-decreasing in `n`.
+    #[test]
+    fn window_width_boundaries_match_jacobian() {
+        let mut rng = StdRng::seed_from_u64(47);
+        // Boundaries of window_bits(); +/-1 around each (capped for test
+        // runtime — the larger boundaries exercise identical code paths).
+        for boundary in [128usize, 512, 2048] {
+            for n in [boundary - 1, boundary, boundary + 1] {
+                let (pts, scalars) = random_points(n, &mut rng);
+                assert_eq!(msm(&pts, &scalars), msm_jacobian(&pts, &scalars), "n={n}");
+            }
+        }
+        let mut prev = 0;
+        for n in [
+            1usize,
+            127,
+            128,
+            511,
+            512,
+            2047,
+            2048,
+            8191,
+            8192,
+            32767,
+            32768,
+            131071,
+            131072,
+            524287,
+            524288,
+            1 << 20,
+        ] {
+            let c = window_bits(n);
+            assert!(c >= prev, "window_bits not monotone at n={n}");
+            assert!((1..=16).contains(&c), "window_bits out of range at n={n}");
+            prev = c;
+        }
+    }
+
+    /// Signed-digit decomposition round-trip: `sum_w d_w * 2^(w*c)` equals
+    /// the scalar, every digit is in `[-(2^(c-1) - 1), 2^(c-1)]`, and the
+    /// final carry vanishes.
+    #[test]
+    fn signed_digit_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(48);
+        let mut cases: Vec<Fr> = (0..40).map(|_| Fr::random(&mut rng)).collect();
+        cases.extend([Fr::zero(), Fr::one(), -Fr::one(), Fr::from_u64(u64::MAX)]);
+        for c in [4usize, 8, 11, 13, 16] {
+            let nwin = num_windows(c);
+            let half = 1i64 << (c - 1);
+            for s in &cases {
+                let repr = s.to_canonical();
+                let mut digits = vec![0i32; nwin];
+                decompose_signed(&repr, c, &mut digits);
+                // Reconstruct sum_w d_w * 2^(w*c) in the field.
+                let two_c = Fr::from_u64(1u64 << c);
+                let mut acc = Fr::zero();
+                for &d in digits.iter().rev() {
+                    acc = acc * two_c + Fr::from_i64(d as i64);
+                }
+                assert_eq!(acc, *s, "c={c}");
+                for &d in &digits {
+                    assert!((d as i64) <= half && (d as i64) > -half, "c={c} d={d}");
+                }
+            }
+        }
+    }
+
     /// The parallel bucket path is bit-identical at any thread count.
     #[test]
     fn msm_identical_across_thread_counts() {
@@ -164,12 +768,26 @@ mod tests {
         assert_eq!(serial, default);
     }
 
+    /// Batch-affine vs Jacobian vs naive on a mid-size random input.
+    #[test]
+    fn kernels_agree_random_midsize() {
+        let mut rng = StdRng::seed_from_u64(44);
+        for n in [200usize, 600, 1500] {
+            let (pts, scalars) = random_points(n, &mut rng);
+            let fast = msm(&pts, &scalars);
+            assert_eq!(fast, msm_jacobian(&pts, &scalars), "n={n}");
+        }
+    }
+
     #[test]
     fn digit_extraction_spans_limbs() {
         let s = [u64::MAX, 0b1011, 0, 0];
         // 12-bit digit starting at bit 60: low 4 bits are the top of limb 0
         // (all ones), next 8 bits from limb 1 (0b1011).
         assert_eq!(digit(&s, 60, 12), 0b1011_1111);
+        // Windows entirely past the scalar read as zero.
+        assert_eq!(digit(&s, 256, 12), 0);
+        assert_eq!(digit(&s, 300, 8), 0);
     }
 }
 
@@ -179,19 +797,68 @@ mod perf {
     use std::time::Instant;
     use zkml_ff::Field;
 
-    #[test]
-    #[ignore = "performance probe, run explicitly"]
-    fn probe_msm() {
-        let mut rng = rand::rngs::mock::StepRng::new(12345, 999331);
-        let n = 1usize << 14;
+    fn inputs(n: usize) -> (Vec<G1Affine>, Vec<Fr>) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(7777);
         let g = G1Projective::generator();
         let uniq: Vec<G1Affine> = (0..64)
             .map(|_| g.mul_scalar(&Fr::random(&mut rng)).to_affine())
             .collect();
         let bases: Vec<G1Affine> = (0..n).map(|i| uniq[i % 64]).collect();
+        // Scalars must be uniform — digit statistics (bucket occupancy,
+        // collision rate) drive the window-width tuning.
         let scalars: Vec<Fr> = (0..n).map(|_| Fr::random(&mut rng)).collect();
-        let t = Instant::now();
-        let r = msm(&bases, &scalars);
-        eprintln!("msm 2^14: {:?} ({})", t.elapsed(), r.is_identity());
+        (bases, scalars)
+    }
+
+    #[test]
+    #[ignore = "performance probe, run explicitly"]
+    fn probe_msm() {
+        for k in [14u32, 16] {
+            let n = 1usize << k;
+            let (bases, scalars) = inputs(n);
+            let t = Instant::now();
+            let r = msm(&bases, &scalars);
+            eprintln!(
+                "msm 2^{k} batch-affine: {:?} ({})",
+                t.elapsed(),
+                r.is_identity()
+            );
+            let t = Instant::now();
+            let r = msm_jacobian(&bases, &scalars);
+            eprintln!(
+                "msm 2^{k} jacobian:     {:?} ({})",
+                t.elapsed(),
+                r.is_identity()
+            );
+        }
+    }
+
+    /// Sweeps window widths per size to re-fit the `window_bits` table.
+    #[test]
+    #[ignore = "performance probe, run explicitly"]
+    fn probe_window_bits() {
+        for k in [10u32, 12, 14, 16] {
+            let n = 1usize << k;
+            let (bases, scalars) = inputs(n);
+            eprint!("n=2^{k}:");
+            for c in (k as usize).saturating_sub(3)..=(k as usize) + 2 {
+                let c = c.clamp(2, 16);
+                let nwin = num_windows(c);
+                let mut digits = vec![0i32; n * nwin];
+                for (i, row) in digits.chunks_exact_mut(nwin).enumerate() {
+                    let repr = scalars[i].to_canonical();
+                    decompose_signed(&repr, c, row);
+                }
+                let t = Instant::now();
+                let sums: Vec<G1Projective> = (0..nwin)
+                    .map(|w| accumulate_window(&bases, &digits, w, nwin, c))
+                    .collect();
+                std::hint::black_box(sums);
+                eprint!("  c={c}: {:?}", t.elapsed());
+            }
+            eprintln!();
+        }
     }
 }

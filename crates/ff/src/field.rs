@@ -94,17 +94,30 @@ pub trait FftField: PrimeField {
 ///
 /// Panics if any element is zero.
 pub fn batch_invert<F: Field>(values: &mut [F]) {
+    batch_invert_with_scratch(values, &mut Vec::new());
+}
+
+/// [`batch_invert`] with a caller-owned scratch buffer, so hot loops that
+/// invert in rounds (the batch-affine MSM scheduler, chunked prover passes)
+/// reuse one allocation instead of allocating a prefix-product vector per
+/// round. `scratch` is cleared and left empty (capacity retained).
+///
+/// # Panics
+///
+/// Panics if any element is zero.
+pub fn batch_invert_with_scratch<F: Field>(values: &mut [F], scratch: &mut Vec<F>) {
     if values.is_empty() {
         return;
     }
-    let mut prods = Vec::with_capacity(values.len());
+    scratch.clear();
+    scratch.reserve(values.len());
     let mut acc = F::one();
     for v in values.iter() {
-        prods.push(acc);
+        scratch.push(acc);
         acc *= *v;
     }
     let mut inv = acc.invert().expect("batch_invert: zero element");
-    for (v, p) in values.iter_mut().zip(prods).rev() {
+    for (v, p) in values.iter_mut().zip(scratch.drain(..)).rev() {
         let tmp = inv * *v;
         *v = inv * p;
         inv = tmp;

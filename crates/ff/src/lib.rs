@@ -16,7 +16,7 @@ pub mod field;
 mod fq;
 mod fr;
 
-pub use field::{batch_invert, FftField, Field, PrimeField};
+pub use field::{batch_invert, batch_invert_with_scratch, FftField, Field, PrimeField};
 pub use fq::Fq;
 pub use fr::Fr;
 

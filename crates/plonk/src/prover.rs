@@ -1,5 +1,6 @@
 //! Proof creation.
 
+use crate::arena::PolyArena;
 use crate::circuit::WitnessSource;
 use crate::expression::{Column, Expression};
 use crate::keygen::ProvingKey;
@@ -105,6 +106,11 @@ pub fn create_proof_bound(
         transcript.absorb(b"bind", binding);
     }
     let mut proof = Writer::new();
+    // Retired polynomial buffers are recycled through this arena across the
+    // grand-product and quotient phases instead of round-tripping through
+    // the allocator. Contents are always overwritten before reuse, so the
+    // recycling can never change a proof byte.
+    let arena = PolyArena::new();
 
     // --- Instance columns ------------------------------------------------
     let mut instance = witness.instance();
@@ -335,12 +341,13 @@ pub fn create_proof_bound(
         // chunking cannot change any value.
         zkml_par::par_chunks_mut(&mut den, ROW_CHUNK, |_, _, chunk| batch_invert(chunk));
         let factors: Vec<Fr> = zkml_par::par_map(usable, |i| num[i] * den[i]);
-        let mut z = vec![Fr::zero(); n];
+        let mut z = arena.take_zeroed(n);
         scan_products(carry, &factors, &mut z);
         carry = z[usable];
         for v in z[usable + 1..].iter_mut() {
             *v = Fr::random(rng);
         }
+        arena.put_all([num, den, factors]);
         perm_z_values.push(z);
     }
     if !cs.permutation_columns.is_empty() && carry != Fr::one() {
@@ -349,7 +356,7 @@ pub fn create_proof_bound(
         ));
     }
     for z in &perm_z_values {
-        let mut coeffs = z.clone();
+        let mut coeffs = arena.take_copy(z);
         domain.ifft(&mut coeffs);
         let poly = Coeffs::new(coeffs);
         let com = params.commit(&poly);
@@ -369,7 +376,7 @@ pub fn create_proof_bound(
         let factors: Vec<Fr> = zkml_par::par_map(usable, |i| {
             (w.a_compressed[i] + beta) * (w.t_compressed[i] + gamma) * den[i]
         });
-        let mut z = vec![Fr::zero(); n];
+        let mut z = arena.take_zeroed(n);
         scan_products(Fr::one(), &factors, &mut z);
         if z[usable] != Fr::one() {
             return Err(PlonkError::Synthesis(format!(
@@ -380,7 +387,8 @@ pub fn create_proof_bound(
         for v in z[usable + 1..].iter_mut() {
             *v = Fr::random(rng);
         }
-        let mut coeffs = z.clone();
+        arena.put_all([den, factors]);
+        let mut coeffs = arena.take_copy(&z);
         domain.ifft(&mut coeffs);
         let poly = Coeffs::new(coeffs);
         let com = params.commit(&poly);
@@ -395,12 +403,15 @@ pub fn create_proof_bound(
     // --- Quotient ----------------------------------------------------------
     let ext = &pk.domains;
     let ext_n = ext.ext.n;
+    // Extended-coset scratch vectors are `factor * n` elements each; pulling
+    // them from the arena reuses the buffers the grand-product loops just
+    // retired.
     let to_ext = |values: &[Fr]| -> Vec<Fr> {
-        let mut c = values.to_vec();
+        let mut c = arena.take_copy(values);
         domain.ifft(&mut c);
         ext.coset_ext(c)
     };
-    let poly_to_ext = |p: &Coeffs<Fr>| ext.coset_ext(p.values.clone());
+    let poly_to_ext = |p: &Coeffs<Fr>| ext.coset_ext(arena.take_copy(&p.values));
 
     let instance_ext: Vec<Vec<Fr>> =
         zkml_par::par_map(instance_polys.len(), |i| poly_to_ext(&instance_polys[i]));
@@ -436,7 +447,7 @@ pub fn create_proof_bound(
     };
 
     // Coset point values for the permutation "identity" side.
-    let mut coset_points = vec![Fr::zero(); ext_n];
+    let mut coset_points = arena.take_zeroed(ext_n);
     zkml_par::par_chunks_mut(&mut coset_points, ROW_CHUNK, |_, start, chunk| {
         let mut cur = ext.ext.coset_gen * ext.ext.omega.pow(&[start as u64]);
         for slot in chunk.iter_mut() {
@@ -445,7 +456,7 @@ pub fn create_proof_bound(
         }
     });
 
-    let mut combined = vec![Fr::zero(); ext_n];
+    let mut combined = arena.take_zeroed(ext_n);
     let add_term = |term: &(dyn Fn(usize) -> Fr + Sync), combined: &mut Vec<Fr>| {
         zkml_par::par_for_each_mut(combined, |i, c| {
             *c = *c * y + term(i);

@@ -1,6 +1,7 @@
 //! Power-of-two evaluation domains.
 
-use crate::fft::{fft_in_place, ifft_in_place};
+use crate::fft::{build_twiddles, fft_in_place_with, ifft_in_place_with};
+use std::sync::{Arc, OnceLock};
 use zkml_ff::{batch_invert, FftField};
 
 /// Minimum chunk for parallel coset scaling; each chunk re-seeds with one
@@ -37,6 +38,12 @@ pub struct EvaluationDomain<F: FftField> {
     pub coset_gen: F,
     /// `g^{-1}`.
     pub coset_gen_inv: F,
+    /// Forward twiddle table (`1, ω, …, ω^{n/2-1}`), built on first FFT and
+    /// shared by every clone of this domain — all prover phases over the
+    /// same domain reuse one table.
+    twiddles: Arc<OnceLock<Arc<Vec<F>>>>,
+    /// Inverse twiddle table (powers of `ω^{-1}`).
+    inv_twiddles: Arc<OnceLock<Arc<Vec<F>>>>,
 }
 
 impl<F: FftField> EvaluationDomain<F> {
@@ -65,7 +72,23 @@ impl<F: FftField> EvaluationDomain<F> {
             n_inv: F::from_u64(n as u64).invert().expect("n nonzero"),
             coset_gen,
             coset_gen_inv: coset_gen.invert().expect("generator nonzero"),
+            twiddles: Arc::new(OnceLock::new()),
+            inv_twiddles: Arc::new(OnceLock::new()),
         }
+    }
+
+    /// Returns the cached forward twiddle table, building it on first use.
+    pub fn twiddles(&self) -> Arc<Vec<F>> {
+        self.twiddles
+            .get_or_init(|| Arc::new(build_twiddles(self.omega, self.n)))
+            .clone()
+    }
+
+    /// Returns the cached inverse twiddle table, building it on first use.
+    pub fn inv_twiddles(&self) -> Arc<Vec<F>> {
+        self.inv_twiddles
+            .get_or_init(|| Arc::new(build_twiddles(self.omega_inv, self.n)))
+            .clone()
     }
 
     /// Returns the domain elements `omega^0, ..., omega^{n-1}`.
@@ -81,13 +104,13 @@ impl<F: FftField> EvaluationDomain<F> {
     pub fn fft(&self, a: &mut Vec<F>) {
         assert!(a.len() <= self.n, "too many coefficients for domain");
         a.resize(self.n, F::zero());
-        fft_in_place(a, self.omega, self.k);
+        fft_in_place_with(a, self.k, &self.twiddles());
     }
 
     /// Converts evaluations over the domain back to coefficients, in place.
     pub fn ifft(&self, a: &mut [F]) {
         assert_eq!(a.len(), self.n, "evaluations must cover the domain");
-        ifft_in_place(a, self.omega_inv, self.n_inv, self.k);
+        ifft_in_place_with(a, self.k, &self.inv_twiddles(), self.n_inv);
     }
 
     /// Evaluates the polynomial over the coset `g * H`, in place.
@@ -95,13 +118,13 @@ impl<F: FftField> EvaluationDomain<F> {
         assert!(a.len() <= self.n, "too many coefficients for domain");
         a.resize(self.n, F::zero());
         scale_by_powers(a, self.coset_gen);
-        fft_in_place(a, self.omega, self.k);
+        fft_in_place_with(a, self.k, &self.twiddles());
     }
 
     /// Interpolates evaluations over the coset `g * H` back to coefficients.
     pub fn coset_ifft(&self, a: &mut [F]) {
         assert_eq!(a.len(), self.n, "evaluations must cover the domain");
-        ifft_in_place(a, self.omega_inv, self.n_inv, self.k);
+        ifft_in_place_with(a, self.k, &self.inv_twiddles(), self.n_inv);
         scale_by_powers(a, self.coset_gen_inv);
     }
 
@@ -214,6 +237,37 @@ mod tests {
         // Single-basis evaluation agrees with the batch.
         for i in [0usize, 1, 7, 15] {
             assert_eq!(domain.lagrange_eval(i, x), ls[i]);
+        }
+    }
+
+    /// Twiddle caches are shared by clones (one table per domain instance)
+    /// but never leak across domains of different sizes.
+    #[test]
+    fn twiddle_cache_shared_across_clones_and_isolated_across_domains() {
+        let d4 = EvaluationDomain::<Fr>::new(4);
+        let d5 = EvaluationDomain::<Fr>::new(5);
+        let t4 = d4.twiddles();
+        // A clone shares the same table allocation; repeated access too.
+        assert!(Arc::ptr_eq(&t4, &d4.clone().twiddles()));
+        assert!(Arc::ptr_eq(&t4, &d4.twiddles()));
+        // Domains of different size have distinct, correctly-sized tables.
+        let t5 = d5.twiddles();
+        assert_eq!(t4.len(), d4.n / 2);
+        assert_eq!(t5.len(), d5.n / 2);
+        assert_eq!(t4[1], d4.omega);
+        assert_eq!(t5[1], d5.omega);
+        assert_ne!(d4.omega, d5.omega);
+        // Inverse tables are separate from forward ones.
+        assert_eq!(d4.inv_twiddles()[1], d4.omega_inv);
+        // Round-trips through both domains stay correct once the caches are
+        // warm — no cross-domain contamination.
+        let mut rng = StdRng::seed_from_u64(11);
+        for d in [&d4, &d5] {
+            let coeffs: Vec<Fr> = (0..d.n).map(|_| Fr::random(&mut rng)).collect();
+            let mut work = coeffs.clone();
+            d.fft(&mut work);
+            d.ifft(&mut work);
+            assert_eq!(work, coeffs, "k={}", d.k);
         }
     }
 

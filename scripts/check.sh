@@ -71,6 +71,13 @@ wait "$SERVER_PID"
 SERVER_PID=""
 grep -q '"rec":"completed"' "$NET_TMP/journal.jsonl"
 
+echo "==> perf smoke (kernel + 4-thread ratios at small k vs PERF_THRESHOLDS.json)"
+# Gates the serial jacobian/batch-affine MSM ratio and the 4-thread/1-thread
+# MSM and FFT ratios. Thresholds are hardware-stamped: on a machine with a
+# different core count the parallel gates auto-skip; re-baseline with
+# ZKML_PERF_RECORD=1 cargo run --release -p zkml-bench --bin perf_smoke
+cargo run --release -q -p zkml-bench --bin perf_smoke
+
 echo "==> cargo doc (workspace, warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
