@@ -73,6 +73,7 @@ pub(crate) struct Engine<'a> {
     a_nodes: usize,
     inst_base: usize,
     fixed_base: usize,
+    committed_base: usize,
     node_count: usize,
     /// Per-root flags (meaningful at class roots).
     anchored: Vec<bool>,
@@ -110,7 +111,8 @@ impl<'a> Engine<'a> {
         let a_nodes = cs.num_advice * n;
         let inst_base = a_nodes;
         let fixed_base = inst_base + cs.num_instance * n;
-        let node_count = fixed_base + cs.num_fixed * n;
+        let committed_base = fixed_base + cs.num_fixed * n;
+        let node_count = committed_base + cs.num_committed * n;
         let mut eng = Engine {
             cs,
             n,
@@ -121,6 +123,7 @@ impl<'a> Engine<'a> {
             a_nodes,
             inst_base,
             fixed_base,
+            committed_base,
             node_count,
             anchored: vec![false; node_count],
             has_input: vec![false; node_count],
@@ -190,6 +193,11 @@ impl<'a> Engine<'a> {
             }
             Column::Fixed(c) => {
                 (c < self.cs.num_fixed).then(|| self.fixed_base + c * self.n + cell.row)
+            }
+            // Committed (weight) cells are published givens: like fixed
+            // cells, any class containing one is anchored/known.
+            Column::Committed(c) => {
+                (c < self.cs.num_committed).then(|| self.committed_base + c * self.n + cell.row)
             }
         }
     }

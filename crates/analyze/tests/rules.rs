@@ -62,6 +62,7 @@ fn linear_chain_determines() {
     let k = 4;
     let rows = 3usize;
     let pre = Preprocessed {
+        committed: Vec::new(),
         fixed: vec![vec![Fr::ONE; rows]],
         // Row i+1 consumes row i's sum: a0[i+1] = a2[i].
         copies: vec![(cell(a2, 0), cell(a0, 1)), (cell(a2, 1), cell(a0, 2))],
@@ -83,6 +84,7 @@ fn dead_selector_frees_everything() {
     let a2 = cs.advice_column(0);
     cs.create_gate("add", vec![fx(q) * (adv(a0) + adv(a1) - adv(a2))]);
     let pre = Preprocessed {
+        committed: Vec::new(),
         fixed: vec![vec![Fr::ZERO; 1]],
         copies: vec![],
     };
@@ -118,6 +120,7 @@ fn bit_decomposition_determines() {
     polys.push(fx(q) * recompose);
     cs.create_gate("bits", polys);
     let pre = Preprocessed {
+        committed: Vec::new(),
         fixed: vec![vec![Fr::ONE; 1]],
         copies: vec![],
     };
@@ -140,6 +143,7 @@ fn recomposition_without_booleanity_is_flagged() {
     }
     cs.create_gate("bits", vec![fx(q) * recompose]);
     let pre = Preprocessed {
+        committed: Vec::new(),
         fixed: vec![vec![Fr::ONE; 1]],
         copies: vec![],
     };
@@ -173,6 +177,7 @@ fn divmod_with_range_lookup_determines() {
     let mut sel = vec![Fr::ZERO; usable];
     sel[0] = Fr::ONE;
     let pre = Preprocessed {
+        committed: Vec::new(),
         fixed: vec![sel, table_vals],
         copies: vec![],
     };
@@ -204,6 +209,7 @@ fn functional_lookup_determines() {
     let mut sel = vec![Fr::ZERO; usable];
     sel[0] = Fr::ONE;
     let pre = Preprocessed {
+        committed: Vec::new(),
         fixed: vec![sel, keys, vals],
         copies: vec![],
     };
@@ -236,6 +242,7 @@ fn ambiguous_lookup_is_flagged() {
     let mut sel = vec![Fr::ZERO; usable];
     sel[0] = Fr::ONE;
     let pre = Preprocessed {
+        committed: Vec::new(),
         fixed: vec![sel, keys, vals],
         copies: vec![],
     };
@@ -266,6 +273,7 @@ fn max_pattern_determines() {
     let mut sel = vec![Fr::ZERO; usable];
     sel[0] = Fr::ONE;
     let pre = Preprocessed {
+        committed: Vec::new(),
         fixed: vec![sel, table_vals],
         copies: vec![],
     };
@@ -285,6 +293,7 @@ fn max_without_ranges_is_flagged() {
     let m = cs.advice_column(0);
     cs.create_gate("max", vec![fx(q) * ((adv(m) - adv(a)) * (adv(m) - adv(b)))]);
     let pre = Preprocessed {
+        committed: Vec::new(),
         fixed: vec![vec![Fr::ONE; 1]],
         copies: vec![],
     };
@@ -303,6 +312,7 @@ fn instance_copies_anchor() {
     cs.enable_equality(Column::Advice(a0));
     cs.enable_equality(Column::Instance(0));
     let pre = Preprocessed {
+        committed: Vec::new(),
         fixed: vec![],
         copies: vec![(
             CellRef {
@@ -325,6 +335,7 @@ fn free_cells_carry_region_labels() {
     let a1 = cs.advice_column(0);
     cs.create_gate("noop", vec![fx(q) * (adv(a0) - adv(a1))]);
     let pre = Preprocessed {
+        committed: Vec::new(),
         fixed: vec![vec![Fr::ZERO; 1]],
         copies: vec![],
     };

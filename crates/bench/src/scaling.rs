@@ -142,6 +142,7 @@ pub fn mul_chain(k: u32) -> ChainCircuit {
         .collect();
 
     let pre = Preprocessed {
+        committed: Vec::new(),
         fixed: vec![vec![Fr::one(); rows]],
         copies,
     };

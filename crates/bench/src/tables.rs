@@ -618,6 +618,7 @@ pub fn table13() -> String {
         (
             cs,
             Preprocessed {
+                committed: Vec::new(),
                 fixed,
                 copies: vec![],
             },

@@ -110,6 +110,13 @@ pub struct LayoutStats {
     pub num_constraints: usize,
     /// Copy constraints recorded (counted identically in placement mode).
     pub num_copies: usize,
+    /// Committed (weight) columns.
+    pub num_committed: usize,
+    /// Column-count-independent row floor: constants, lookup tables, the
+    /// range table, and exposed instance rows. No candidate at any column
+    /// count can use fewer rows than this, which lets the optimizer prove
+    /// a `k` plateau is permanent before pruning the rest of a sweep.
+    pub rows_floor: usize,
 }
 
 /// The circuit builder.
@@ -121,12 +128,15 @@ pub struct CircuitBuilder {
     pub cs: ConstraintSystem,
     grid: Vec<usize>,
     p1: Vec<usize>,
+    committed: Vec<usize>,
     instance_col: usize,
     const_col: usize,
     row: usize,
     p1_row: usize,
+    committed_row: usize,
     const_row: usize,
     advice_vals: Vec<Vec<Fr>>,
+    committed_vals: Vec<Vec<Fr>>,
     fixed_vals: Vec<Vec<Fr>>,
     copies: Vec<(CellRef, CellRef)>,
     instance_vals: Vec<Fr>,
@@ -188,12 +198,15 @@ impl CircuitBuilder {
             cs,
             grid,
             p1: Vec::new(),
+            committed: Vec::new(),
             instance_col,
             const_col,
             row: 0,
             p1_row: 0,
+            committed_row: 0,
             const_row: 0,
             advice_vals: Vec::new(),
+            committed_vals: Vec::new(),
             fixed_vals: Vec::new(),
             copies: Vec::new(),
             instance_vals: Vec::new(),
@@ -367,6 +380,62 @@ impl CircuitBuilder {
                 let a = self.fresh(j, row, v);
                 self.inputs.push(a.cell);
                 out.push(a);
+            }
+        }
+        out
+    }
+
+    /// Ensures the committed (weight) column plane exists. Created lazily
+    /// so weight-free circuits keep `num_committed = 0` and an unchanged
+    /// constraint-system digest.
+    fn ensure_committed(&mut self) {
+        if !self.committed.is_empty() {
+            return;
+        }
+        self.committed = (0..self.cfg.num_cols)
+            .map(|_| {
+                let c = self.cs.committed_column();
+                self.cs.enable_equality(Column::Committed(c));
+                c
+            })
+            .collect();
+    }
+
+    fn set_committed(&mut self, cs_col: usize, row: usize, v: Fr) {
+        if self.count_only {
+            return;
+        }
+        if self.committed_vals.len() <= cs_col {
+            self.committed_vals.resize(cs_col + 1, Vec::new());
+        }
+        let col = &mut self.committed_vals[cs_col];
+        if col.len() <= row {
+            col.resize(row + 1, Fr::ZERO);
+        }
+        col[row] = v;
+    }
+
+    /// Loads model weights into home cells of the *committed* column plane.
+    ///
+    /// Like [`CircuitBuilder::load_values`] the cells carry no gate
+    /// constraints — they are constrained at use sites through copies (the
+    /// CP-SNARK link). Unlike advice, committed columns are committed once
+    /// per model (`commit_weights`) and bound to the transcript by digest,
+    /// so the same published commitment serves every proof.
+    pub fn load_weights(&mut self, values: &[i64]) -> Vec<AValue> {
+        self.ensure_committed();
+        let n = self.cfg.num_cols;
+        let mut out = Vec::with_capacity(values.len());
+        for chunk in values.chunks(n) {
+            let row = self.committed_row;
+            self.committed_row += 1;
+            for (j, &v) in chunk.iter().enumerate() {
+                let cell = CellRef {
+                    column: Column::Committed(self.committed[j]),
+                    row,
+                };
+                self.set_committed(self.committed[j], row, Fr::from_i64(v));
+                out.push(AValue { cell, v });
             }
         }
         out
@@ -1085,6 +1154,22 @@ impl CircuitBuilder {
 
     // --- finalization ----------------------------------------------------
 
+    /// Rows consumed by column-count-independent structure: constants,
+    /// nonlinearity tables, the range table, and exposed instance values.
+    /// These do not shrink as the sweep adds columns, so they bound the
+    /// smallest `k` any candidate of this schedule can reach.
+    pub fn rows_floor(&self) -> usize {
+        let range_rows = if self.range_table.is_some() {
+            self.range_size()
+        } else {
+            0
+        };
+        self.const_row
+            .max(self.max_table_len)
+            .max(range_rows)
+            .max(self.instance_vals.len())
+    }
+
     /// Total rows required (grid, phase-1 plane, constants, tables).
     pub fn rows_used(&self) -> usize {
         let range_rows = if self.range_table.is_some() {
@@ -1097,6 +1182,7 @@ impl CircuitBuilder {
         // segment's boundary tensors can dominate a small segment circuit.
         self.row
             .max(self.p1_row)
+            .max(self.committed_row)
             .max(self.const_row)
             .max(self.max_table_len)
             .max(range_rows)
@@ -1122,6 +1208,8 @@ impl CircuitBuilder {
             degree: self.cs.degree(),
             num_constraints: self.cs.gates.iter().map(|g| g.polys.len()).sum(),
             num_copies: self.copy_count,
+            num_committed: self.cs.num_committed,
+            rows_floor: self.rows_floor(),
         }
     }
 
@@ -1154,13 +1242,22 @@ impl CircuitBuilder {
         Vec<Vec<Fr>>,
         Vec<(CellRef, CellRef)>,
         Vec<Fr>,
+        Vec<Vec<Fr>>,
     ) {
+        let mut committed_vals = self.committed_vals;
+        // Pad the value grid to the full committed plane so the column
+        // count always matches `cs.num_committed` even when trailing
+        // columns were never written.
+        if !self.committed.is_empty() {
+            committed_vals.resize(self.committed.len(), Vec::new());
+        }
         (
             self.cs,
             self.fixed_vals,
             self.advice_vals,
             self.copies,
             self.instance_vals,
+            committed_vals,
         )
     }
     pub(crate) fn take_assigned(&mut self) -> Vec<CellRef> {

@@ -24,8 +24,9 @@ use zkml_ff::Fr;
 use zkml_model::Graph;
 use zkml_pcs::Params;
 use zkml_plonk::{
-    create_proof_bound, create_proof_with_rng, keygen, verify_proof, ConstraintSystem, PlonkError,
-    Preprocessed, ProvingKey, VerifyingKey, WitnessSource, BLINDING_FACTORS,
+    commit_weights, create_proof_bound, create_proof_committed, create_proof_with_rng, keygen,
+    verify_proof, verify_proof_committed, CommittedWeights, ConstraintSystem, PlonkError,
+    Preprocessed, ProvingKey, VerifyingKey, WeightCommitment, WitnessSource, BLINDING_FACTORS,
 };
 use zkml_tensor::Tensor;
 
@@ -346,12 +347,13 @@ fn finalize(
         }
     }
     let num_fixed = bld.num_fixed_cols();
-    let (cs, mut fixed_vals, advice_vals, copies, instance_vals) = bld.take_parts();
+    let (cs, mut fixed_vals, advice_vals, copies, instance_vals, committed_vals) = bld.take_parts();
 
     fixed_vals.resize(num_fixed, Vec::new());
     let pre = Preprocessed {
         fixed: fixed_vals,
         copies,
+        committed: committed_vals,
     };
     let advice0: Vec<(usize, Vec<Fr>)> = grid
         .iter()
@@ -399,18 +401,71 @@ impl CompiledCircuit {
         identity_digest(&self.cfg, self.k, &self.cs)
     }
 
+    /// Whether this circuit carries committed (weight) columns.
+    pub fn has_committed(&self) -> bool {
+        self.cs.num_committed > 0
+    }
+
+    /// A digest over the raw committed-column (weight) values — pure
+    /// hashing, no MSM. Comparing this against the digest recorded when a
+    /// model's [`WeightCommitment`] was published detects a weight swap
+    /// before any proving work starts.
+    pub fn committed_values_digest(&self) -> [u8; 32] {
+        use zkml_ff::PrimeField;
+        let mut h = zkml_transcript::Blake2b::new();
+        h.update(b"zkml-committed-values-v1");
+        h.update(&(self.pre.committed.len() as u64).to_le_bytes());
+        for col in &self.pre.committed {
+            h.update(&(col.len() as u64).to_le_bytes());
+            for v in col {
+                h.update(&v.to_bytes());
+            }
+        }
+        let digest = h.finalize();
+        let mut out = [0u8; 32];
+        out.copy_from_slice(&digest[..32]);
+        out
+    }
+
     /// Generates proving and verifying keys.
+    ///
+    /// For committed circuits the keys cover only the weight-free
+    /// structure — the same pk serves every model sharing the
+    /// architecture; weights are bound per proof through the
+    /// [`WeightCommitment`].
     pub fn keygen(&self, params: &Params) -> Result<ProvingKey, ZkmlError> {
         Ok(keygen(params, &self.cs, &self.pre, self.k)?)
     }
 
-    /// Produces a proof for this circuit's witness.
+    /// Commits this circuit's weight (committed-column) values: one KZG
+    /// commitment per committed column plus the binding digest, and the
+    /// prover-side encodings reusable across proofs.
+    pub fn commit_weights(
+        &self,
+        params: &Params,
+    ) -> Result<(WeightCommitment, CommittedWeights), ZkmlError> {
+        Ok(commit_weights(
+            params,
+            &self.cs,
+            &self.pre.committed,
+            self.k,
+        )?)
+    }
+
+    /// Produces a proof for this circuit's witness. Committed circuits
+    /// encode and commit their weights inline; callers proving repeatedly
+    /// under one published commitment should use
+    /// [`CompiledCircuit::prove_with_weights`] instead.
     pub fn prove(
         &self,
         params: &Params,
         pk: &ProvingKey,
         rng: &mut impl RngCore,
     ) -> Result<Vec<u8>, ZkmlError> {
+        if self.has_committed() {
+            let (_, weights) = self.commit_weights(params)?;
+            return self.prove_with_weights(params, pk, rng, &[], &weights);
+        }
         let witness = ZkmlWitness { c: self };
         Ok(create_proof_with_rng(params, pk, &witness, rng)?)
     }
@@ -425,18 +480,65 @@ impl CompiledCircuit {
         rng: &mut impl RngCore,
         binding: &[u8],
     ) -> Result<Vec<u8>, ZkmlError> {
+        if self.has_committed() {
+            let (_, weights) = self.commit_weights(params)?;
+            return self.prove_with_weights(params, pk, rng, binding, &weights);
+        }
         let witness = ZkmlWitness { c: self };
         Ok(create_proof_bound(params, pk, &witness, rng, binding)?)
     }
 
-    /// Verifies a proof against this circuit's public outputs.
+    /// Produces a proof reusing pre-encoded committed weights (the
+    /// commit-once/prove-many path: no weight re-encoding, no keygen).
+    pub fn prove_with_weights(
+        &self,
+        params: &Params,
+        pk: &ProvingKey,
+        rng: &mut impl RngCore,
+        binding: &[u8],
+        weights: &CommittedWeights,
+    ) -> Result<Vec<u8>, ZkmlError> {
+        let witness = ZkmlWitness { c: self };
+        Ok(create_proof_committed(
+            params, pk, &witness, rng, binding, weights,
+        )?)
+    }
+
+    /// Verifies a proof against this circuit's public outputs. Committed
+    /// circuits recompute the weight commitment from the compiled values;
+    /// verifying against an externally *published* commitment is
+    /// [`CompiledCircuit::verify_with_commitment`].
     pub fn verify(
         &self,
         params: &Params,
         vk: &VerifyingKey,
         proof: &[u8],
     ) -> Result<(), ZkmlError> {
+        if self.has_committed() {
+            let (wc, _) = self.commit_weights(params)?;
+            return self.verify_with_commitment(params, vk, proof, &[], &wc);
+        }
         Ok(verify_proof(params, vk, &self.instance, proof)?)
+    }
+
+    /// Verifies a proof against a published [`WeightCommitment`]: the
+    /// proof is valid only for the exact weights behind that commitment.
+    pub fn verify_with_commitment(
+        &self,
+        params: &Params,
+        vk: &VerifyingKey,
+        proof: &[u8],
+        binding: &[u8],
+        wc: &WeightCommitment,
+    ) -> Result<(), ZkmlError> {
+        let v = verify_proof_committed(params, vk, &self.instance, proof, binding, Some(wc))?;
+        if v.settle(params) {
+            Ok(())
+        } else {
+            Err(ZkmlError::Plonk(PlonkError::Verify(
+                "pairing check failed".into(),
+            )))
+        }
     }
 
     /// The public-input columns (model outputs as field elements).

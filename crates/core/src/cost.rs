@@ -336,6 +336,8 @@ mod tests {
             degree: 4,
             num_constraints: 30,
             num_copies: 5000,
+            num_committed: 0,
+            rows_floor: 100,
         }
     }
 

@@ -62,7 +62,7 @@ pub fn lower_graph(g: &Graph, inputs: &[Tensor<i64>], numeric: NumericConfig) ->
         if meta.kind == TensorKind::Weight && non_bias_use[id] {
             let w = g.weights[id].as_ref().expect("weight values");
             let q = fp.quantize_tensor(w);
-            let cells = sb.load_values(q.data());
+            let cells = sb.load_weights(q.data());
             tensors[id] = Some(Tensor::new(q.shape().to_vec(), cells));
         }
     }
@@ -93,7 +93,7 @@ fn load_bias2(sb: &mut ScheduleBuilder, g: &Graph, id: zkml_model::TensorId) -> 
         .iter()
         .map(|x| ((*x as f64) * sf * sf).round() as i64)
         .collect();
-    sb.load_values(&vals)
+    sb.load_weights(&vals)
 }
 
 fn apply_act(sb: &mut ScheduleBuilder, act: Option<Activation>, xs: &[SVal]) -> Vec<SVal> {

@@ -144,6 +144,14 @@ fn score(objective: Objective, c: &CostEstimate) -> f64 {
     }
 }
 
+/// Smallest `k` able to hold `rows` usable rows (mirrors the builder's
+/// `min_k`).
+fn min_k_for_rows(rows: usize) -> u32 {
+    ((rows + zkml_plonk::BLINDING_FACTORS + 1).next_power_of_two())
+        .trailing_zeros()
+        .max(3)
+}
+
 /// Per-candidate sweep result; merged in candidate order by [`optimize`].
 struct CandidateSweep {
     all: Vec<EvaluatedLayout>,
@@ -195,6 +203,7 @@ fn sweep_candidate(
             continue;
         }
         let plan_k = plan.k;
+        let rows_floor = plan.stats.rows_floor;
         let cost = estimate(&plan.stats, plan_k, opts.backend, hw);
         let entry = EvaluatedLayout {
             cfg,
@@ -210,12 +219,16 @@ fn sweep_candidate(
         } else {
             worse_streak += 1;
         }
-        // Pruning heuristic: once k has stopped dropping, adding columns
-        // at the same k strictly increases FFT/MSM counts — stop after a
-        // couple of confirmations.
+        // Pruning: at a fixed k, adding columns strictly increases
+        // FFT/MSM counts, so after a couple of non-improving candidates
+        // the only way a later column count can win is by dropping k.
+        // The column-independent row floor (constants, tables, instance)
+        // bounds the smallest k any candidate can reach; once the floor
+        // pins k at the current plateau, the rest of the sweep is
+        // provably worse and can be skipped without changing the winner.
         if opts.prune {
             if let Some(pk) = prev_k {
-                if plan_k >= pk && worse_streak >= 2 {
+                if plan_k >= pk && worse_streak >= 2 && min_k_for_rows(rows_floor) >= plan_k {
                     out.pruned += opts.n_cols_range.1 - ncols;
                     break;
                 }

@@ -39,8 +39,10 @@ pub struct SVal(pub(crate) u32);
 /// gadget produce identical output *values* (only rows/columns differ).
 #[derive(Clone, Debug)]
 pub(crate) enum SchedOp {
-    /// Raw values into home cells (inputs, weights, Freivalds products).
+    /// Raw values into home cells (inputs, Freivalds products).
     Load { values: Vec<i64> },
+    /// Model weights into home cells of the committed column plane.
+    LoadWeights { values: Vec<i64> },
     /// A pinned constant.
     Const { v: i64 },
     /// Dot product with optional accumulator init.
@@ -87,7 +89,7 @@ impl SchedOp {
     /// Number of value ids the op produces.
     fn arity_out(&self) -> usize {
         match self {
-            SchedOp::Load { values } => values.len(),
+            SchedOp::Load { values } | SchedOp::LoadWeights { values } => values.len(),
             SchedOp::Const { .. } | SchedOp::Dot { .. } | SchedOp::Sum { .. } => 1,
             SchedOp::Arith { pairs, .. } | SchedOp::MaxPairs { pairs } => pairs.len(),
             SchedOp::Square { xs }
@@ -132,7 +134,12 @@ impl OpSchedule {
     pub fn num_compute_ops(&self) -> usize {
         self.ops
             .iter()
-            .filter(|o| !matches!(o, SchedOp::Load { .. } | SchedOp::Const { .. }))
+            .filter(|o| {
+                !matches!(
+                    o,
+                    SchedOp::Load { .. } | SchedOp::LoadWeights { .. } | SchedOp::Const { .. }
+                )
+            })
             .count()
     }
 
@@ -199,6 +206,15 @@ impl ScheduleBuilder {
     /// Loads raw values into home cells.
     pub fn load_values(&mut self, values: &[i64]) -> Vec<SVal> {
         self.push(SchedOp::Load {
+            values: values.to_vec(),
+        })
+    }
+
+    /// Loads model weights into home cells of the committed column plane
+    /// (the CP-SNARK weight class — committed once per model, not per
+    /// proof).
+    pub fn load_weights(&mut self, values: &[i64]) -> Vec<SVal> {
+        self.push(SchedOp::LoadWeights {
             values: values.to_vec(),
         })
     }
@@ -350,6 +366,7 @@ pub(crate) fn run_schedule(
     for op in &sched.ops {
         match op {
             SchedOp::Load { values } => vals.extend(bld.load_values(values)),
+            SchedOp::LoadWeights { values } => vals.extend(bld.load_weights(values)),
             SchedOp::Const { v } => {
                 let c = bld.constant(*v);
                 vals.push(c);

@@ -91,7 +91,7 @@ impl SegmentPlan {
 /// Row-count proxy for one op (the placement cost drivers, not exact rows).
 fn op_weight(op: &SchedOp) -> u128 {
     let w = match op {
-        SchedOp::Load { values } => values.len(),
+        SchedOp::Load { values } | SchedOp::LoadWeights { values } => values.len(),
         SchedOp::Const { .. } => 1,
         SchedOp::Dot { xs, .. } | SchedOp::Sum { xs } => xs.len(),
         SchedOp::Arith { pairs, .. } | SchedOp::MaxPairs { pairs } => pairs.len(),
@@ -155,7 +155,9 @@ pub fn eval_schedule(sched: &OpSchedule) -> Vec<i64> {
     let mut vals: Vec<i64> = Vec::with_capacity(sched.num_vals);
     for op in &sched.ops {
         match op {
-            SchedOp::Load { values } => vals.extend_from_slice(values),
+            SchedOp::Load { values } | SchedOp::LoadWeights { values } => {
+                vals.extend_from_slice(values)
+            }
             SchedOp::Const { v } => vals.push(*v),
             SchedOp::Dot { xs, ys, init } => {
                 let mut z = init.map(|i| vals[i as usize]).unwrap_or(0);
@@ -328,7 +330,10 @@ pub fn cut_schedule(
         .iter()
         .enumerate()
         .map(|(i, op)| {
-            if matches!(op, SchedOp::Load { .. } | SchedOp::Const { .. }) {
+            if matches!(
+                op,
+                SchedOp::Load { .. } | SchedOp::LoadWeights { .. } | SchedOp::Const { .. }
+            ) {
                 if consumed_in[i].is_empty() {
                     vec![natural[i]]
                 } else {
@@ -347,7 +352,10 @@ pub fn cut_schedule(
     let mut live: Vec<Vec<u32>> = vec![Vec::new(); nsegs + 1];
     for v in 0..sched.num_vals {
         let op = producer[v];
-        if matches!(sched.ops[op], SchedOp::Load { .. } | SchedOp::Const { .. }) {
+        if matches!(
+            sched.ops[op],
+            SchedOp::Load { .. } | SchedOp::LoadWeights { .. } | SchedOp::Const { .. }
+        ) {
             continue;
         }
         let Some(last) = last_consumer[v] else {
@@ -427,7 +435,7 @@ pub fn cut_schedule(
 /// to the schedule module's builder path).
 fn op_arity_out(op: &SchedOp) -> usize {
     match op {
-        SchedOp::Load { values } => values.len(),
+        SchedOp::Load { values } | SchedOp::LoadWeights { values } => values.len(),
         SchedOp::Const { .. } | SchedOp::Dot { .. } | SchedOp::Sum { .. } => 1,
         SchedOp::Arith { pairs, .. } | SchedOp::MaxPairs { pairs } => pairs.len(),
         SchedOp::Square { xs }
@@ -442,7 +450,7 @@ fn op_arity_out(op: &SchedOp) -> usize {
 /// Every value id an op reads.
 fn op_operands(op: &SchedOp) -> Vec<u32> {
     match op {
-        SchedOp::Load { .. } | SchedOp::Const { .. } => Vec::new(),
+        SchedOp::Load { .. } | SchedOp::LoadWeights { .. } | SchedOp::Const { .. } => Vec::new(),
         SchedOp::Dot { xs, ys, init } => {
             let mut v: Vec<u32> = xs.iter().chain(ys).copied().collect();
             v.extend(init.iter());
@@ -480,6 +488,9 @@ fn remap_op(op: &SchedOp, local: &std::collections::HashMap<u32, u32>) -> SchedO
     };
     match op {
         SchedOp::Load { values } => SchedOp::Load {
+            values: values.clone(),
+        },
+        SchedOp::LoadWeights { values } => SchedOp::LoadWeights {
             values: values.clone(),
         },
         SchedOp::Const { v } => SchedOp::Const { v: *v },

@@ -40,8 +40,19 @@ fn proof_verifies_against_deserialized_vk() {
     let bytes = pk.vk.to_bytes();
     let vk2 = VerifyingKey::from_bytes(&bytes).expect("vk roundtrip");
     assert_eq!(vk2.digest, pk.vk.digest);
-    zkml_plonk::verify_proof(&params, &vk2, compiled.instance(), &proof)
-        .expect("verify with deserialized vk");
+    // Weights lower into committed columns, so the standalone verifier needs
+    // the (deterministic) weight commitment alongside the deserialized vk.
+    let (wc, _weights) = compiled.commit_weights(&params).unwrap();
+    let verification = zkml_plonk::verify_proof_committed(
+        &params,
+        &vk2,
+        compiled.instance(),
+        &proof,
+        &[],
+        Some(&wc),
+    )
+    .expect("verify with deserialized vk");
+    assert!(verification.settle(&params), "pairing check failed");
 
     // Serialization is deterministic.
     assert_eq!(bytes, VerifyingKey::from_bytes(&bytes).unwrap().to_bytes());
@@ -64,7 +75,18 @@ fn wrong_models_key_rejects_proof() {
     let pk2 = c2.keygen(&params).unwrap();
     assert_ne!(pk1.vk.digest, pk2.vk.digest);
     let proof = c1.prove(&params, &pk1, &mut rng).unwrap();
-    // Verifying a g1 proof under g2's key must fail (different circuit and
-    // instance length).
-    assert!(zkml_plonk::verify_proof(&params, &pk2.vk, c2.instance(), &proof).is_err());
+    // Verifying a g1 proof under g2's key (and g2's weight commitment) must
+    // fail (different circuit and instance length).
+    let (wc2, _) = c2.commit_weights(&params).unwrap();
+    let accepted = zkml_plonk::verify_proof_committed(
+        &params,
+        &pk2.vk,
+        c2.instance(),
+        &proof,
+        &[],
+        Some(&wc2),
+    )
+    .map(|v| v.settle(&params))
+    .unwrap_or(false);
+    assert!(!accepted, "cross-model proof must be rejected");
 }

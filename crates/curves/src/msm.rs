@@ -10,7 +10,7 @@
 //! addition (~13). A point whose bucket is already scheduled in the current
 //! round is deferred to the next round; pathological streams that keep
 //! colliding (e.g. every point in one bucket) fall back to Jacobian
-//! accumulation after [`MAX_SCHED_ROUNDS`] rounds, bounding the worst case
+//! accumulation after `MAX_SCHED_ROUNDS` rounds, bounding the worst case
 //! at the old kernel's cost.
 //!
 //! Windows run in parallel on the zkml-par pool. Each window's schedule is a

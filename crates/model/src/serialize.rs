@@ -28,6 +28,46 @@ impl Graph {
         out.copy_from_slice(&digest[..32]);
         out
     }
+
+    /// A 32-byte hash of the model's *architecture*: tensor shapes, kinds,
+    /// and weight-presence flags, ops with their attributes, node wiring,
+    /// and the graph's input/output lists — but **not** the model name,
+    /// tensor names, or weight values.
+    ///
+    /// Two models that differ only in their trained weights hash equally,
+    /// so this keys artifacts that are weight-independent by construction:
+    /// with weights in committed columns, the circuit layout and the
+    /// proving key depend only on the architecture, and provers for many
+    /// weight sets of one architecture share a single cached key.
+    pub fn arch_hash(&self) -> [u8; 32] {
+        let mut w = W(Vec::new());
+        w.u32(self.tensors.len() as u32);
+        for (i, t) in self.tensors.iter().enumerate() {
+            w.usizes(&t.shape);
+            w.u8(match t.kind {
+                TensorKind::Input => 0,
+                TensorKind::Weight => 1,
+                TensorKind::Activation => 2,
+            });
+            w.u8(self.weights[i].is_some() as u8);
+        }
+        w.u32(self.nodes.len() as u32);
+        for n in &self.nodes {
+            write_op(&mut w, &n.op);
+            w.usizes(&n.inputs);
+            w.u64(n.output as u64);
+        }
+        w.usizes(&self.inputs);
+        w.usizes(&self.outputs);
+
+        let mut h = zkml_transcript::Blake2b::new();
+        h.update(b"zkml-model-arch-v1");
+        h.update(&w.0);
+        let digest = h.finalize();
+        let mut out = [0u8; 32];
+        out.copy_from_slice(&digest[..32]);
+        out
+    }
 }
 
 /// Error from model deserialization.
@@ -542,6 +582,33 @@ mod tests {
                 assert_ne!(hashes[i], hashes[j], "models {i} and {j} collide");
             }
         }
+    }
+
+    #[test]
+    fn arch_hash_ignores_weights_and_names_but_not_structure() {
+        let g = crate::zoo::mnist_cnn();
+        let h = g.arch_hash();
+
+        // Perturbing one trained weight changes the content hash but not
+        // the architecture hash.
+        let mut tweaked = Graph::from_bytes(&g.to_bytes()).unwrap();
+        let slot = tweaked
+            .weights
+            .iter_mut()
+            .find_map(|w| w.as_mut())
+            .expect("mnist has weights");
+        slot.data_mut()[0] += 1.0;
+        assert_ne!(tweaked.content_hash(), g.content_hash());
+        assert_eq!(tweaked.arch_hash(), h, "weights must not affect arch");
+
+        // Renaming the model changes neither structure nor arch hash.
+        let mut renamed = Graph::from_bytes(&g.to_bytes()).unwrap();
+        renamed.name = "mnist-finetuned".into();
+        assert_eq!(renamed.arch_hash(), h, "names must not affect arch");
+
+        // Different architectures hash differently.
+        let other = crate::zoo::by_name("dlrm").unwrap();
+        assert_ne!(other.arch_hash(), h);
     }
 
     #[test]

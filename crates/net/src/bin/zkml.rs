@@ -34,10 +34,11 @@ use zkml::{optimizer, OptimizerOptions};
 use zkml_ff::PrimeField;
 use zkml_model::Graph;
 use zkml_net::{
-    decode_hex, http_request, AdmissionConfig, Gateway, GatewayConfig, Json, JsonObj, TenantPolicy,
+    decode_hex, encode_hex, http_request, AdmissionConfig, Gateway, GatewayConfig, Json, JsonObj,
+    TenantPolicy,
 };
 use zkml_pcs::{Backend, Params};
-use zkml_plonk::VerifyingKey;
+use zkml_plonk::{verify_proof_committed, VerifyingKey, WeightCommitment};
 use zkml_service::{
     decode_public, encode_public, write_proof_dir, BatchOutcome, BatchReport, JobHandle, JobSpec,
     ProvingService, ServiceConfig, SRS_SEED,
@@ -45,13 +46,17 @@ use zkml_service::{
 use zkml_shard::{FreshKeySource, KeySource, SegmentSpec, SegmentedProof};
 use zkml_tensor::{FixedPoint, Tensor};
 
-/// A CLI failure: a usage error (exit 2), a runtime error (exit 1), or a
+/// A CLI failure: a usage error (exit 2), a runtime error (exit 1), a
 /// retryable backpressure rejection — rate limit, quota, queue full —
-/// (exit 3, so scripts can distinguish "try again later" from "broken").
+/// (exit 3, so scripts can distinguish "try again later" from "broken"),
+/// or a model-commitment mismatch (exit 4: the proof, weights, or digest
+/// don't match the published commitment — retrying won't help, but it is
+/// a distinct failure from a malformed proof).
 enum CliError {
     Usage,
     Msg(String),
     Backoff(String),
+    Commitment(String),
 }
 
 impl From<String> for CliError {
@@ -100,6 +105,22 @@ fn parse_segments(args: &[String]) -> Result<Option<SegmentSpec>, CliError> {
     }
 }
 
+/// Parses `--model <digest>`: the 64-hex-char digest of a published model
+/// commitment that proving/verification must match exactly.
+fn parse_model_digest(args: &[String]) -> Result<Option<[u8; 32]>, CliError> {
+    match flag_value(args, "--model") {
+        None => Ok(None),
+        Some(h) => {
+            let bytes =
+                decode_hex(&h).map_err(|e| CliError::Msg(format!("bad --model digest: {e}")))?;
+            let digest: [u8; 32] = bytes
+                .try_into()
+                .map_err(|_| CliError::Msg("--model digest must be 32 bytes of hex".to_string()))?;
+            Ok(Some(digest))
+        }
+    }
+}
+
 fn parsed_flag<T: std::str::FromStr>(
     args: &[String],
     flag: &str,
@@ -116,16 +137,18 @@ fn parsed_flag<T: std::str::FromStr>(
 fn usage() -> &'static str {
     "usage:\n  zkml models\n  zkml export <model> --file <path.zkml>\n  \
      zkml optimize <model|path.zkml> [--backend kzg|ipa] [--max-k K]\n  \
+     zkml commit-model <model|path.zkml> --dir <commit-dir> [--backend kzg|ipa] [--max-k K]\n  \
+     zkml commit-model <model> --http <addr> [--backend kzg|ipa] [--dir <commit-dir>]\n  \
      zkml prove <model|path.zkml> --dir <out-dir> [--backend kzg|ipa] [--seed N]\n             \
-     [--segments N|auto] [--max-k K]\n  \
-     zkml verify --dir <dir>\n  \
+     [--segments N|auto] [--max-k K] [--model <digest>]\n  \
+     zkml verify --dir <dir> [--model <digest>]\n  \
      zkml serve --http <addr> [--workers N] [--queue N] [--cache-dir <dir>]\n             \
      [--journal <file>] [--port-file <file>] [--handlers N] [--lane-cap N]\n             \
      [--rate R] [--burst B] [--quota Q] [--tenant-limit NAME:RATE:BURST:QUOTA]...\n             \
      [--deadline-s S] [--verify-batch N] [--no-verify]\n  \
      zkml submit <model> --http <addr> [--tenant T] [--priority interactive|batch]\n             \
-     [--backend kzg|ipa] [--seed N] [--segments N|auto] [--wait] [--timeout-s S]\n             \
-     [--dir <out-dir>]\n  \
+     [--backend kzg|ipa] [--seed N] [--segments N|auto] [--model <digest>]\n             \
+     [--wait] [--timeout-s S] [--dir <out-dir>]\n  \
      zkml status --http <addr> --id <job> [--dir <out-dir>]\n  \
      zkml cancel --http <addr> --id <job>\n  \
      zkml serve --spool <dir> [--workers N] [--queue N] [--cache-dir <dir>]   (legacy)\n             \
@@ -181,6 +204,10 @@ fn main() -> ExitCode {
             eprintln!("rejected (retry later): {msg}");
             ExitCode::from(3)
         }
+        Err(CliError::Commitment(msg)) => {
+            eprintln!("commitment mismatch: {msg}");
+            ExitCode::from(4)
+        }
     }
 }
 
@@ -235,6 +262,15 @@ fn run(args: &[String]) -> Result<(), CliError> {
             );
             Ok(())
         }
+        Some("commit-model") if has_flag(args, "--http") => commit_model_http_flow(args),
+        Some("commit-model") => {
+            let name = args.get(1).ok_or(CliError::Usage)?;
+            let g = resolve_model(name)?;
+            let dir = flag_value(args, "--dir").ok_or(CliError::Usage)?;
+            let backend = parse_backend(args);
+            let max_k: u32 = parsed_flag(args, "--max-k", 15)?;
+            commit_model_flow(&g, backend, max_k, Path::new(&dir))
+        }
         Some("prove") => {
             let name = args.get(1).ok_or(CliError::Usage)?;
             let g = resolve_model(name)?;
@@ -242,14 +278,23 @@ fn run(args: &[String]) -> Result<(), CliError> {
             let backend = parse_backend(args);
             let seed: u64 = parsed_flag(args, "--seed", 1)?;
             let max_k: u32 = parsed_flag(args, "--max-k", 15)?;
+            let model = parse_model_digest(args)?;
             match parse_segments(args)? {
-                Some(spec) => prove_segmented_flow(&g, backend, seed, max_k, spec, Path::new(&dir)),
-                None => prove_flow(&g, backend, seed, max_k, Path::new(&dir)),
+                Some(spec) => {
+                    if model.is_some() {
+                        return Err(CliError::Msg(
+                            "--model is not supported for segmented proves".to_string(),
+                        ));
+                    }
+                    prove_segmented_flow(&g, backend, seed, max_k, spec, Path::new(&dir))
+                }
+                None => prove_flow(&g, backend, seed, max_k, Path::new(&dir), model),
             }
         }
         Some("verify") => {
             let dir = flag_value(args, "--dir").ok_or(CliError::Usage)?;
-            verify_flow(Path::new(&dir))
+            let model = parse_model_digest(args)?;
+            verify_flow(Path::new(&dir), model)
         }
         Some("serve") if has_flag(args, "--http") => serve_http_flow(args),
         Some("serve") => serve_flow(args),
@@ -280,12 +325,57 @@ fn cli_inputs(g: &Graph, scale_bits: u32, seed: u64) -> Vec<Tensor<i64>> {
         .collect()
 }
 
+/// Standalone commit-model: compile once, commit the weight columns, and
+/// write the serialized commitment as `<digest>.wc` into `--dir`. The
+/// printed digest is what `prove --model` / `verify --model` match against.
+fn commit_model_flow(g: &Graph, backend: Backend, max_k: u32, dir: &Path) -> Result<(), CliError> {
+    std::fs::create_dir_all(dir)
+        .map_err(|e| CliError::Msg(format!("create {}: {e}", dir.display())))?;
+    let hw = zkml::cost::HardwareStats::cached();
+    let opts = OptimizerOptions::new(backend, max_k);
+    // Circuit layouts depend only on the architecture, not on input values,
+    // so the commitment is valid for proofs over any input seed.
+    let inputs = cli_inputs(g, opts.numeric.scale_bits, 0);
+    let report = optimizer::optimize(g, &inputs, &opts, hw)
+        .map_err(|e| CliError::Msg(format!("optimize {}: {e}", g.name)))?;
+    let compiled = report
+        .synthesize_best()
+        .map_err(|e| CliError::Msg(format!("compile {}: {e}", g.name)))?;
+    if !compiled.has_committed() {
+        return Err(CliError::Msg(format!(
+            "model {} has no weight columns to commit",
+            g.name
+        )));
+    }
+    let mut srs_rng = StdRng::seed_from_u64(SRS_SEED);
+    let params = Params::setup(backend, compiled.k, &mut srs_rng);
+    let t = Instant::now();
+    let (wc, _) = compiled
+        .commit_weights(&params)
+        .map_err(|e| CliError::Msg(format!("commit weights: {e}")))?;
+    let digest = encode_hex(&wc.digest);
+    let file = dir.join(format!("{digest}.wc"));
+    std::fs::write(&file, wc.to_bytes())
+        .map_err(|e| CliError::Msg(format!("write {}: {e}", file.display())))?;
+    println!(
+        "committed {} weight column(s) of {} in {:?} (k={})",
+        wc.commitments.len(),
+        g.name,
+        t.elapsed(),
+        compiled.k
+    );
+    println!("model digest: {digest}");
+    println!("wrote {}", file.display());
+    Ok(())
+}
+
 fn prove_flow(
     g: &Graph,
     backend: Backend,
     seed: u64,
     max_k: u32,
     dir: &Path,
+    model: Option<[u8; 32]>,
 ) -> Result<(), CliError> {
     std::fs::create_dir_all(dir)
         .map_err(|e| CliError::Msg(format!("create {}: {e}", dir.display())))?;
@@ -309,15 +399,51 @@ fn prove_flow(
         t.elapsed(),
         compiled.stats.rows
     );
+    if model.is_some() && !compiled.has_committed() {
+        return Err(CliError::Commitment(format!(
+            "--model given but {} has no committed weight columns",
+            g.name
+        )));
+    }
     let mut srs_rng = StdRng::seed_from_u64(SRS_SEED);
     let params = Params::setup(backend, compiled.k, &mut srs_rng);
     let pk = compiled
         .keygen(&params)
         .map_err(|e| CliError::Msg(format!("keygen: {e}")))?;
     let t = Instant::now();
-    let proof = compiled
-        .prove(&params, &pk, &mut rng)
-        .map_err(|e| CliError::Msg(format!("prove: {e}")))?;
+    // Committed-weight circuits: commit once, check the digest against a
+    // published one when `--model` names it, and prove under the committed
+    // encodings. The commitment rides along as `commitment.bin` — a
+    // committed proof is unverifiable without it.
+    let mut commitment: Option<WeightCommitment> = None;
+    let proof = if compiled.has_committed() {
+        let (wc, weights) = compiled
+            .commit_weights(&params)
+            .map_err(|e| CliError::Msg(format!("commit weights: {e}")))?;
+        if let Some(expected) = model {
+            if wc.digest != expected {
+                return Err(CliError::Commitment(format!(
+                    "weights of {} hash to {}, not the published {}",
+                    g.name,
+                    encode_hex(&wc.digest),
+                    encode_hex(&expected)
+                )));
+            }
+            println!(
+                "weights match published model digest {}",
+                encode_hex(&expected)
+            );
+        }
+        let proof = compiled
+            .prove_with_weights(&params, &pk, &mut rng, &[], &weights)
+            .map_err(|e| CliError::Msg(format!("prove: {e}")))?;
+        commitment = Some(wc);
+        proof
+    } else {
+        compiled
+            .prove(&params, &pk, &mut rng)
+            .map_err(|e| CliError::Msg(format!("prove: {e}")))?
+    };
     println!("proved in {:?} ({} bytes)", t.elapsed(), proof.len());
 
     let write = |name: &str, bytes: &[u8]| -> Result<(), CliError> {
@@ -326,13 +452,24 @@ fn prove_flow(
     };
     write("proof.bin", &proof)?;
     write("vk.bin", &pk.vk.to_bytes())?;
+    if let Some(wc) = &commitment {
+        write("commitment.bin", &wc.to_bytes())?;
+    }
     let public = compiled
         .instance()
         .first()
         .map(Vec::as_slice)
         .unwrap_or(&[]);
     write("public.bin", &encode_public(backend, public))?;
-    println!("wrote proof.bin, vk.bin, public.bin to {}", dir.display());
+    println!(
+        "wrote proof.bin, vk.bin{}, public.bin to {}",
+        if commitment.is_some() {
+            ", commitment.bin"
+        } else {
+            ""
+        },
+        dir.display()
+    );
     Ok(())
 }
 
@@ -391,7 +528,7 @@ fn prove_segmented_flow(
     Ok(())
 }
 
-fn verify_flow(dir: &Path) -> Result<(), CliError> {
+fn verify_flow(dir: &Path, model: Option<[u8; 32]>) -> Result<(), CliError> {
     let load = |name: &str| -> Result<Vec<u8>, CliError> {
         std::fs::read(PathBuf::from(dir).join(name))
             .map_err(|e| CliError::Msg(format!("read {name}: {e}")))
@@ -399,6 +536,11 @@ fn verify_flow(dir: &Path) -> Result<(), CliError> {
     // A proof directory holds either a segmented bundle or a monolithic
     // proof triple; the bundle carries its own per-segment verifying keys.
     if dir.join("bundle.bin").exists() {
+        if model.is_some() {
+            return Err(CliError::Msg(
+                "--model is not supported for segmented bundles".to_string(),
+            ));
+        }
         return verify_bundle_flow(&load("bundle.bin")?);
     }
     let vk = VerifyingKey::from_bytes(&load("vk.bin")?)
@@ -406,12 +548,65 @@ fn verify_flow(dir: &Path) -> Result<(), CliError> {
     let (backend, instance) = decode_public(&load("public.bin")?)
         .map_err(|e| CliError::Msg(format!("parse public.bin: {e}")))?;
     let proof = load("proof.bin")?;
+    // Committed-weight proofs carry the weight commitment they claim to be
+    // proved under; verification binds the proof to exactly that commitment
+    // (and, with `--model`, to exactly the published digest).
+    let commitment = if dir.join("commitment.bin").exists() {
+        Some(
+            WeightCommitment::from_bytes(&load("commitment.bin")?)
+                .map_err(|e| CliError::Msg(format!("parse commitment.bin: {e}")))?,
+        )
+    } else {
+        None
+    };
+    if vk.cs.num_committed > 0 && commitment.is_none() {
+        return Err(CliError::Commitment(
+            "proof is for a committed-weight circuit but the directory has no commitment.bin"
+                .to_string(),
+        ));
+    }
+    if let Some(expected) = model {
+        match &commitment {
+            None => {
+                return Err(CliError::Commitment(
+                    "--model given but the proof carries no weight commitment".to_string(),
+                ))
+            }
+            Some(wc) if wc.digest != expected => {
+                return Err(CliError::Commitment(format!(
+                    "proof carries commitment {}, not the published {}",
+                    encode_hex(&wc.digest),
+                    encode_hex(&expected)
+                )));
+            }
+            Some(_) => println!(
+                "commitment matches published model digest {}",
+                encode_hex(&expected)
+            ),
+        }
+    }
     // The SRS is a public artifact; this reproduction regenerates it from
     // the fixed test seed (see DESIGN.md on the trusted-setup substitution).
     let mut srs_rng = StdRng::seed_from_u64(SRS_SEED);
     let params = Params::setup(backend, vk.k, &mut srs_rng);
     let t = Instant::now();
-    match zkml_plonk::verify_proof(&params, &vk, std::slice::from_ref(&instance), &proof) {
+    let outcome = verify_proof_committed(
+        &params,
+        &vk,
+        std::slice::from_ref(&instance),
+        &proof,
+        &[],
+        commitment.as_ref(),
+    )
+    .map_err(|e| e.to_string())
+    .and_then(|v| {
+        if v.settle(&params) {
+            Ok(())
+        } else {
+            Err("pairing check failed".to_string())
+        }
+    });
+    match outcome {
         Ok(()) => {
             println!(
                 "proof VERIFIED in {:?} ({} public values, {} byte proof)",
@@ -999,8 +1194,73 @@ fn write_proof_dir_from_status(dir: &Path, status: &Json) -> Result<(), CliError
         write("proof.bin", &hex_field("proof_hex")?)?;
         write("vk.bin", &hex_field("vk_hex")?)?;
     }
+    // Committed-weight proofs travel with their weight commitment; without
+    // it the downloaded directory would be unverifiable.
+    if status.get("commitment_hex").is_some() {
+        write("commitment.bin", &hex_field("commitment_hex")?)?;
+    }
     write("public.bin", &hex_field("public_hex")?)?;
     println!("wrote proof artifacts to {}", dir.display());
+    Ok(())
+}
+
+/// `commit-model --http`: publishes the model's weight commitment on the
+/// server's registry and prints the digest that prove/verify submissions
+/// reference; `--dir` additionally saves the commitment as `<digest>.wc`.
+fn commit_model_http_flow(args: &[String]) -> Result<(), CliError> {
+    let model = args
+        .get(1)
+        .filter(|m| !m.starts_with("--"))
+        .ok_or(CliError::Usage)?;
+    let addr = flag_value(args, "--http").ok_or(CliError::Usage)?;
+    let body = JsonObj::new()
+        .str("model", model)
+        .str(
+            "backend",
+            match parse_backend(args) {
+                Backend::Kzg => "kzg",
+                Backend::Ipa => "ipa",
+            },
+        )
+        .finish();
+    let resp = http_request(&addr, "POST", "/v1/models", Some(&body)).map_err(CliError::Msg)?;
+    if resp.status == 422 {
+        let detail = Json::parse(&resp.body)
+            .ok()
+            .and_then(|v| v.get("error").and_then(|e| e.as_str().map(String::from)))
+            .unwrap_or_else(|| resp.body.clone());
+        return Err(CliError::Commitment(detail));
+    }
+    if resp.status != 200 {
+        return Err(http_error(&resp, "commit-model"));
+    }
+    let doc =
+        Json::parse(&resp.body).map_err(|e| CliError::Msg(format!("bad response json: {e}")))?;
+    let digest = doc
+        .get("digest")
+        .and_then(Json::as_str)
+        .ok_or_else(|| CliError::Msg("response missing digest".to_string()))?
+        .to_string();
+    println!(
+        "published {model} (k={}, cache {})",
+        doc.get("k").and_then(Json::as_u64).unwrap_or(0),
+        doc.get("cache").and_then(Json::as_str).unwrap_or("?"),
+    );
+    println!("model digest: {digest}");
+    if let Some(dir) = flag_value(args, "--dir") {
+        let dir = PathBuf::from(dir);
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| CliError::Msg(format!("create {}: {e}", dir.display())))?;
+        let hex = doc
+            .get("commitment_hex")
+            .and_then(Json::as_str)
+            .ok_or_else(|| CliError::Msg("response missing commitment_hex".to_string()))?;
+        let bytes = decode_hex(hex).map_err(|e| CliError::Msg(format!("commitment_hex: {e}")))?;
+        let file = dir.join(format!("{digest}.wc"));
+        std::fs::write(&file, bytes)
+            .map_err(|e| CliError::Msg(format!("write {}: {e}", file.display())))?;
+        println!("wrote {}", file.display());
+    }
     Ok(())
 }
 
@@ -1099,6 +1359,9 @@ fn submit_http_flow(args: &[String]) -> Result<(), CliError> {
                     .u64("segments", n as u64)
             }
             None => body = body.str("kind", "prove"),
+        }
+        if let Some(digest) = parse_model_digest(args)? {
+            body = body.str("model_digest", &encode_hex(&digest));
         }
     }
     let resp =

@@ -98,6 +98,10 @@ struct VerifyPayload {
     vk: Vec<u8>,
     public: Vec<Fr>,
     proof: Vec<u8>,
+    /// Digest of a published model commitment the proof must verify against.
+    model: Option<[u8; 32]>,
+    /// Prover-carried serialized weight commitment (may be empty).
+    commitment: Vec<u8>,
 }
 
 struct JobEntry {
@@ -166,7 +170,7 @@ impl Inner {
 
 /// How a job left the system, from the dispatcher's point of view.
 enum Outcome {
-    Completed(Option<ProofArtifacts>),
+    Completed(Option<Box<ProofArtifacts>>),
     Failed(String),
     Cancelled,
 }
@@ -436,7 +440,9 @@ fn route(inner: &Arc<Inner>, req: &Request) -> RouteResult {
         }
         ("GET", "/v1/stats") => (200, vec![], stats_json(inner)),
         ("POST", "/v1/jobs") => submit_route(inner, &req.body),
-        (_, "/v1/jobs") | (_, "/v1/healthz") | (_, "/v1/stats") => {
+        ("POST", "/v1/models") => commit_model_route(inner, &req.body),
+        ("GET", "/v1/models") => list_models_route(inner),
+        (_, "/v1/jobs") | (_, "/v1/healthz") | (_, "/v1/stats") | (_, "/v1/models") => {
             (405, vec![], err_body("method not allowed"))
         }
         (method, path) if path.starts_with("/v1/jobs/") => {
@@ -484,6 +490,21 @@ type Submission = (
     Option<Arc<Graph>>,
     Option<VerifyPayload>,
 );
+
+/// Parses an optional 32-byte hex digest field.
+fn parse_digest_field(v: &Json, name: &str) -> Result<Option<[u8; 32]>, String> {
+    match v.get(name) {
+        None => Ok(None),
+        Some(d) => {
+            let h = d.as_str().ok_or(format!("{name} must be a hex string"))?;
+            let bytes = decode_hex(h).map_err(|e| format!("{name}: {e}"))?;
+            let digest: [u8; 32] = bytes
+                .try_into()
+                .map_err(|_| format!("{name} must be 32 bytes"))?;
+            Ok(Some(digest))
+        }
+    }
+}
 
 /// Parses and validates a submission body into a job description.
 fn parse_submission(body: &[u8]) -> Result<Submission, String> {
@@ -549,6 +570,10 @@ fn parse_submission(body: &[u8]) -> Result<Submission, String> {
             } else {
                 None
             };
+            let model_digest = parse_digest_field(&v, "model_digest")?;
+            if model_digest.is_some() && segments.is_some() {
+                return Err("model_digest is not supported for segmented proves".into());
+            }
             Ok((
                 tenant,
                 priority,
@@ -557,6 +582,7 @@ fn parse_submission(body: &[u8]) -> Result<Submission, String> {
                     backend,
                     seed,
                     segments,
+                    model_digest,
                 },
                 Some(Arc::new(graph)),
                 None,
@@ -581,6 +607,11 @@ fn parse_submission(body: &[u8]) -> Result<Submission, String> {
                     None => Err(format!("verify jobs need \"{name}\"")),
                 }
             };
+            let model = parse_digest_field(&v, "model_digest")?;
+            let commitment = match v.get("commitment_hex").and_then(Json::as_str) {
+                Some(h) => decode_hex(h).map_err(|e| format!("commitment_hex: {e}"))?,
+                None => Vec::new(),
+            };
             let payload = if v.get("bundle_hex").is_some() {
                 let bundle = hex_field("bundle_hex")?;
                 VerifyPayload {
@@ -588,6 +619,8 @@ fn parse_submission(body: &[u8]) -> Result<Submission, String> {
                     vk: Vec::new(),
                     public: Vec::new(),
                     proof: bundle,
+                    model,
+                    commitment,
                 }
             } else {
                 let proof = hex_field("proof_hex")?;
@@ -603,6 +636,8 @@ fn parse_submission(body: &[u8]) -> Result<Submission, String> {
                     vk,
                     public,
                     proof,
+                    model,
+                    commitment,
                 }
             };
             Ok((tenant, priority, JobDesc::Verify, None, Some(payload)))
@@ -680,6 +715,87 @@ fn submit_route(inner: &Arc<Inner>, body: &[u8]) -> RouteResult {
     (202, vec![], body)
 }
 
+/// `POST /v1/models`: publishes a model's weight commitment. The job runs
+/// synchronously through the service (bypassing the lanes — publication is
+/// a one-time administrative action, not proving traffic) and the response
+/// carries the digest that subsequent prove/verify submissions reference.
+fn commit_model_route(inner: &Arc<Inner>, body: &[u8]) -> RouteResult {
+    if inner.shutdown.load(Ordering::SeqCst) {
+        return (503, vec![], err_body("server is draining"));
+    }
+    let text = match std::str::from_utf8(body) {
+        Ok(t) => t,
+        Err(_) => return (400, vec![], err_body("body is not utf-8")),
+    };
+    let v = match Json::parse(text) {
+        Ok(v) => v,
+        Err(e) => return (400, vec![], err_body(&format!("bad json: {e}"))),
+    };
+    let Some(model) = v.get("model").and_then(Json::as_str) else {
+        return (400, vec![], err_body("commit-model needs a \"model\""));
+    };
+    let Some(graph) = zkml_model::zoo::by_name(model) else {
+        return (400, vec![], err_body(&format!("unknown model '{model}'")));
+    };
+    let backend = match v.get("backend").and_then(Json::as_str) {
+        None | Some("kzg") => Backend::Kzg,
+        Some("ipa") => Backend::Ipa,
+        Some(other) => return (400, vec![], err_body(&format!("unknown backend '{other}'"))),
+    };
+    let handle = match inner
+        .service
+        .submit(JobSpec::commit_model(Arc::new(graph), backend))
+    {
+        Ok(h) => h,
+        Err(ServiceError::Busy { .. }) => {
+            return (
+                429,
+                vec![("retry-after", "1".to_string())],
+                err_body("service queue full"),
+            )
+        }
+        Err(e) => return (500, vec![], err_body(&e.to_string())),
+    };
+    match handle.wait() {
+        Ok(Some(a)) => {
+            let digest = a.model_digest.map(|d| encode_hex(&d)).unwrap_or_default();
+            let body = JsonObj::new()
+                .str("model", model)
+                .str("digest", &digest)
+                .str("commitment_hex", &encode_hex(&a.weight_commitment))
+                .u64("k", u64::from(a.k))
+                .str("cache", &format!("{:?}", a.cache))
+                .finish();
+            (200, vec![], body)
+        }
+        Ok(None) => (500, vec![], err_body("commit-model returned no artifacts")),
+        Err(ServiceError::CommitmentMismatch(msg)) => (422, vec![], err_body(&msg)),
+        Err(e) => (500, vec![], err_body(&e.to_string())),
+    }
+}
+
+/// `GET /v1/models`: the published model commitments, sorted by digest.
+fn list_models_route(inner: &Arc<Inner>) -> RouteResult {
+    let mut entries = inner.service.registry().list();
+    entries.sort_by_key(|e| e.digest);
+    let items: Vec<String> = entries
+        .iter()
+        .map(|e| {
+            JsonObj::new()
+                .str("digest", &encode_hex(&e.digest))
+                .str("model", &e.model)
+                .str("backend", &format!("{:?}", e.backend).to_lowercase())
+                .u64("k", u64::from(e.k))
+                .finish()
+        })
+        .collect();
+    let body = JsonObj::new()
+        .u64("count", items.len() as u64)
+        .raw("models", &format!("[{}]", items.join(",")))
+        .finish();
+    (200, vec![], body)
+}
+
 fn job_status_route(inner: &Arc<Inner>, id: u64) -> RouteResult {
     let registry = inner.registry.lock().unwrap();
     let Some(entry) = registry.get(&id) else {
@@ -713,6 +829,12 @@ fn job_status_route(inner: &Arc<Inner>, id: u64) -> RouteResult {
                     "public_hex",
                     &encode_hex(&encode_public(a.backend, &a.public)),
                 );
+            if !a.weight_commitment.is_empty() {
+                obj = obj.str("commitment_hex", &encode_hex(&a.weight_commitment));
+            }
+            if let Some(d) = &a.model_digest {
+                obj = obj.str("model_digest", &encode_hex(d));
+            }
         }
     }
     (200, vec![], obj.finish())
@@ -820,6 +942,7 @@ fn build_dispatch(inner: &Inner, id: u64) -> Dispatch {
             backend,
             seed,
             segments,
+            model_digest,
             ..
         } => {
             let graph = match &entry.graph {
@@ -846,6 +969,7 @@ fn build_dispatch(inner: &Inner, id: u64) -> Dispatch {
                         graph,
                         backend: *backend,
                         seed: *seed,
+                        model: *model_digest,
                     }
                 }
             }
@@ -857,6 +981,8 @@ fn build_dispatch(inner: &Inner, id: u64) -> Dispatch {
                 vk: p.vk.clone(),
                 public: p.public.clone(),
                 proof: p.proof.clone(),
+                model: p.model,
+                weight_commitment: p.commitment.clone(),
             },
             None => {
                 return Dispatch::Abort(
@@ -888,7 +1014,7 @@ fn finish(inner: &Inner, id: u64, tenant: &str, outcome: Outcome) {
             entry.state = JobState::Completed;
             entry.result_available = true;
             if let Some(a) = artifacts {
-                entry.artifacts = Some(a);
+                entry.artifacts = Some(*a);
             }
             let (k, segments, prove_ms) = entry
                 .artifacts
@@ -982,7 +1108,12 @@ fn dispatcher_loop(inner: Arc<Inner>) {
                             entry.artifacts = Some(artifacts);
                         }
                     } else {
-                        finish(&inner, id, &tenant, Outcome::Completed(Some(artifacts)));
+                        finish(
+                            &inner,
+                            id,
+                            &tenant,
+                            Outcome::Completed(Some(Box::new(artifacts))),
+                        );
                     }
                 }
                 Some(Ok(None)) => finish(&inner, id, &tenant, Outcome::Completed(None)),

@@ -12,7 +12,7 @@
 //! regenerates them from its (model, backend, seed) description.
 
 use crate::admission::Priority;
-use crate::json::{escape, Json, JsonObj};
+use crate::json::{decode_hex, encode_hex, escape, Json, JsonObj};
 use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
@@ -36,6 +36,11 @@ pub enum JobDesc {
         seed: u64,
         /// Segmentation request.
         segments: Option<SegmentSpec>,
+        /// Published model-commitment digest the prove references, if any.
+        /// The commitment registry itself is not durable, so a replayed
+        /// digest-referencing job fails deterministically with a
+        /// commitment mismatch until the model is republished.
+        model_digest: Option<[u8; 32]>,
     },
     /// Occupy a worker (health checks, benches, tests).
     Sleep {
@@ -134,6 +139,7 @@ impl Record {
                         backend,
                         seed,
                         segments,
+                        model_digest,
                     } => {
                         obj = obj
                             .str("model", model)
@@ -143,6 +149,9 @@ impl Record {
                             Some(SegmentSpec::Auto) => obj = obj.str("segments", "auto"),
                             Some(SegmentSpec::Fixed(n)) => obj = obj.u64("segments", *n as u64),
                             None => {}
+                        }
+                        if let Some(digest) = model_digest {
+                            obj = obj.str("model_digest", &encode_hex(digest));
                         }
                     }
                     JobDesc::Sleep { ms } => obj = obj.u64("sleep_ms", *ms),
@@ -228,11 +237,20 @@ impl Record {
                                 n.as_u64().ok_or("bad segments")? as usize
                             )),
                         };
+                        let model_digest = match v.get("model_digest").and_then(Json::as_str) {
+                            None => None,
+                            Some(h) => Some(
+                                decode_hex(h)?
+                                    .try_into()
+                                    .map_err(|_| "model_digest must be 32 bytes")?,
+                            ),
+                        };
                         JobDesc::Prove {
                             model,
                             backend,
                             seed,
                             segments,
+                            model_digest,
                         }
                     }
                     "sleep" => JobDesc::Sleep {
@@ -466,6 +484,7 @@ mod tests {
                     backend: Backend::Kzg,
                     seed: 7,
                     segments: Some(SegmentSpec::Auto),
+                    model_digest: None,
                 },
             },
             Record::Submitted {
@@ -490,6 +509,7 @@ mod tests {
                     backend: Backend::Ipa,
                     seed: 9,
                     segments: None,
+                    model_digest: Some([0x5A; 32]),
                 },
             },
             Record::Started { job: 3 },

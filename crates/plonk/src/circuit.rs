@@ -49,6 +49,10 @@ pub struct ConstraintSystem {
     pub advice_phase: Vec<u8>,
     /// Number of fixed columns (selectors, tables, constants).
     pub num_fixed: usize,
+    /// Number of committed (weight) columns. Committed columns carry model
+    /// parameters published once as a [`crate::keygen::WeightCommitment`];
+    /// they are equality-enabled but never queried by gate expressions.
+    pub num_committed: usize,
     /// Number of transcript challenges available to phase-1 columns.
     pub num_challenges: usize,
     /// Custom gates.
@@ -86,6 +90,12 @@ impl ConstraintSystem {
     pub fn fixed_column(&mut self) -> usize {
         self.num_fixed += 1;
         self.num_fixed - 1
+    }
+
+    /// Adds a committed (weight) column, returning its index.
+    pub fn committed_column(&mut self) -> usize {
+        self.num_committed += 1;
+        self.num_committed - 1
     }
 
     /// Registers a transcript challenge, returning its index.
@@ -210,6 +220,9 @@ impl ConstraintSystem {
         for c in 0..self.num_instance {
             out.push((Column::Instance(c), Rotation::cur()));
         }
+        for c in 0..self.num_committed {
+            out.push((Column::Committed(c), Rotation::cur()));
+        }
         out.sort_by_key(|(c, r)| (*c, r.0));
         out.dedup();
         out
@@ -238,6 +251,10 @@ pub struct CellRef {
 pub struct Preprocessed {
     /// Fixed column values (column-major); padded to the domain at keygen.
     pub fixed: Vec<Vec<Fr>>,
+    /// Committed (weight) column values (column-major). Excluded from the
+    /// proving/verifying keys: they are committed separately by
+    /// `commit_weights` and bound to the circuit via the copy argument.
+    pub committed: Vec<Vec<Fr>>,
     /// Copy constraints between cells of permutation-enabled columns.
     pub copies: Vec<(CellRef, CellRef)>,
 }

@@ -11,6 +11,12 @@ pub enum Column {
     Advice(usize),
     /// Preprocessed column (selectors, lookup tables, constants).
     Fixed(usize),
+    /// Committed column: model weights published once as a standalone
+    /// polynomial commitment (commit-and-prove, ROADMAP item 4). Committed
+    /// columns are never queried by gate expressions; they enter constraints
+    /// only through the permutation/copy argument, so one `WeightCommitment`
+    /// can serve every proof over the same architecture.
+    Committed(usize),
 }
 
 /// A relative row offset used when a constraint references adjacent rows.

@@ -4,11 +4,31 @@
 use crate::circuit::{CellRef, ConstraintSystem, Preprocessed, BLINDING_FACTORS};
 use crate::expression::Column;
 use crate::PlonkError;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use zkml_curves::G1Affine;
 use zkml_ff::{Field, Fr};
 use zkml_pcs::Params;
 use zkml_poly::{Coeffs, EvaluationDomain};
 use zkml_transcript::Blake2b;
+
+/// Count of [`keygen`] invocations in this process, for cache-efficiency
+/// assertions (a warm pk cache must show a zero delta).
+static KEYGENS: AtomicUsize = AtomicUsize::new(0);
+
+/// Count of [`commit_weights`] invocations in this process: each one
+/// interpolates and MSM-commits every weight column, so a service reusing a
+/// published commitment must show a zero delta on subsequent proofs.
+static WEIGHT_ENCODINGS: AtomicUsize = AtomicUsize::new(0);
+
+/// Total [`keygen`] calls so far in this process.
+pub fn keygens() -> usize {
+    KEYGENS.load(Ordering::Relaxed)
+}
+
+/// Total [`commit_weights`] calls so far in this process.
+pub fn weight_encodings() -> usize {
+    WEIGHT_ENCODINGS.load(Ordering::Relaxed)
+}
 
 /// The verifier's view of a circuit.
 #[derive(Clone)]
@@ -106,6 +126,127 @@ pub struct ProvingKey {
     pub l_last_ext: Vec<Fr>,
     /// `l_active = 1 - l_last - l_blind` on the extended coset.
     pub l_active_ext: Vec<Fr>,
+}
+
+/// The *published* commitment to a model's weight columns: what a verifier
+/// needs to check a proof against a specific set of committed weights.
+///
+/// Computed once per model by [`commit_weights`] and reused across every
+/// proof; it is deliberately **not** part of [`VerifyingKey`], so keygen and
+/// key size stay independent of the weight values.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WeightCommitment {
+    /// log2 of the row count the weight columns were padded to.
+    pub k: u32,
+    /// One commitment per committed column, in column order.
+    pub commitments: Vec<G1Affine>,
+    /// Blake2b digest binding `k` and the commitments; this is the model's
+    /// published identity, absorbed into every transcript.
+    pub digest: [u8; 32],
+}
+
+impl WeightCommitment {
+    /// Recomputes the digest over `k` and the commitments.
+    pub fn compute_digest(k: u32, commitments: &[G1Affine]) -> [u8; 32] {
+        let mut h = Blake2b::new();
+        h.update(b"zkml-weight-commitment-v1");
+        h.update(&k.to_le_bytes());
+        h.update(&(commitments.len() as u64).to_le_bytes());
+        for c in commitments {
+            h.update(&c.to_bytes());
+        }
+        let full = h.finalize();
+        let mut out = [0u8; 32];
+        out.copy_from_slice(&full[..32]);
+        out
+    }
+}
+
+/// The prover's side of a weight commitment: the committed column values,
+/// their coefficient forms, and their extended-coset evaluations — everything
+/// the prover needs so that proving does **zero** weight interpolation or
+/// commitment work per proof.
+#[derive(Clone)]
+pub struct CommittedWeights {
+    /// Committed column values padded to the domain (column-major).
+    pub values: Vec<Vec<Fr>>,
+    /// Coefficient forms of the committed columns.
+    pub polys: Vec<Coeffs<Fr>>,
+    /// Committed columns on the extended coset.
+    pub ext: Vec<Vec<Fr>>,
+    /// Copy of the published digest, for transcript absorption.
+    pub digest: [u8; 32],
+}
+
+impl CommittedWeights {
+    /// An empty placeholder for circuits with no committed columns.
+    pub fn empty() -> Self {
+        CommittedWeights {
+            values: Vec::new(),
+            polys: Vec::new(),
+            ext: Vec::new(),
+            digest: [0u8; 32],
+        }
+    }
+}
+
+/// Commits to a circuit's weight columns, producing the published
+/// [`WeightCommitment`] and the prover-side [`CommittedWeights`].
+///
+/// This is the once-per-model cost of the commit-and-prove flow: each column
+/// is padded to the domain (zero padding — commitments are deterministic;
+/// weight *hiding* is explicitly not a goal, the model is published),
+/// interpolated, committed, and extended onto the quotient coset.
+pub fn commit_weights(
+    params: &Params,
+    cs: &ConstraintSystem,
+    committed: &[Vec<Fr>],
+    k: u32,
+) -> Result<(WeightCommitment, CommittedWeights), PlonkError> {
+    if k > params.k() {
+        return Err(PlonkError::Synthesis(format!(
+            "circuit k={k} exceeds params k={}",
+            params.k()
+        )));
+    }
+    if committed.len() != cs.num_committed {
+        return Err(PlonkError::Synthesis(format!(
+            "expected {} committed columns, got {}",
+            cs.num_committed,
+            committed.len()
+        )));
+    }
+    WEIGHT_ENCODINGS.fetch_add(1, Ordering::Relaxed);
+    let domains = ExtendedDomain::new(k, cs.degree());
+    let n = domains.domain.n;
+    let mut values = Vec::with_capacity(committed.len());
+    for col in committed {
+        if col.len() > n {
+            return Err(PlonkError::Synthesis(format!(
+                "committed column has {} rows but n = {n}",
+                col.len()
+            )));
+        }
+        let mut v = col.clone();
+        v.resize(n, Fr::zero());
+        values.push(v);
+    }
+    let (polys, ext) = interpolate_columns(&domains, &values);
+    let commitments: Vec<G1Affine> = zkml_par::par_map(polys.len(), |i| params.commit(&polys[i]));
+    let digest = WeightCommitment::compute_digest(k, &commitments);
+    Ok((
+        WeightCommitment {
+            k,
+            commitments,
+            digest,
+        },
+        CommittedWeights {
+            values,
+            polys,
+            ext,
+            digest,
+        },
+    ))
 }
 
 /// Interpolates column values into coefficient form and evaluates each
@@ -285,6 +426,17 @@ pub fn keygen(
             pre.fixed.len()
         )));
     }
+    // Committed (weight) columns are validated for arity but deliberately
+    // not processed here: they are committed once per model by
+    // [`commit_weights`], keeping keygen cost and key size weight-free.
+    if !pre.committed.is_empty() && pre.committed.len() != cs.num_committed {
+        return Err(PlonkError::Synthesis(format!(
+            "expected {} committed columns, got {}",
+            cs.num_committed,
+            pre.committed.len()
+        )));
+    }
+    KEYGENS.fetch_add(1, Ordering::Relaxed);
 
     // Fixed columns.
     let mut fixed_values = Vec::with_capacity(cs.num_fixed);
@@ -344,6 +496,7 @@ pub fn keygen(
     hasher.update(&(cs.num_instance as u64).to_le_bytes());
     hasher.update(&(cs.num_advice as u64).to_le_bytes());
     hasher.update(&(cs.num_fixed as u64).to_le_bytes());
+    hasher.update(&(cs.num_committed as u64).to_le_bytes());
     hasher.update(&(cs.gates.len() as u64).to_le_bytes());
     hasher.update(&(cs.lookups.len() as u64).to_le_bytes());
     for c in fixed_commitments.iter().chain(sigma_commitments.iter()) {

@@ -32,10 +32,13 @@ pub use circuit::{
     CellRef, ConstraintSystem, Gate, Lookup, Preprocessed, WitnessSource, BLINDING_FACTORS,
 };
 pub use expression::{Column, Expression, Linearity, Rotation};
-pub use keygen::{keygen, ExtendedDomain, ProvingKey, VerifyingKey};
+pub use keygen::{
+    commit_weights, keygen, keygens, weight_encodings, CommittedWeights, ExtendedDomain,
+    ProvingKey, VerifyingKey, WeightCommitment,
+};
 pub use mock::{GridWitness, MockProver, VerifyFailure};
-pub use prover::{create_proof, create_proof_bound, create_proof_with_rng};
-pub use verifier::{verify_proof, verify_proof_deferred};
+pub use prover::{create_proof, create_proof_bound, create_proof_committed, create_proof_with_rng};
+pub use verifier::{verify_proof, verify_proof_committed, verify_proof_deferred};
 
 /// Errors produced by key generation, proving, or verification.
 #[derive(Debug)]

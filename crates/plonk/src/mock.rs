@@ -152,6 +152,7 @@ pub struct MockProver {
     instance: Vec<Vec<Fr>>,
     advice: Vec<Vec<Fr>>,
     fixed: Vec<Vec<Fr>>,
+    committed: Vec<Vec<Fr>>,
     challenges: Vec<Fr>,
     /// Per-lookup set of table tuples (canonical bytes), rows `0..usable`.
     tables: Vec<HashSet<Vec<u8>>>,
@@ -197,6 +198,23 @@ impl MockProver {
             if col.len() > n {
                 return Err(PlonkError::Synthesis(
                     "fixed column exceeds 2^k rows".into(),
+                ));
+            }
+            col.resize(n, Fr::zero());
+        }
+
+        if pre.committed.len() != cs.num_committed {
+            return Err(PlonkError::Synthesis(format!(
+                "expected {} committed columns, got {}",
+                cs.num_committed,
+                pre.committed.len()
+            )));
+        }
+        let mut committed = pre.committed.clone();
+        for col in committed.iter_mut() {
+            if col.len() > n {
+                return Err(PlonkError::Synthesis(
+                    "committed column exceeds 2^k rows".into(),
                 ));
             }
             col.resize(n, Fr::zero());
@@ -291,6 +309,7 @@ impl MockProver {
             instance,
             advice,
             fixed,
+            committed,
             challenges,
             tables: Vec::new(),
             tables_fixed_only,
@@ -333,6 +352,7 @@ impl MockProver {
                 self.fixed[c][cell.row] = value;
                 self.rebuild_tables();
             }
+            Column::Committed(c) => self.committed[c][cell.row] = value,
         }
     }
 
@@ -341,6 +361,7 @@ impl MockProver {
             Column::Instance(c) => &self.instance[c],
             Column::Advice(c) => &self.advice[c],
             Column::Fixed(c) => &self.fixed[c],
+            Column::Committed(c) => &self.committed[c],
         }
     }
 
@@ -624,6 +645,7 @@ mod tests {
         cs.enable_equality(Column::Advice(c));
         cs.enable_equality(Column::Instance(ic));
         let pre = Preprocessed {
+            committed: Vec::new(),
             fixed: vec![vec![Fr::one()]],
             copies: vec![(
                 CellRef {
@@ -705,6 +727,7 @@ mod tests {
             vec![Expression::Fixed(t, Rotation::cur())],
         );
         let pre = Preprocessed {
+            committed: Vec::new(),
             fixed: vec![(0..4).map(Fr::from_u64).collect()],
             copies: vec![],
         };
@@ -748,6 +771,7 @@ mod tests {
         cs.challenge();
         let _ = (a, b);
         let pre = Preprocessed {
+            committed: Vec::new(),
             fixed: vec![],
             copies: vec![],
         };

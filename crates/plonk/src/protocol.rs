@@ -14,6 +14,9 @@ pub enum PolyId {
     Advice(usize),
     /// Fixed column `i` (committed in the verifying key).
     Fixed(usize),
+    /// Committed (weight) column `i` — committed in a standalone
+    /// `WeightCommitment` published outside the verifying key.
+    Committed(usize),
     /// Permutation sigma polynomial `i` (committed in the verifying key).
     Sigma(usize),
     /// Permutation grand-product polynomial for chunk `c`.
@@ -58,6 +61,10 @@ pub fn opening_plan(
             }),
             Column::Fixed(i) => plan.push(PlanEntry {
                 poly: PolyId::Fixed(i),
+                rotation: rot.0,
+            }),
+            Column::Committed(i) => plan.push(PlanEntry {
+                poly: PolyId::Committed(i),
                 rotation: rot.0,
             }),
             Column::Instance(_) => {}

@@ -3,7 +3,7 @@
 use crate::arena::PolyArena;
 use crate::circuit::WitnessSource;
 use crate::expression::{Column, Expression};
-use crate::keygen::ProvingKey;
+use crate::keygen::{CommittedWeights, ProvingKey};
 use crate::protocol::{opening_plan, PolyId};
 use crate::PlonkError;
 use rand::RngCore;
@@ -96,12 +96,63 @@ pub fn create_proof_bound(
     rng: &mut impl RngCore,
     binding: &[u8],
 ) -> Result<Vec<u8>, PlonkError> {
+    if pk.vk.cs.num_committed > 0 {
+        return Err(PlonkError::Synthesis(
+            "circuit has committed columns; use create_proof_committed with \
+             the model's CommittedWeights"
+                .into(),
+        ));
+    }
+    create_proof_committed(
+        params,
+        pk,
+        witness,
+        rng,
+        binding,
+        &CommittedWeights::empty(),
+    )
+}
+
+/// Creates a proof for a circuit with committed (weight) columns.
+///
+/// `weights` is the prover side of a [`crate::keygen::WeightCommitment`]
+/// produced once per model by [`crate::keygen::commit_weights`]; its digest
+/// is absorbed into the transcript right after the verifying-key digest, so
+/// the proof verifies only against that exact published commitment. No
+/// weight interpolation or commitment work happens here — the per-proof
+/// weight cost is a handful of polynomial evaluations.
+pub fn create_proof_committed(
+    params: &Params,
+    pk: &ProvingKey,
+    witness: &dyn WitnessSource,
+    rng: &mut impl RngCore,
+    binding: &[u8],
+    weights: &CommittedWeights,
+) -> Result<Vec<u8>, PlonkError> {
     let cs = &pk.vk.cs;
     let domain = &pk.domains.domain;
     let n = domain.n;
     let usable = cs.usable_rows(n);
+    if weights.values.len() != cs.num_committed {
+        return Err(PlonkError::Synthesis(format!(
+            "expected {} committed columns, got {}",
+            cs.num_committed,
+            weights.values.len()
+        )));
+    }
+    for col in &weights.values {
+        if col.len() != n {
+            return Err(PlonkError::Synthesis(format!(
+                "committed column has {} rows but n = {n}",
+                col.len()
+            )));
+        }
+    }
     let mut transcript = Transcript::new(b"zkml-plonk");
     transcript.absorb(b"vk", &pk.vk.digest);
+    if cs.num_committed > 0 {
+        transcript.absorb(b"weights", &weights.digest);
+    }
     if !binding.is_empty() {
         transcript.absorb(b"bind", binding);
     }
@@ -306,6 +357,7 @@ pub fn create_proof_bound(
             Column::Instance(c) => instance[c][i],
             Column::Advice(c) => advice_values[c][i],
             Column::Fixed(c) => pk.fixed_values[c][i],
+            Column::Committed(c) => weights.values[c][i],
         }
     };
     let omega_powers = domain.elements();
@@ -505,6 +557,7 @@ pub fn create_proof_bound(
                             Column::Instance(c) => instance_ext[*c][i],
                             Column::Advice(c) => advice_ext[*c][i],
                             Column::Fixed(c) => pk.fixed_ext[*c][i],
+                            Column::Committed(c) => weights.ext[*c][i],
                         };
                         left *= v + beta * pk.sigma_ext[global][i] + gamma;
                         right *= v + beta * delta_powers[global] * coset_points[i] + gamma;
@@ -585,6 +638,7 @@ pub fn create_proof_bound(
         match id {
             PolyId::Advice(i) => &advice_polys[i],
             PolyId::Fixed(i) => &pk.fixed_polys[i],
+            PolyId::Committed(i) => &weights.polys[i],
             PolyId::Sigma(i) => &pk.sigma_polys[i],
             PolyId::PermZ(i) => &perm_z_polys[i],
             PolyId::LookupA(i) => &lookups[i].a_poly,

@@ -10,7 +10,7 @@
 
 use crate::circuit::{ConstraintSystem, Gate, Lookup};
 use crate::expression::{Column, Expression, Rotation};
-use crate::keygen::{ProvingKey, VerifyingKey};
+use crate::keygen::{ProvingKey, VerifyingKey, WeightCommitment};
 use crate::PlonkError;
 use zkml_pcs::{ReadError, Reader, Writer};
 
@@ -28,6 +28,10 @@ fn write_column(w: &mut Writer, c: &Column) {
             w.bytes(&[2]);
             w.u64(*i as u64);
         }
+        Column::Committed(i) => {
+            w.bytes(&[3]);
+            w.u64(*i as u64);
+        }
     }
 }
 
@@ -38,6 +42,7 @@ fn read_column(r: &mut Reader) -> Result<Column, ReadError> {
         0 => Ok(Column::Instance(i)),
         1 => Ok(Column::Advice(i)),
         2 => Ok(Column::Fixed(i)),
+        3 => Ok(Column::Committed(i)),
         _ => Err(ReadError("bad column tag")),
     }
 }
@@ -60,6 +65,10 @@ fn write_column32(w: &mut Writer, c: &Column) {
         }
         Column::Fixed(i) => {
             write_tag(w, 2);
+            w.u64(*i as u64);
+        }
+        Column::Committed(i) => {
+            write_tag(w, 3);
             w.u64(*i as u64);
         }
     }
@@ -157,6 +166,7 @@ pub fn write_cs(w: &mut Writer, cs: &ConstraintSystem) {
     w.u64(cs.num_instance as u64);
     w.u64(cs.num_advice as u64);
     w.u64(cs.num_fixed as u64);
+    w.u64(cs.num_committed as u64);
     w.u64(cs.num_challenges as u64);
     w.u64(cs.advice_phase.len() as u64);
     for p in &cs.advice_phase {
@@ -190,6 +200,7 @@ pub fn read_cs(r: &mut Reader) -> Result<ConstraintSystem, ReadError> {
     cs.num_instance = r.u64()? as usize;
     cs.num_advice = r.u64()? as usize;
     cs.num_fixed = r.u64()? as usize;
+    cs.num_committed = r.u64()? as usize;
     cs.num_challenges = r.u64()? as usize;
     let np = r.u64()? as usize;
     if np != cs.num_advice {
@@ -353,6 +364,47 @@ impl ProvingKey {
             return Err(ReadError("trailing bytes in proving key").into());
         }
         ProvingKey::from_parts(vk, fixed_values, sigma_values)
+    }
+}
+
+impl WeightCommitment {
+    /// Serializes a published weight commitment.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u32(self.k);
+        w.u64(self.commitments.len() as u64);
+        for c in &self.commitments {
+            w.g1(c);
+        }
+        w.bytes(&self.digest);
+        w.finish()
+    }
+
+    /// Deserializes a weight commitment, recomputing and checking its
+    /// digest so a corrupted file cannot masquerade as a published model.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ReadError> {
+        let mut r = Reader::new(bytes);
+        let k = r.u32()?;
+        let nc = r.u64()? as usize;
+        if nc > 1 << 20 {
+            return Err(ReadError("too many weight commitments"));
+        }
+        let commitments: Vec<_> = (0..nc).map(|_| r.g1()).collect::<Result<_, _>>()?;
+        let digest: [u8; 32] = r
+            .take_bytes(32)?
+            .try_into()
+            .map_err(|_| ReadError("bad weight digest"))?;
+        if !r.is_exhausted() {
+            return Err(ReadError("trailing bytes in weight commitment"));
+        }
+        if digest != WeightCommitment::compute_digest(k, &commitments) {
+            return Err(ReadError("weight commitment digest mismatch"));
+        }
+        Ok(WeightCommitment {
+            k,
+            commitments,
+            digest,
+        })
     }
 }
 

@@ -1,7 +1,7 @@
 //! Proof verification.
 
 use crate::expression::{Column, Expression, Rotation};
-use crate::keygen::VerifyingKey;
+use crate::keygen::{VerifyingKey, WeightCommitment};
 use crate::protocol::{opening_plan, PolyId};
 use crate::PlonkError;
 use zkml_curves::G1Affine;
@@ -44,7 +44,62 @@ pub fn verify_proof_deferred(
     proof: &[u8],
     binding: &[u8],
 ) -> Result<Verification, PlonkError> {
+    if vk.cs.num_committed > 0 {
+        return Err(PlonkError::Verify(
+            "circuit has committed columns; use verify_proof_committed with \
+             the published WeightCommitment"
+                .into(),
+        ));
+    }
+    verify_proof_committed(params, vk, instance, proof, binding, None)
+}
+
+/// Verifies a proof for a circuit with committed (weight) columns against a
+/// *published* [`WeightCommitment`], deferring the backend's final check.
+///
+/// Mirrors [`crate::prover::create_proof_committed`]: the commitment digest
+/// is absorbed right after the verifying-key digest, so a proof created
+/// under one weight commitment fails under any other — tampering with a
+/// single weight after publication changes the column commitment, the
+/// digest, and therefore every Fiat–Shamir challenge.
+pub fn verify_proof_committed(
+    params: &Params,
+    vk: &VerifyingKey,
+    instance: &[Vec<Fr>],
+    proof: &[u8],
+    binding: &[u8],
+    weights: Option<&WeightCommitment>,
+) -> Result<Verification, PlonkError> {
     let cs = &vk.cs;
+    let wc = match weights {
+        Some(wc) => {
+            if wc.k != vk.k {
+                return Err(PlonkError::Verify(format!(
+                    "weight commitment is for k = {} but circuit has k = {}",
+                    wc.k, vk.k
+                )));
+            }
+            if wc.commitments.len() != cs.num_committed {
+                return Err(PlonkError::Verify(format!(
+                    "weight commitment has {} columns but circuit has {}",
+                    wc.commitments.len(),
+                    cs.num_committed
+                )));
+            }
+            if wc.digest != WeightCommitment::compute_digest(wc.k, &wc.commitments) {
+                return Err(PlonkError::Verify(
+                    "weight commitment digest does not match its commitments".into(),
+                ));
+            }
+            Some(wc)
+        }
+        None if cs.num_committed > 0 => {
+            return Err(PlonkError::Verify(
+                "circuit has committed columns but no weight commitment was supplied".into(),
+            ));
+        }
+        None => None,
+    };
     let domain = EvaluationDomain::<Fr>::new(vk.k);
     let n = domain.n;
     let usable = cs.usable_rows(n);
@@ -61,6 +116,9 @@ pub fn verify_proof_deferred(
 
     let mut transcript = Transcript::new(b"zkml-plonk");
     transcript.absorb(b"vk", &vk.digest);
+    if let Some(wc) = wc {
+        transcript.absorb(b"weights", &wc.digest);
+    }
     if !binding.is_empty() {
         transcript.absorb(b"bind", binding);
     }
@@ -181,6 +239,7 @@ pub fn verify_proof_deferred(
         match col {
             Column::Advice(c) => find_eval(PolyId::Advice(c), rot.0),
             Column::Fixed(c) => find_eval(PolyId::Fixed(c), rot.0),
+            Column::Committed(c) => find_eval(PolyId::Committed(c), rot.0),
             Column::Instance(c) => instance_eval(c, rot.0),
         }
     };
@@ -299,6 +358,10 @@ pub fn verify_proof_deferred(
         match id {
             PolyId::Advice(i) => advice_commitments[i],
             PolyId::Fixed(i) => vk.fixed_commitments[i],
+            PolyId::Committed(i) => {
+                wc.expect("committed columns imply a commitment")
+                    .commitments[i]
+            }
             PolyId::Sigma(i) => vk.sigma_commitments[i],
             PolyId::PermZ(i) => perm_z[i],
             PolyId::LookupA(i) => lookup_a[i],

@@ -111,6 +111,7 @@ fn mul_chain_setup() -> (ConstraintSystem, Preprocessed, VecWitness, Vec<Vec<Fr>
         .collect();
 
     let pre = Preprocessed {
+        committed: Vec::new(),
         fixed: vec![vec![Fr::one(); rows]],
         copies,
     };
@@ -225,6 +226,7 @@ fn lookup_setup() -> (ConstraintSystem, Preprocessed, VecWitness) {
     // rows give the tuple (0, 0) which IS in the table (relu(0) = 0), so the
     // padding is safe for this test.
     let pre = Preprocessed {
+        committed: Vec::new(),
         fixed: vec![vec![Fr::one(); rows], tin, tout],
         copies: vec![],
     };
@@ -286,6 +288,7 @@ fn challenge_phase_circuit() {
         }),
     };
     let pre = Preprocessed {
+        committed: Vec::new(),
         fixed: vec![vec![Fr::one(); rows]],
         copies: vec![],
     };
@@ -339,6 +342,7 @@ fn multi_row_accumulator_circuit() {
     // q active on rows 0..rows; acc column has rows+1 values.
     let witness = VecWitness::simple(vec![], vec![(v, vals), (acc, accs)]);
     let pre = Preprocessed {
+        committed: Vec::new(),
         fixed: vec![vec![Fr::one(); rows]],
         copies: vec![],
     };

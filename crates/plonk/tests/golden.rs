@@ -126,6 +126,7 @@ fn mul_chain() -> (ConstraintSystem, Preprocessed, ChainWitness, Vec<Vec<Fr>>) {
         )))
         .collect();
     let pre = Preprocessed {
+        committed: Vec::new(),
         fixed: vec![vec![Fr::one(); rows]],
         copies,
     };

@@ -92,6 +92,7 @@ fn mul_chain() -> (ConstraintSystem, Preprocessed, VecWitness, Vec<Vec<Fr>>) {
         )))
         .collect();
     let pre = Preprocessed {
+        committed: Vec::new(),
         fixed: vec![vec![Fr::one(); rows]],
         copies,
     };
@@ -135,6 +136,7 @@ fn lookup_circuit() -> (ConstraintSystem, Preprocessed, VecWitness) {
     let xv: Vec<Fr> = xs.iter().map(|v| Fr::from_i64(*v)).collect();
     let yv: Vec<Fr> = xs.iter().map(|v| Fr::from_i64((*v).max(0))).collect();
     let pre = Preprocessed {
+        committed: Vec::new(),
         fixed: vec![vec![Fr::one(); xs.len()], tin, tout],
         copies: vec![],
     };

@@ -94,6 +94,7 @@ fn affine_chain(
         },
     ));
     let pre = Preprocessed {
+        committed: Vec::new(),
         fixed: vec![vec![Fr::ONE; coeffs.len()]],
         copies,
     };

@@ -156,6 +156,7 @@ fn mul_chain(coeffs: &[u64]) -> (ConstraintSystem, Preprocessed, VecWitness, Fr)
         },
     ));
     let pre = Preprocessed {
+        committed: Vec::new(),
         fixed: vec![vec![Fr::ONE; coeffs.len()]],
         copies,
     };

@@ -240,6 +240,36 @@ mod tests {
         }
     }
 
+    /// Regression: many pool tasks hitting a *cold* twiddle cache at once.
+    /// The `OnceLock` initializer must never schedule pool tasks — the
+    /// initializing worker would help-steal a sibling FFT task, re-enter the
+    /// same `OnceLock`, and deadlock the whole pool. Exercises the
+    /// commit-and-prove shape (fresh domain, immediate parallel column FFTs).
+    #[test]
+    fn cold_twiddle_cache_survives_concurrent_pool_ffts() {
+        let pool = zkml_par::Pool::new(2);
+        zkml_par::with_pool(&pool, || {
+            for round in 0u64..25 {
+                let d = EvaluationDomain::<Fr>::new(10);
+                let reference = {
+                    // A separate instance: its own cache, so `d` stays cold.
+                    let warm = EvaluationDomain::<Fr>::new(10);
+                    let mut v: Vec<Fr> = (0..d.n).map(|j| Fr::from(round + j as u64)).collect();
+                    warm.fft(&mut v);
+                    v
+                };
+                let cols = zkml_par::par_map(8, |_| {
+                    let mut v: Vec<Fr> = (0..d.n).map(|j| Fr::from(round + j as u64)).collect();
+                    d.fft(&mut v);
+                    v
+                });
+                for col in cols {
+                    assert_eq!(col, reference);
+                }
+            }
+        });
+    }
+
     /// Twiddle caches are shared by clones (one table per domain instance)
     /// but never leak across domains of different sizes.
     #[test]

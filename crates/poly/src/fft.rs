@@ -41,23 +41,22 @@ pub fn bitreverse(n: usize, bits: u32) -> usize {
     n.reverse_bits() >> (usize::BITS - bits)
 }
 
-/// Fills `out` with `1, w, w^2, ...`, chunked across the pool. Each chunk
-/// seeds itself with `w^start`, so the table is identical to the serial one.
-fn powers_into<F: FftField>(out: &mut [F], w: F) {
-    zkml_par::par_chunks_mut(out, PAR_CHUNK_MIN, |_, start, chunk| {
-        let mut acc = w.pow(&[start as u64]);
-        for slot in chunk.iter_mut() {
-            *slot = acc;
-            acc *= w;
-        }
-    });
-}
-
 /// Builds the twiddle table `1, ω, ω², …, ω^{n/2-1}` for a size-`n`
 /// transform. Domains cache this and pass it to [`fft_in_place_with`].
+///
+/// This runs inside the domains' `OnceLock` twiddle-cache initializers, so it
+/// must stay strictly serial: scheduling pool tasks from a `get_or_init`
+/// closure lets the initializing thread help-steal a sibling task that hits
+/// the same cold cache and re-enter the `OnceLock`, which deadlocks the pool.
+/// The build is a one-time per-domain cost; caching, not parallelism, is
+/// what makes it cheap.
 pub fn build_twiddles<F: FftField>(omega: F, n: usize) -> Vec<F> {
-    let mut tw = vec![F::one(); n / 2];
-    powers_into(&mut tw, omega);
+    let mut tw = Vec::with_capacity(n / 2);
+    let mut acc = F::one();
+    for _ in 0..n / 2 {
+        tw.push(acc);
+        acc *= omega;
+    }
     tw
 }
 

@@ -3,7 +3,9 @@
 //!
 //! A proof directory holds `proof.bin`, `vk.bin`, and `public.bin`; the
 //! public-values file carries the backend tag followed by the first
-//! instance column.
+//! instance column. Proofs of committed-weight circuits additionally get
+//! `commitment.bin` (the serialized `WeightCommitment` the proof verifies
+//! against — a committed proof is unverifiable without one).
 
 use crate::error::ServiceError;
 use crate::service::ProofArtifacts;
@@ -58,6 +60,10 @@ pub fn write_proof_dir(dir: &Path, artifacts: &ProofArtifacts) -> Result<(), Ser
     } else {
         std::fs::write(dir.join("proof.bin"), &artifacts.proof).map_err(io("write proof.bin"))?;
         std::fs::write(dir.join("vk.bin"), &artifacts.vk_bytes).map_err(io("write vk.bin"))?;
+    }
+    if !artifacts.weight_commitment.is_empty() {
+        std::fs::write(dir.join("commitment.bin"), &artifacts.weight_commitment)
+            .map_err(io("write commitment.bin"))?;
     }
     std::fs::write(
         dir.join("public.bin"),

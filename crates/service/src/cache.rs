@@ -2,8 +2,11 @@
 //! shared across workers behind `parking_lot::RwLock`s, with optional disk
 //! spill so a restarted service skips key generation entirely.
 //!
-//! Keys are cached under `(model content hash, backend, circuit digest)` —
-//! the exact inputs key generation depends on. The circuit digest
+//! Keys are cached under `(architecture hash, backend, circuit digest)` —
+//! the exact inputs key generation depends on. With weights living in
+//! committed columns, keygen never reads a weight value, so the namespace
+//! is `Graph::arch_hash()` (structure only): every weight set of one
+//! architecture shares a single cached proving key. The circuit digest
 //! ([`zkml::CompiledCircuit::circuit_digest`]) covers the optimizer's full
 //! layout choice and the serialized constraint system; the optimizer picks
 //! layouts from machine- and run-dependent timing measurements, so two runs
@@ -32,8 +35,10 @@ pub const SRS_SEED: u64 = 0x5151;
 /// Identity of a cached proving key.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ArtifactKey {
-    /// `Graph::content_hash()` of the model.
-    pub model_hash: [u8; 32],
+    /// `Graph::arch_hash()` of the model — the structure-only hash, so
+    /// models differing only in trained weights share this namespace (and
+    /// hence, when they compile to the same circuit, the proving key).
+    pub arch_hash: [u8; 32],
     /// Commitment backend the key was generated for.
     pub backend: Backend,
     /// log2 of the circuit's row count.
@@ -53,11 +58,11 @@ fn hex(bytes: &[u8]) -> String {
 }
 
 impl ArtifactKey {
-    /// The key identifying `compiled` (a compilation of the model hashing
-    /// to `model_hash`) for `backend`.
-    pub fn for_circuit(model_hash: [u8; 32], backend: Backend, compiled: &CompiledCircuit) -> Self {
+    /// The key identifying `compiled` (a compilation of the model whose
+    /// architecture hashes to `arch_hash`) for `backend`.
+    pub fn for_circuit(arch_hash: [u8; 32], backend: Backend, compiled: &CompiledCircuit) -> Self {
         Self {
-            model_hash,
+            arch_hash,
             backend,
             k: compiled.k,
             circuit: compiled.circuit_digest(),
@@ -70,9 +75,9 @@ impl ArtifactKey {
     /// [`ArtifactKey::for_circuit`] of the eventual compilation — key
     /// lookups (and keygen) can start as soon as the optimizer picks a
     /// plan.
-    pub fn for_plan(model_hash: [u8; 32], backend: Backend, plan: &zkml::LayoutPlan) -> Self {
+    pub fn for_plan(arch_hash: [u8; 32], backend: Backend, plan: &zkml::LayoutPlan) -> Self {
         Self {
-            model_hash,
+            arch_hash,
             backend,
             k: plan.k,
             circuit: plan.digest(),
@@ -87,7 +92,7 @@ impl ArtifactKey {
         };
         format!(
             "{}-{backend}-k{}-{}",
-            hex(&self.model_hash),
+            hex(&self.arch_hash),
             self.k,
             hex(&self.circuit)
         )
@@ -264,7 +269,7 @@ mod tests {
     #[test]
     fn file_stem_distinguishes_backend_k_and_circuit() {
         let key = |backend, k, circuit| ArtifactKey {
-            model_hash: [0xAB; 32],
+            arch_hash: [0xAB; 32],
             backend,
             k,
             circuit,

@@ -27,6 +27,14 @@ pub enum ServiceError {
     Prove(String),
     /// A proof failed verification.
     Verify(String),
+    /// A prove or verify job referenced a published model commitment that
+    /// does not match reality: unknown digest, weights that hash
+    /// differently from the published set, a circuit that no longer lines
+    /// up with the commitment, or a proof carrying a different commitment
+    /// than the one published. Distinct from [`ServiceError::Verify`] so
+    /// front ends can report "wrong model" (its own CLI exit code)
+    /// instead of a generic "bad proof".
+    CommitmentMismatch(String),
     /// The worker processing this job panicked; the service itself keeps
     /// running and the panic payload is reported here.
     WorkerPanicked(String),
@@ -57,6 +65,9 @@ impl std::fmt::Display for ServiceError {
             }
             ServiceError::Prove(msg) => write!(f, "proving failed: {msg}"),
             ServiceError::Verify(msg) => write!(f, "verification failed: {msg}"),
+            ServiceError::CommitmentMismatch(msg) => {
+                write!(f, "model commitment mismatch: {msg}")
+            }
             ServiceError::WorkerPanicked(msg) => write!(f, "worker panicked: {msg}"),
             ServiceError::Cancelled => write!(f, "job cancelled"),
             ServiceError::Shutdown => write!(f, "service is shutting down"),

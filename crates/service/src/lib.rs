@@ -4,7 +4,7 @@
 //! The paper's CLI workflow (§8) pays layout search and key generation on
 //! every invocation. This crate amortizes that cost across requests:
 //!
-//! * an **artifact cache** ([`cache`]) keyed by `(model content hash,
+//! * an **artifact cache** ([`cache`]) keyed by `(architecture hash,
 //!   backend, circuit digest)` holds SRS and proving/verifying keys behind
 //!   `parking_lot::RwLock`s, validates cached keys against the compiled
 //!   circuit, and spills proving keys to disk (via `zkml_plonk::serialize`)
@@ -14,6 +14,10 @@
 //!   per-job deadlines, and isolates worker panics from the service;
 //! * a **batched verification path** ([`verify`]) checks queued proofs for
 //!   the same verifying key together;
+//! * a **model-commitment registry** ([`registry`]) holds published weight
+//!   commitments: `CommitModel` jobs pay weight encoding and commitment
+//!   once, later prove jobs reference the digest and reuse the encodings,
+//!   and verify jobs check proofs against the *published* commitment;
 //! * a **metrics layer** ([`stats`]) tracks jobs, queue depth, cache hit
 //!   rate, and prove-latency percentiles as a serializable snapshot.
 //!
@@ -23,6 +27,7 @@
 pub mod artifact;
 pub mod cache;
 pub mod error;
+pub mod registry;
 pub mod service;
 pub mod stats;
 pub mod verify;
@@ -30,6 +35,7 @@ pub mod verify;
 pub use artifact::{decode_public, encode_public, write_proof_dir};
 pub use cache::{pk_matches_circuit, ArtifactCache, ArtifactKey, CacheOutcome, SRS_SEED};
 pub use error::ServiceError;
+pub use registry::{ModelEntry, ModelRegistry};
 pub use service::{
     CancelToken, JobHandle, JobKind, JobResult, JobSpec, ProofArtifacts, ProvingService,
     ServiceConfig,

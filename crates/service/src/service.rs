@@ -4,6 +4,7 @@
 
 use crate::cache::{pk_matches_circuit, ArtifactCache, ArtifactKey, CacheOutcome};
 use crate::error::ServiceError;
+use crate::registry::{ModelEntry, ModelRegistry};
 use crate::stats::{ServiceStats, StatsSnapshot};
 use crate::verify::{BatchReport, BatchVerifier, PendingProof};
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
@@ -63,6 +64,24 @@ pub enum JobKind {
         backend: Backend,
         /// Seed for the synthetic quantized inputs and proof randomness.
         seed: u64,
+        /// Digest of a *published* model commitment to prove under. When
+        /// set, the graph's weights must hash to exactly the published
+        /// set (otherwise the job fails with
+        /// [`ServiceError::CommitmentMismatch`]) and proving reuses the
+        /// registry's pre-encoded weights — no per-proof weight encoding
+        /// or commitment work.
+        model: Option<[u8; 32]>,
+    },
+    /// Publish `graph`'s weight commitment: compile it, commit the weight
+    /// columns once, warm the (weight-independent) proving key, and
+    /// register the commitment so later prove/verify jobs can reference
+    /// it by digest. The artifacts carry the serialized commitment and
+    /// its digest but no proof.
+    CommitModel {
+        /// The model graph.
+        graph: Arc<Graph>,
+        /// Commitment backend.
+        backend: Backend,
     },
     /// Optimize, compile, and prove one inference of `graph` as a chain of
     /// segment proofs (see `zkml-shard`): the model is cut at tensor
@@ -93,6 +112,16 @@ pub enum JobKind {
         public: Vec<Fr>,
         /// Proof bytes, or the serialized bundle when `vk` is empty.
         proof: Vec<u8>,
+        /// Digest of the published model commitment to verify against.
+        /// Required semantics: when set, the proof is accepted only if it
+        /// verifies against exactly that published commitment.
+        model: Option<[u8; 32]>,
+        /// Serialized [`zkml_plonk::WeightCommitment`] carried alongside
+        /// the proof (what the prover claims it proved under); empty when
+        /// absent. When `model` is also set, a disagreement between the
+        /// two is a [`ServiceError::CommitmentMismatch`] before any
+        /// pairing work.
+        weight_commitment: Vec<u8>,
     },
     /// Occupy a worker for the given duration (health checks and tests).
     Sleep(Duration),
@@ -153,7 +182,28 @@ impl JobSpec {
             graph,
             backend,
             seed,
+            model: None,
         })
+    }
+
+    /// A proving job for `graph` under the published commitment `model`.
+    pub fn prove_committed(
+        graph: Arc<Graph>,
+        backend: Backend,
+        seed: u64,
+        model: [u8; 32],
+    ) -> Self {
+        Self::new(JobKind::Prove {
+            graph,
+            backend,
+            seed,
+            model: Some(model),
+        })
+    }
+
+    /// A commit-model (publication) job for `graph`.
+    pub fn commit_model(graph: Arc<Graph>, backend: Backend) -> Self {
+        Self::new(JobKind::CommitModel { graph, backend })
     }
 
     /// A segmented proving job for `graph`.
@@ -213,6 +263,13 @@ pub struct ProofArtifacts {
     /// The full bundle for segmented jobs (`proof` holds its serialized
     /// form); `None` for monolithic jobs.
     pub bundle: Option<SegmentedProof>,
+    /// Serialized [`zkml_plonk::WeightCommitment`] the proof verifies
+    /// against (commit-model jobs: the freshly published commitment).
+    /// Empty for circuits without committed columns and for segmented
+    /// bundles, whose per-segment commitments live inside the bundle.
+    pub weight_commitment: Vec<u8>,
+    /// The published commitment digest this job referenced or produced.
+    pub model_digest: Option<[u8; 32]>,
 }
 
 /// Outcome of a job: proof artifacts for proving jobs, `None` for
@@ -272,6 +329,7 @@ struct WorkerCtx {
     cache: ArtifactCache,
     stats: ServiceStats,
     verifier: BatchVerifier,
+    registry: ModelRegistry,
     max_k: u32,
     verify_after_prove: bool,
     proof_entropy: u64,
@@ -315,6 +373,7 @@ impl ProvingService {
             cache,
             stats: ServiceStats::new(),
             verifier: BatchVerifier::new(),
+            registry: ModelRegistry::new(),
             max_k: cfg.max_k,
             verify_after_prove: cfg.verify_after_prove,
             proof_entropy: process_entropy(),
@@ -416,6 +475,13 @@ impl ProvingService {
     /// The shared artifact cache.
     pub fn cache(&self) -> &ArtifactCache {
         &self.ctx.cache
+    }
+
+    /// The registry of published model commitments. Populated by
+    /// [`JobKind::CommitModel`] jobs; front ends read it to list models
+    /// and resolve digests.
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.ctx.registry
     }
 
     /// Number of jobs waiting in the queue.
@@ -530,7 +596,11 @@ fn run_job(ctx: &WorkerCtx, job: &Job) -> JobResult {
             graph,
             backend,
             seed,
-        } => prove_job(ctx, job, graph, *backend, *seed).map(Some),
+            model,
+        } => prove_job(ctx, job, graph, *backend, *seed, *model).map(Some),
+        JobKind::CommitModel { graph, backend } => {
+            commit_model_job(ctx, job, graph, *backend).map(Some)
+        }
         JobKind::ProveSegmented {
             graph,
             backend,
@@ -542,19 +612,74 @@ fn run_job(ctx: &WorkerCtx, job: &Job) -> JobResult {
             vk,
             public,
             proof,
-        } => verify_job(ctx, *backend, vk, public, proof).map(|()| None),
+            model,
+            weight_commitment,
+        } => verify_job(ctx, *backend, vk, public, proof, *model, weight_commitment).map(|()| None),
     }
+}
+
+/// Resolves the weight commitment a monolithic verify job must check its
+/// proof against: the *published* one when a model digest is referenced
+/// (with the prover-carried copy cross-checked against it), otherwise the
+/// prover-carried commitment alone. Committed circuits with neither are
+/// rejected — there is nothing sound to verify against.
+fn resolve_commitment(
+    ctx: &WorkerCtx,
+    vk: &zkml_plonk::VerifyingKey,
+    model: Option<[u8; 32]>,
+    carried: &[u8],
+) -> Result<Option<zkml_plonk::WeightCommitment>, ServiceError> {
+    let mismatch = |msg: String| {
+        ctx.stats.record_rejected_commitment();
+        ServiceError::CommitmentMismatch(msg)
+    };
+    let carried = if carried.is_empty() {
+        None
+    } else {
+        Some(
+            zkml_plonk::WeightCommitment::from_bytes(carried)
+                .map_err(|e| mismatch(format!("parse weight commitment: {e}")))?,
+        )
+    };
+    if let Some(digest) = model {
+        let entry = ctx
+            .registry
+            .get(&digest)
+            .ok_or_else(|| mismatch(format!("no published model {}", hex32(&digest))))?;
+        if let Some(c) = &carried {
+            if c.digest != entry.commitment.digest {
+                return Err(mismatch(format!(
+                    "proof carries commitment {} but model {} was published",
+                    hex32(&c.digest),
+                    hex32(&entry.commitment.digest),
+                )));
+            }
+        }
+        return Ok(Some(entry.commitment.clone()));
+    }
+    if vk.cs.num_committed > 0 && carried.is_none() {
+        return Err(mismatch(
+            "proof is for a committed-weight circuit but no model digest or \
+             weight commitment was supplied"
+                .into(),
+        ));
+    }
+    Ok(carried)
 }
 
 /// Runs a standalone verification job: a monolithic triple when `vk` is
 /// non-empty, a segmented bundle otherwise. Params come from the shared
-/// cache, so repeated verify jobs skip SRS regeneration.
+/// cache, so repeated verify jobs skip SRS regeneration. Committed-weight
+/// proofs verify against the published commitment for `model` (or the
+/// prover-carried one when no digest is referenced).
 fn verify_job(
     ctx: &WorkerCtx,
     backend: Backend,
     vk: &[u8],
     public: &[Fr],
     proof: &[u8],
+    model: Option<[u8; 32]>,
+    weight_commitment: &[u8],
 ) -> Result<(), ServiceError> {
     if vk.is_empty() {
         let bundle = SegmentedProof::from_bytes(proof)
@@ -572,19 +697,45 @@ fn verify_job(
     } else {
         let vk = zkml_plonk::VerifyingKey::from_bytes(vk)
             .map_err(|e| ServiceError::Verify(format!("parse vk: {e}")))?;
+        let wc = resolve_commitment(ctx, &vk, model, weight_commitment)?;
         let params = ctx.cache.params(backend, vk.k);
         let instance = public.to_vec();
-        match zkml_plonk::verify_proof(&params, &vk, std::slice::from_ref(&instance), proof) {
+        let outcome = zkml_plonk::verify_proof_committed(
+            &params,
+            &vk,
+            std::slice::from_ref(&instance),
+            proof,
+            &[],
+            wc.as_ref(),
+        )
+        .map_err(|e| e.to_string())
+        .and_then(|v| {
+            if v.settle(&params) {
+                Ok(())
+            } else {
+                Err("pairing check failed".to_string())
+            }
+        });
+        match outcome {
             Ok(()) => {
                 ctx.stats.record_verified(1, 0);
                 Ok(())
             }
             Err(e) => {
                 ctx.stats.record_verified(0, 1);
-                Err(ServiceError::Verify(e.to_string()))
+                Err(ServiceError::Verify(e))
             }
         }
     }
+}
+
+/// Lowercase hex of a 32-byte digest (for error messages).
+fn hex32(bytes: &[u8; 32]) -> String {
+    let mut out = String::with_capacity(64);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
 }
 
 /// Synthetic quantized inputs for a proving job, derived from the request
@@ -608,13 +759,25 @@ fn synthetic_inputs(graph: &Graph, scale_bits: u32, seed: u64) -> Vec<Tensor<i64
         .collect()
 }
 
-fn prove_job(
+/// Compiles `graph` (optimize → synthesize → determinism gate) and fetches
+/// its proving key through the arch-keyed artifact cache. Shared by the
+/// prove and commit-model paths so both agree byte-for-byte on the circuit
+/// a model compiles to.
+fn compile_and_key(
     ctx: &WorkerCtx,
     job: &Job,
     graph: &Graph,
     backend: Backend,
     seed: u64,
-) -> Result<ProofArtifacts, ServiceError> {
+) -> Result<
+    (
+        zkml::CompiledCircuit,
+        Arc<zkml_pcs::Params>,
+        Arc<zkml_plonk::ProvingKey>,
+        CacheOutcome,
+    ),
+    ServiceError,
+> {
     // Inputs first: the optimizer lowers the graph exactly once, and by
     // handing it the real inputs that single schedule also carries the
     // witness values for final synthesis.
@@ -642,13 +805,16 @@ fn prove_job(
     // digest (layout choice + constraint system), not just k, and a cached
     // key is still validated against the compiled circuit before use: a
     // stale spill file must fall back to keygen, never produce a proof
-    // under a mismatched key. The winning plan's digest is byte-identical
-    // to the compiled circuit's, so the key could equally be derived
-    // before synthesis via ArtifactKey::for_plan.
-    let key = ArtifactKey::for_plan(graph.content_hash(), backend, &report.best_plan);
+    // under a mismatched key. The namespace is the *architecture* hash:
+    // weights live in committed columns that keygen never reads, so two
+    // weight sets of one architecture share a single cached key. The
+    // winning plan's digest is byte-identical to the compiled circuit's,
+    // so the key could equally be derived before synthesis via
+    // ArtifactKey::for_plan.
+    let key = ArtifactKey::for_plan(graph.arch_hash(), backend, &report.best_plan);
     debug_assert_eq!(
         key,
-        ArtifactKey::for_circuit(graph.content_hash(), backend, &compiled)
+        ArtifactKey::for_circuit(graph.arch_hash(), backend, &compiled)
     );
     let params = ctx.cache.params(backend, compiled.k);
     let (pk, cache_outcome) = ctx.cache.get_or_generate(
@@ -667,6 +833,101 @@ fn prove_job(
     }
     check_cancelled(job)?;
     check_deadline(job)?;
+    Ok((compiled, params, pk, cache_outcome))
+}
+
+/// Publishes `graph`'s weight commitment: compile, warm the proving key,
+/// commit the committed-column plane once, and register the result.
+fn commit_model_job(
+    ctx: &WorkerCtx,
+    job: &Job,
+    graph: &Graph,
+    backend: Backend,
+) -> Result<ProofArtifacts, ServiceError> {
+    // Publication uses a fixed input seed: layouts (and hence the circuit
+    // and commitment) are input-independent, so any seed compiles the same
+    // circuit — see the determinism notes in the optimizer.
+    let t = Instant::now();
+    let (compiled, params, _pk, cache_outcome) = compile_and_key(ctx, job, graph, backend, 0)?;
+    if !compiled.has_committed() {
+        return Err(ServiceError::CommitmentMismatch(format!(
+            "model '{}' has no weight columns to commit",
+            graph.name
+        )));
+    }
+    let (wc, weights) = compiled
+        .commit_weights(&params)
+        .map_err(|e| ServiceError::Prove(e.to_string()))?;
+    let entry = ModelEntry {
+        digest: wc.digest,
+        model: graph.name.clone(),
+        model_hash: graph.content_hash(),
+        arch_hash: graph.arch_hash(),
+        backend,
+        k: compiled.k,
+        circuit: compiled.circuit_digest(),
+        commitment: wc.clone(),
+        values_digest: compiled.committed_values_digest(),
+        weights: Arc::new(weights),
+    };
+    let digest = ctx.registry.publish(entry);
+    Ok(ProofArtifacts {
+        job_id: job.id,
+        model: graph.name.clone(),
+        backend,
+        k: compiled.k,
+        proof: Vec::new(),
+        vk_bytes: Vec::new(),
+        public: Vec::new(),
+        cache: cache_outcome,
+        prove_ms: t.elapsed().as_millis() as u64,
+        segments: 0,
+        bundle: None,
+        weight_commitment: wc.to_bytes(),
+        model_digest: Some(digest),
+    })
+}
+
+fn prove_job(
+    ctx: &WorkerCtx,
+    job: &Job,
+    graph: &Graph,
+    backend: Backend,
+    seed: u64,
+    model: Option<[u8; 32]>,
+) -> Result<ProofArtifacts, ServiceError> {
+    let mismatch = |msg: String| {
+        ctx.stats.record_rejected_commitment();
+        ServiceError::CommitmentMismatch(msg)
+    };
+    // Resolve the published commitment *before* compiling, so an unknown
+    // digest fails fast.
+    let entry = match model {
+        Some(digest) => {
+            let entry = ctx
+                .registry
+                .get(&digest)
+                .ok_or_else(|| mismatch(format!("no published model {}", hex32(&digest))))?;
+            if entry.backend != backend {
+                return Err(mismatch(format!(
+                    "model {} was published for {:?}, job asks for {:?}",
+                    hex32(&digest),
+                    entry.backend,
+                    backend
+                )));
+            }
+            if entry.arch_hash != graph.arch_hash() {
+                return Err(mismatch(format!(
+                    "graph architecture does not match published model {}",
+                    hex32(&digest)
+                )));
+            }
+            Some(entry)
+        }
+        None => None,
+    };
+
+    let (compiled, params, pk, cache_outcome) = compile_and_key(ctx, job, graph, backend, seed)?;
 
     // Prove. No deadline check afterwards: a finished proof is returned
     // even if it came in late — the submitter can still discard it.
@@ -678,9 +939,56 @@ fn prove_job(
     // property regardless.
     let t = Instant::now();
     let mut proof_rng = StdRng::seed_from_u64(seed ^ ctx.proof_entropy ^ 0x9E37_79B9_7F4A_7C15);
-    let proof = compiled
-        .prove(&params, &pk, &mut proof_rng)
-        .map_err(|e| ServiceError::Prove(e.to_string()))?;
+    let (proof, pending_wc, wc_bytes) = match &entry {
+        Some(entry) => {
+            // The committed-weight plane must be byte-identical to what
+            // was published: same circuit layout (column alignment) and
+            // same weight values. The values check is pure hashing — a
+            // tampered weight is caught before any proving work.
+            if entry.circuit != compiled.circuit_digest() {
+                return Err(mismatch(format!(
+                    "compiled circuit diverged from published model {} \
+                     (layout drift; republish the commitment)",
+                    hex32(&entry.digest)
+                )));
+            }
+            if entry.values_digest != compiled.committed_values_digest() {
+                return Err(mismatch(format!(
+                    "graph weights do not hash to published model {}",
+                    hex32(&entry.digest)
+                )));
+            }
+            // Commit-once/prove-many: reuse the registry's pre-encoded
+            // weights — zero weight encodings, zero commitment MSMs here.
+            let proof = compiled
+                .prove_with_weights(&params, &pk, &mut proof_rng, &[], &entry.weights)
+                .map_err(|e| ServiceError::Prove(e.to_string()))?;
+            (
+                proof,
+                Some(entry.commitment.clone()),
+                entry.commitment.to_bytes(),
+            )
+        }
+        None if compiled.has_committed() => {
+            // No published reference: commit inline for this job and carry
+            // the commitment in the artifacts so the proof stays
+            // verifiable.
+            let (wc, weights) = compiled
+                .commit_weights(&params)
+                .map_err(|e| ServiceError::Prove(e.to_string()))?;
+            let proof = compiled
+                .prove_with_weights(&params, &pk, &mut proof_rng, &[], &weights)
+                .map_err(|e| ServiceError::Prove(e.to_string()))?;
+            let wc_bytes = wc.to_bytes();
+            (proof, Some(wc), wc_bytes)
+        }
+        None => {
+            let proof = compiled
+                .prove(&params, &pk, &mut proof_rng)
+                .map_err(|e| ServiceError::Prove(e.to_string()))?;
+            (proof, None, Vec::new())
+        }
+    };
     let prove_ms = t.elapsed().as_millis() as u64;
     ctx.stats.record_prove_latency_ms(prove_ms);
 
@@ -692,6 +1000,7 @@ fn prove_job(
                 job_id: job.id,
                 instance: compiled.instance().to_vec(),
                 proof: proof.clone(),
+                weights: pending_wc,
             },
         );
     }
@@ -708,6 +1017,8 @@ fn prove_job(
         prove_ms,
         segments: 1,
         bundle: None,
+        weight_commitment: wc_bytes,
+        model_digest: model,
     })
 }
 
@@ -718,6 +1029,11 @@ fn prove_job(
 /// job skips keygen for every segment.
 struct CacheKeySource<'a> {
     ctx: &'a WorkerCtx,
+    /// Cache namespace: the graph's *architecture* hash, not the content
+    /// hash `prove_compiled` stamps into the bundle — segment proving keys
+    /// are weight-independent, so weight sets of one architecture share
+    /// every segment's cached key.
+    arch_hash: [u8; 32],
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -729,13 +1045,13 @@ impl KeySource for CacheKeySource<'_> {
 
     fn proving_key(
         &self,
-        model_hash: [u8; 32],
+        _model_hash: [u8; 32],
         backend: Backend,
         plan: &zkml::LayoutPlan,
         compiled: &zkml::CompiledCircuit,
         params: &zkml_pcs::Params,
     ) -> Result<Arc<zkml_plonk::ProvingKey>, zkml::ZkmlError> {
-        let key = ArtifactKey::for_plan(model_hash, backend, plan);
+        let key = ArtifactKey::for_plan(self.arch_hash, backend, plan);
         let (pk, outcome) = self.ctx.cache.get_or_generate(
             key,
             |pk| pk_matches_circuit(pk, compiled),
@@ -781,6 +1097,7 @@ fn prove_segmented_job(
 
     let keys = CacheKeySource {
         ctx,
+        arch_hash: graph.arch_hash(),
         hits: AtomicU64::new(0),
         misses: AtomicU64::new(0),
     };
@@ -830,5 +1147,9 @@ fn prove_segmented_job(
         prove_ms,
         segments: nsegs,
         bundle: Some(bundle),
+        // Per-segment weight commitments live inside the bundle, chained
+        // into its digest; there is no single monolithic commitment.
+        weight_commitment: Vec::new(),
+        model_digest: None,
     })
 }

@@ -17,6 +17,7 @@ pub struct ServiceStats {
     jobs_completed: AtomicU64,
     jobs_failed: AtomicU64,
     jobs_rejected_busy: AtomicU64,
+    jobs_rejected_commitment: AtomicU64,
     jobs_timed_out: AtomicU64,
     jobs_cancelled: AtomicU64,
     worker_panics: AtomicU64,
@@ -45,6 +46,10 @@ impl ServiceStats {
     }
     pub(crate) fn record_rejected_busy(&self) {
         self.jobs_rejected_busy.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn record_rejected_commitment(&self) {
+        self.jobs_rejected_commitment
+            .fetch_add(1, Ordering::Relaxed);
     }
     pub(crate) fn record_timed_out(&self) {
         self.jobs_timed_out.fetch_add(1, Ordering::Relaxed);
@@ -90,6 +95,7 @@ impl ServiceStats {
             jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
             jobs_failed: self.jobs_failed.load(Ordering::Relaxed),
             jobs_rejected_busy: self.jobs_rejected_busy.load(Ordering::Relaxed),
+            jobs_rejected_commitment: self.jobs_rejected_commitment.load(Ordering::Relaxed),
             jobs_timed_out: self.jobs_timed_out.load(Ordering::Relaxed),
             jobs_cancelled: self.jobs_cancelled.load(Ordering::Relaxed),
             worker_panics: self.worker_panics.load(Ordering::Relaxed),
@@ -141,6 +147,9 @@ pub struct StatsSnapshot {
     pub jobs_failed: u64,
     /// Submissions rejected because the queue was full.
     pub jobs_rejected_busy: u64,
+    /// Jobs rejected for referencing a model commitment that did not match
+    /// (unknown digest, tampered weights, or a foreign commitment).
+    pub jobs_rejected_commitment: u64,
     /// Jobs abandoned for missing their deadline.
     pub jobs_timed_out: u64,
     /// Jobs cancelled by their submitter before finishing.
@@ -174,7 +183,8 @@ impl StatsSnapshot {
                 "{{\"threads\":{},\"par_tasks_executed\":{},\"par_steals\":{},",
                 "\"par_busy_fraction\":{:.4},",
                 "\"jobs_submitted\":{},\"jobs_completed\":{},\"jobs_failed\":{},",
-                "\"jobs_rejected_busy\":{},\"jobs_timed_out\":{},\"jobs_cancelled\":{},",
+                "\"jobs_rejected_busy\":{},\"jobs_rejected_commitment\":{},",
+                "\"jobs_timed_out\":{},\"jobs_cancelled\":{},",
                 "\"worker_panics\":{},",
                 "\"cache_hits\":{},\"cache_misses\":{},\"cache_hit_rate\":{:.4},",
                 "\"proofs_verified\":{},\"verify_failures\":{},\"queue_depth\":{},",
@@ -188,6 +198,7 @@ impl StatsSnapshot {
             self.jobs_completed,
             self.jobs_failed,
             self.jobs_rejected_busy,
+            self.jobs_rejected_commitment,
             self.jobs_timed_out,
             self.jobs_cancelled,
             self.worker_panics,
@@ -256,6 +267,7 @@ mod tests {
             "par_steals",
             "par_busy_fraction",
             "jobs_submitted",
+            "jobs_rejected_commitment",
             "cache_hit_rate",
             "prove_p50_ms",
             "prove_p95_ms",

@@ -5,7 +5,9 @@
 //! holding the key's commitments hot in cache, walking the constraint
 //! system — is paid once per batch instead of once per proof. On top of
 //! that, each KZG proof's verification is run *deferred*
-//! ([`zkml_plonk::verify_proof_deferred`]): the transcript replay and MSM
+//! ([`zkml_plonk::verify_proof_committed`], which checks committed-weight
+//! circuits against their published [`WeightCommitment`]): the transcript
+//! replay and MSM
 //! accumulation happen per proof, but the final pairing check is collected
 //! as a [`zkml_pcs::KzgAccumulator`] and the whole flush settles with one
 //! multi-pairing via [`zkml_pcs::batch_check`] — across groups, since the
@@ -19,7 +21,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use zkml_ff::Fr;
 use zkml_pcs::{batch_check, KzgAccumulator, Params, Verification};
-use zkml_plonk::{verify_proof_deferred, ProvingKey};
+use zkml_plonk::{verify_proof_committed, ProvingKey, WeightCommitment};
 
 /// A proof waiting for verification.
 pub struct PendingProof {
@@ -29,6 +31,9 @@ pub struct PendingProof {
     pub instance: Vec<Vec<Fr>>,
     /// The proof bytes.
     pub proof: Vec<u8>,
+    /// The published weight commitment the proof must verify against;
+    /// `None` for circuits without committed columns.
+    pub weights: Option<WeightCommitment>,
 }
 
 struct Group {
@@ -122,7 +127,14 @@ impl BatchVerifier {
         for group in drained {
             let vk = &group.pk.vk;
             for p in group.pending {
-                match verify_proof_deferred(&group.params, vk, &p.instance, &p.proof, &[]) {
+                match verify_proof_committed(
+                    &group.params,
+                    vk,
+                    &p.instance,
+                    &p.proof,
+                    &[],
+                    p.weights.as_ref(),
+                ) {
                     Ok(Verification::Complete) => {
                         report.verified += 1;
                         report.outcomes.push(BatchOutcome {

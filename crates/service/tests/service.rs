@@ -184,7 +184,7 @@ fn mismatched_layout_never_reuses_cached_key() {
     assert_eq!(a.circuit_digest(), a2.circuit_digest());
     assert_ne!(a.circuit_digest(), b.circuit_digest());
 
-    let hash = graph.content_hash();
+    let hash = graph.arch_hash();
     let key_a = ArtifactKey::for_circuit(hash, Backend::Kzg, &a);
     let key_b = ArtifactKey::for_circuit(hash, Backend::Kzg, &b);
     assert_ne!(key_a, key_b);
@@ -479,12 +479,17 @@ fn verify_job_accepts_good_and_rejects_bad_proofs() {
         .unwrap()
         .unwrap();
 
+    // The model carries weights, so the proof is for a committed-weight
+    // circuit: verification needs the commitment the artifacts carry.
+    assert!(!artifacts.weight_commitment.is_empty());
     let good = service
         .submit(JobSpec::new(JobKind::Verify {
             backend: artifacts.backend,
             vk: artifacts.vk_bytes.clone(),
             public: artifacts.public.clone(),
             proof: artifacts.proof.clone(),
+            model: None,
+            weight_commitment: artifacts.weight_commitment.clone(),
         }))
         .unwrap();
     assert!(good.wait().is_ok());
@@ -497,6 +502,8 @@ fn verify_job_accepts_good_and_rejects_bad_proofs() {
             vk: artifacts.vk_bytes.clone(),
             public: artifacts.public.clone(),
             proof: bad_proof,
+            model: None,
+            weight_commitment: artifacts.weight_commitment.clone(),
         }))
         .unwrap();
     assert!(bad.wait().is_err());

@@ -24,6 +24,11 @@ pub struct SegmentProof {
     pub boundary_in_len: u32,
     /// The segment's single public-instance column.
     pub instance: Vec<Fr>,
+    /// The segment's serialized [`zkml_plonk::WeightCommitment`] when its
+    /// circuit carries committed weight columns; empty otherwise. Covered
+    /// by the chain digest, so splicing a segment proved under different
+    /// weights into the bundle breaks every segment's binding.
+    pub weight_commitment: Vec<u8>,
     /// The plonk proof, created bound to this bundle's chain digest and
     /// this segment's position (see [`segment_binding`]).
     pub proof: Vec<u8>,
@@ -62,7 +67,8 @@ fn backend_from_tag(t: u32) -> Result<Backend, ShardError> {
 
 impl SegmentedProof {
     /// Digest binding the whole chain: model hash, backend, segment count,
-    /// and every segment's `(k, verifying key, boundary split, instance)`.
+    /// and every segment's `(k, verifying key, boundary split, instance,
+    /// weight commitment)`.
     ///
     /// Proof bytes are deliberately excluded — the digest is an *input* to
     /// proving (each segment proof is transcript-bound to it), so it can
@@ -83,9 +89,11 @@ impl SegmentedProof {
             for v in &s.instance {
                 w.scalar(v);
             }
+            w.u64(s.weight_commitment.len() as u64);
+            w.bytes(&s.weight_commitment);
         }
         let mut h = zkml_transcript::Blake2b::new();
-        h.update(b"zkml-segment-chain-v1");
+        h.update(b"zkml-segment-chain-v2");
         h.update(&w.finish());
         let digest = h.finalize();
         let mut out = [0u8; 32];
@@ -97,7 +105,7 @@ impl SegmentedProof {
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut w = Writer::new();
         w.u32(u32::from_be_bytes(*b"ZKSB"));
-        w.u32(1); // format version
+        w.u32(2); // format version (2: per-segment weight commitments)
         w.bytes(&self.model_hash);
         w.u32(backend_tag(self.backend));
         w.u32(self.segments.len() as u32);
@@ -110,6 +118,8 @@ impl SegmentedProof {
             for v in &s.instance {
                 w.scalar(v);
             }
+            w.u64(s.weight_commitment.len() as u64);
+            w.bytes(&s.weight_commitment);
             w.u64(s.proof.len() as u64);
             w.bytes(&s.proof);
         }
@@ -123,9 +133,10 @@ impl SegmentedProof {
             return Err(ShardError::Malformed("bad bundle magic".into()));
         }
         let version = r.u32()?;
-        if version != 1 {
+        if version != 2 {
             return Err(ShardError::Malformed(format!(
-                "unsupported bundle version {version}"
+                "unsupported bundle version {version} (expected 2; version 1 \
+                 bundles predate weight commitments and must be re-proved)"
             )));
         }
         let model_hash: [u8; 32] = r
@@ -160,6 +171,11 @@ impl SegmentedProof {
                     "boundary prefix longer than instance column".into(),
                 ));
             }
+            let wc_len = r.u64()? as usize;
+            if wc_len > 1 << 28 {
+                return Err(ShardError::Malformed("weight commitment too long".into()));
+            }
+            let weight_commitment = r.take_bytes(wc_len)?.to_vec();
             let proof_len = r.u64()? as usize;
             if proof_len > 1 << 28 {
                 return Err(ShardError::Malformed("proof too long".into()));
@@ -170,6 +186,7 @@ impl SegmentedProof {
                 vk_bytes,
                 boundary_in_len,
                 instance,
+                weight_commitment,
                 proof,
             });
         }
@@ -223,6 +240,7 @@ mod tests {
                     vk_bytes: vec![1, 2, 3],
                     boundary_in_len: 0,
                     instance: vec![Fr::from_u64(10), Fr::from_u64(20)],
+                    weight_commitment: vec![0xAA, 0xBB],
                     proof: vec![9, 9],
                 },
                 SegmentProof {
@@ -230,6 +248,7 @@ mod tests {
                     vk_bytes: vec![4, 5],
                     boundary_in_len: 2,
                     instance: vec![Fr::from_u64(10), Fr::from_u64(20), Fr::from_u64(30)],
+                    weight_commitment: Vec::new(),
                     proof: vec![8],
                 },
             ],
@@ -287,6 +306,52 @@ mod tests {
         let mut s = b.clone();
         s.segments.swap(0, 1);
         assert_ne!(s.chain_digest(), base);
+        // A different (or missing) weight commitment is a different chain:
+        // splicing a foreign segment's weights can't preserve bindings.
+        let mut wc = b.clone();
+        wc.segments[0].weight_commitment[0] ^= 1;
+        assert_ne!(wc.chain_digest(), base);
+        let mut wd = b.clone();
+        wd.segments[0].weight_commitment.clear();
+        assert_ne!(wd.chain_digest(), base);
+    }
+
+    #[test]
+    fn weight_commitment_roundtrips() {
+        let b = sample_bundle();
+        let back = SegmentedProof::from_bytes(&b.to_bytes()).unwrap();
+        assert_eq!(back.segments[0].weight_commitment, vec![0xAA, 0xBB]);
+        assert!(back.segments[1].weight_commitment.is_empty());
+    }
+
+    #[test]
+    fn version_1_bundles_rejected() {
+        // A pre-weight-commitment bundle: same layout minus the
+        // weight-commitment field, tagged version 1.
+        let b = sample_bundle();
+        let mut w = Writer::new();
+        w.u32(u32::from_be_bytes(*b"ZKSB"));
+        w.u32(1);
+        w.bytes(&b.model_hash);
+        w.u32(0);
+        w.u32(b.segments.len() as u32);
+        for s in &b.segments {
+            w.u32(s.k);
+            w.u64(s.vk_bytes.len() as u64);
+            w.bytes(&s.vk_bytes);
+            w.u32(s.boundary_in_len);
+            w.u64(s.instance.len() as u64);
+            for v in &s.instance {
+                w.scalar(v);
+            }
+            w.u64(s.proof.len() as u64);
+            w.bytes(&s.proof);
+        }
+        let err = SegmentedProof::from_bytes(&w.finish()).unwrap_err();
+        assert!(
+            err.to_string().contains("version 1"),
+            "old-format bundle must be rejected by version, got: {err}"
+        );
     }
 
     #[test]

@@ -18,7 +18,7 @@ use zkml::{
     OptimizerOptions, SegmentPlan, ZkmlError,
 };
 use zkml_pcs::{Backend, Params};
-use zkml_plonk::ProvingKey;
+use zkml_plonk::{CommittedWeights, ProvingKey, WeightCommitment};
 
 /// Seed for regenerating the deterministic SRS when no external params
 /// source is supplied. Matches `zkml_service::SRS_SEED` (this crate sits
@@ -222,12 +222,27 @@ pub fn prove_compiled(
     }
     let backend = opts.backend;
 
-    type KeyMaterial = Result<(Arc<Params>, Arc<ProvingKey>), ZkmlError>;
+    type KeyMaterial = Result<
+        (
+            Arc<Params>,
+            Arc<ProvingKey>,
+            Option<(WeightCommitment, CommittedWeights)>,
+        ),
+        ZkmlError,
+    >;
     let keyed: Vec<KeyMaterial> = zkml_par::par_map(segments.len(), |i| {
         let seg = &segments[i];
         let params = keys.params(backend, seg.compiled.k);
         let pk = keys.proving_key(model_hash, backend, &seg.plan, &seg.compiled, &params)?;
-        Ok((params, pk))
+        // Weight-bearing segments commit their committed-column plane once
+        // here; the commitment rides in the bundle (chain-digested) and
+        // the encodings feed the bound proof below.
+        let weights = if seg.compiled.has_committed() {
+            Some(seg.compiled.commit_weights(&params)?)
+        } else {
+            None
+        };
+        Ok((params, pk, weights))
     });
     let mut material = Vec::with_capacity(segments.len());
     for r in keyed {
@@ -240,11 +255,15 @@ pub fn prove_compiled(
         segments: segments
             .iter()
             .zip(&material)
-            .map(|(seg, (_, pk))| SegmentProof {
+            .map(|(seg, (_, pk, weights))| SegmentProof {
                 k: seg.compiled.k,
                 vk_bytes: pk.vk.to_bytes(),
                 boundary_in_len: seg.boundary_in_len as u32,
                 instance: seg.compiled.instance()[0].clone(),
+                weight_commitment: weights
+                    .as_ref()
+                    .map(|(wc, _)| wc.to_bytes())
+                    .unwrap_or_default(),
                 proof: Vec::new(),
             })
             .collect(),
@@ -253,12 +272,17 @@ pub fn prove_compiled(
     let nsegs = segments.len();
 
     let proofs: Vec<Result<Vec<u8>, ZkmlError>> = zkml_par::par_map(nsegs, |i| {
-        let (params, pk) = &material[i];
+        let (params, pk, weights) = &material[i];
         let mut rng = StdRng::seed_from_u64(segment_seed(seed, i));
         let binding = segment_binding(&chain, i, nsegs);
-        segments[i]
-            .compiled
-            .prove_bound(params, pk, &mut rng, &binding)
+        match weights {
+            Some((_, cw)) => segments[i]
+                .compiled
+                .prove_with_weights(params, pk, &mut rng, &binding, cw),
+            None => segments[i]
+                .compiled
+                .prove_bound(params, pk, &mut rng, &binding),
+        }
     });
     for (slot, proof) in bundle.segments.iter_mut().zip(proofs) {
         slot.proof = proof?;

@@ -5,7 +5,7 @@ use crate::bundle::{segment_binding, SegmentedProof};
 use crate::ShardError;
 use std::sync::Arc;
 use zkml_pcs::{batch_check, Backend, KzgSrs, Params, Verification};
-use zkml_plonk::{verify_proof_deferred, VerifyingKey};
+use zkml_plonk::{verify_proof_committed, VerifyingKey, WeightCommitment};
 
 /// What a successful [`verify_bundle`] did.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -55,6 +55,7 @@ where
     }
 
     let mut vks = Vec::with_capacity(n);
+    let mut wcs: Vec<Option<WeightCommitment>> = Vec::with_capacity(n);
     for (i, s) in bundle.segments.iter().enumerate() {
         if (s.boundary_in_len as usize) > s.instance.len() {
             return Err(ShardError::Malformed(format!(
@@ -69,6 +70,31 @@ where
                 s.k, vk.k
             )));
         }
+        // A weight-bearing segment must carry its weight commitment, and a
+        // weight-free one must not: both directions are bundle-shape
+        // errors, caught before any proof math runs.
+        let wc = if vk.cs.num_committed > 0 {
+            if s.weight_commitment.is_empty() {
+                return Err(ShardError::Malformed(format!(
+                    "segment {i}: circuit has committed weight columns but \
+                     the bundle carries no weight commitment"
+                )));
+            }
+            Some(
+                WeightCommitment::from_bytes(&s.weight_commitment).map_err(|e| {
+                    ShardError::Malformed(format!("segment {i}: bad weight commitment: {e}"))
+                })?,
+            )
+        } else {
+            if !s.weight_commitment.is_empty() {
+                return Err(ShardError::Malformed(format!(
+                    "segment {i}: weight commitment present for a circuit \
+                     without committed columns"
+                )));
+            }
+            None
+        };
+        wcs.push(wc);
         vks.push(vk);
     }
 
@@ -90,8 +116,15 @@ where
         let params = params_for(bundle.backend, s.k);
         let instance = [s.instance.clone()];
         let binding = segment_binding(&chain, i, n);
-        let v = verify_proof_deferred(&params, &vks[i], &instance, &s.proof, &binding)
-            .map_err(|e| ShardError::Verify(format!("segment {i}: {e}")))?;
+        let v = verify_proof_committed(
+            &params,
+            &vks[i],
+            &instance,
+            &s.proof,
+            &binding,
+            wcs[i].as_ref(),
+        )
+        .map_err(|e| ShardError::Verify(format!("segment {i}: {e}")))?;
         Ok((v, params))
     });
 
@@ -231,5 +264,61 @@ mod tests {
         let mid = p.segments[1].proof.len() / 2;
         p.segments[1].proof[mid] ^= 1;
         assert!(!ok(&p));
+    }
+
+    /// Like `toy_schedule` but with the multiplier vector loaded as
+    /// committed weights, so segments carry weight commitments.
+    fn weighted_schedule(w: i64) -> OpSchedule {
+        let mut sb = ScheduleBuilder::new(NumericConfig::default_nano());
+        let xs = sb.load_values(&[3, -2, 5, 1, -4, 7, 2, -1]);
+        let ws = sb.load_weights(&[w; 8]);
+        let r = sb.relu(&xs);
+        let pairs: Vec<_> = r.iter().zip(&ws).map(|(a, b)| (*a, *b)).collect();
+        let m = sb.arith_pack(Gadget::MulPack, &pairs);
+        let d = sb.dot(&r, &ws, None);
+        let s = sb.sum(&[m[0], m[1], d]);
+        sb.finish(vec![(vec![1], vec![s])])
+    }
+
+    #[test]
+    fn weighted_segments_verify_and_reject_foreign_weight_commitments() {
+        let (opts, hw) = setup();
+        let keys = FreshKeySource::default();
+        let ok = |b: &SegmentedProof| verify_bundle(b, |be, k| keys.params(be, k)).is_ok();
+
+        // Two bundles over the identical architecture, different weights.
+        let seg_a = compile_segments(&weighted_schedule(2), SegmentSpec::Fixed(2), &opts, hw)
+            .expect("compile a");
+        let bundle_a = prove_compiled([0xAAu8; 32], &seg_a, &keys, &opts, 3).expect("prove a");
+        let seg_b = compile_segments(&weighted_schedule(3), SegmentSpec::Fixed(2), &opts, hw)
+            .expect("compile b");
+        let bundle_b = prove_compiled([0xAAu8; 32], &seg_b, &keys, &opts, 3).expect("prove b");
+        assert!(ok(&bundle_a));
+        assert!(ok(&bundle_b));
+        let weighted = bundle_a
+            .segments
+            .iter()
+            .filter(|s| !s.weight_commitment.is_empty())
+            .count();
+        assert!(weighted > 0, "weighted schedule must commit weights");
+
+        // Splice a foreign segment's weight commitment: the chain digest
+        // shifts, every proof's binding diverges, the bundle dies.
+        let idx = bundle_a
+            .segments
+            .iter()
+            .position(|s| !s.weight_commitment.is_empty())
+            .unwrap();
+        let mut spliced = bundle_a.clone();
+        spliced.segments[idx].weight_commitment = bundle_b.segments[idx].weight_commitment.clone();
+        assert!(
+            !ok(&spliced),
+            "foreign weight commitment must not verify in this chain"
+        );
+
+        // Dropping the commitment outright is a shape error.
+        let mut stripped = bundle_a.clone();
+        stripped.segments[idx].weight_commitment.clear();
+        assert!(!ok(&stripped));
     }
 }

@@ -65,11 +65,38 @@ if ./target/release/zkml submit sleep --http "$ADDR" --tenant throttled; then
 else
   [ $? -eq 3 ] || { echo "429 should map to exit code 3" >&2; exit 1; }
 fi
+# Commit-and-prove over HTTP: publish the weight commitment on the server's
+# registry, prove against the returned digest, verify the download against it.
+./target/release/zkml commit-model MNIST --http "$ADDR" | tee "$NET_TMP/commit.out"
+DIGEST_HTTP="$(sed -n 's/^model digest: //p' "$NET_TMP/commit.out")"
+./target/release/zkml submit MNIST --http "$ADDR" --tenant ci --seed 9 \
+  --model "$DIGEST_HTTP" --wait --timeout-s 600 --dir "$NET_TMP/committed"
+./target/release/zkml verify --dir "$NET_TMP/committed" --model "$DIGEST_HTTP"
 # Graceful drain: SIGTERM, server exits 0 with the journal settled.
 kill -TERM "$SERVER_PID"
 wait "$SERVER_PID"
 SERVER_PID=""
 grep -q '"rec":"completed"' "$NET_TMP/journal.jsonl"
+
+echo "==> commit-and-prove (publish once, prove twice, zero re-keygen/re-encode)"
+CP_TMP="$(mktemp -d)"
+trap 'rm -rf "$SEG_TMP" "$NET_TMP" "$CP_TMP"; [ -n "${SERVER_PID:-}" ] && kill "$SERVER_PID" 2>/dev/null || true' EXIT
+# Standalone CLI quickstart: publish, prove under the digest, verify against it.
+./target/release/zkml commit-model MNIST --dir "$CP_TMP/registry"
+DIGEST="$(basename "$CP_TMP/registry"/*.wc .wc)"
+./target/release/zkml prove MNIST --dir "$CP_TMP/proof" --seed 7 --model "$DIGEST"
+./target/release/zkml verify --dir "$CP_TMP/proof" --model "$DIGEST"
+# A foreign digest must fail with the distinct commitment-mismatch exit code 4.
+BAD_DIGEST="$(printf '0%.0s' $(seq 1 64))"
+if ./target/release/zkml verify --dir "$CP_TMP/proof" --model "$BAD_DIGEST"; then
+  echo "expected a commitment mismatch for a foreign digest" >&2; exit 1
+else
+  [ $? -eq 4 ] || { echo "commitment mismatch should map to exit code 4" >&2; exit 1; }
+fi
+# Counter regression: after one publication, proving twice against the digest
+# performs zero keygens and zero weight re-encodings (runs alone because it
+# reads process-global counters).
+cargo test -p zkml-service --test commitment -q -- --ignored --test-threads=1
 
 echo "==> perf smoke (kernel + 4-thread ratios at small k vs PERF_THRESHOLDS.json)"
 # Gates the serial jacobian/batch-affine MSM ratio and the 4-thread/1-thread
